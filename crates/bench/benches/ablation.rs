@@ -1,0 +1,118 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **Event grouping** (paper §II-B1): processing a node's events together
+//!   vs one at a time — per-event processing refetches the old aggregate and
+//!   loses evolvability (Fig. 4), so the grouped path must win once a target
+//!   receives more than a couple of events.
+//! * **Payload arena sharing** (paper §II-B): event metadata separated from
+//!   payload vectors vs cloning the vector into every event — sharing
+//!   removes O(degree) vector copies per affected node.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ink_gnn::Aggregator;
+use ink_tensor::init::{seeded_rng, uniform};
+use inkstream::{group_events, Event, EventOp, PayloadArena};
+use std::hint::black_box;
+
+const DIM: usize = 64;
+
+/// Grouped processing vs per-event sequential application to a target's
+/// aggregate (the α refetch the paper's grouping avoids).
+fn bench_grouping_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_grouping");
+    let mut rng = seeded_rng(1);
+    for &events_per_target in &[2usize, 8, 32] {
+        let targets = 64usize;
+        let payloads = uniform(&mut rng, 128, DIM, -1.0, 1.0);
+        let mut arena = PayloadArena::new(DIM);
+        let ids: Vec<_> = (0..128).map(|i| arena.push(payloads.row(i))).collect();
+        let events: Vec<Event> = (0..targets * events_per_target)
+            .map(|i| Event {
+                op: EventOp::Update,
+                target: (i % targets) as u32,
+                payload: ids[i % 128],
+                degree_delta: 0,
+            })
+            .collect();
+        let alpha_table = uniform(&mut rng, targets, DIM, -1.0, 1.0);
+
+        group.bench_with_input(
+            BenchmarkId::new("grouped", events_per_target),
+            &events_per_target,
+            |b, _| {
+                b.iter(|| {
+                    // Group + one α touch per target.
+                    let grouped = group_events(black_box(&events), &arena, Aggregator::Sum);
+                    let mut out = 0.0f32;
+                    for (t, g) in &grouped.groups {
+                        if let inkstream::Group::Acc { sum, .. } = g {
+                            let mut alpha = alpha_table.row(*t as usize).to_vec();
+                            ink_tensor::ops::add_assign(&mut alpha, sum);
+                            out += alpha[0];
+                        }
+                    }
+                    black_box(out)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("per_event", events_per_target),
+            &events_per_target,
+            |b, _| {
+                b.iter(|| {
+                    // One α fetch-modify-store per event (no grouping).
+                    let mut out = 0.0f32;
+                    let mut table = alpha_table.clone();
+                    for e in black_box(&events) {
+                        let alpha = table.row_mut(e.target as usize);
+                        ink_tensor::ops::add_assign(alpha, arena.get(e.payload));
+                        out += alpha[0];
+                    }
+                    black_box(out)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Shared payload arena vs cloning the vector into every event.
+fn bench_payload_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_payload_arena");
+    let mut rng = seeded_rng(2);
+    for &fanout in &[8usize, 64, 512] {
+        let payload: Vec<f32> = uniform(&mut rng, 1, DIM, -1.0, 1.0).row(0).to_vec();
+        group.bench_with_input(BenchmarkId::new("shared_arena", fanout), &fanout, |b, _| {
+            b.iter(|| {
+                let mut arena = PayloadArena::new(DIM);
+                let id = arena.push(black_box(&payload));
+                let events: Vec<Event> = (0..fanout)
+                    .map(|t| Event {
+                        op: EventOp::Add,
+                        target: t as u32,
+                        payload: id,
+                        degree_delta: 0,
+                    })
+                    .collect();
+                black_box((arena.nbytes(), events.len()))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cloned_per_event", fanout), &fanout, |b, _| {
+            b.iter(|| {
+                // The naive representation: every event owns its vector.
+                let events: Vec<(u32, Vec<f32>)> =
+                    (0..fanout).map(|t| (t as u32, black_box(&payload).clone())).collect();
+                let bytes: usize = events.iter().map(|(_, p)| p.len() * 4).sum();
+                black_box((bytes, events.len()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default().sample_size(20);
+    targets = bench_grouping_ablation, bench_payload_sharing
+}
+criterion_main!(ablation);

@@ -1,0 +1,96 @@
+//! End-to-end Criterion benches: one update batch through each method on a
+//! small stand-in — the per-sample view behind Table IV and Table VI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ink_bench::{scenarios, BenchOpts, ModelKind, Workload};
+use ink_graph::datasets::DatasetSpec;
+use ink_gnn::{full_inference, khop_update, Aggregator, SampledGraph};
+use ink_tensor::init::seeded_rng;
+use inkstream::{InkStream, UpdateConfig};
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    let opts = BenchOpts::default();
+    let w = Workload::build(DatasetSpec::by_name("PM").unwrap(), 0.1);
+    let delta = scenarios(&w.graph, 100, 1, 42).pop().unwrap();
+    let mut group = c.benchmark_group("update_batch_pm_dg100");
+    group.sample_size(10);
+
+    // Full-graph inference with the SAGE sampler (PyG baseline).
+    let model = ModelKind::Gcn.build(w.spec.feat_len, &opts, Aggregator::Max, 1);
+    group.bench_function("pyg_full_sampled", |b| {
+        let mut rng = seeded_rng(9);
+        let sampled = SampledGraph::sample(&w.graph, 10, &mut rng);
+        b.iter(|| black_box(full_inference(&model, &sampled, &w.features, None).h));
+    });
+
+    // k-hop affected-area recomputation.
+    group.bench_function("khop", |b| {
+        let mut g = w.graph.clone();
+        delta.apply(&mut g);
+        b.iter(|| black_box(khop_update(&model, &g, &w.features, &delta, None)));
+    });
+
+    // InkStream-m, full configuration (batched forward + inverse restore so
+    // every iteration sees the same base state).
+    group.bench_function("inkstream_m", |b| {
+        let model = ModelKind::Gcn.build(w.spec.feat_len, &opts, Aggregator::Max, 1);
+        let mut engine =
+            InkStream::new(model, w.graph.clone(), w.features.clone(), UpdateConfig::full())
+                .unwrap();
+        let inverse = delta.inverse();
+        b.iter(|| {
+            black_box(engine.apply_delta(&delta));
+            engine.apply_delta(&inverse);
+        });
+    });
+
+    // InkStream-m with pruning disabled (Table VI component 1 only).
+    group.bench_function("inkstream_m_no_pruning", |b| {
+        let model = ModelKind::Gcn.build(w.spec.feat_len, &opts, Aggregator::Max, 1);
+        let mut engine = InkStream::new(
+            model,
+            w.graph.clone(),
+            w.features.clone(),
+            UpdateConfig::incremental_only(),
+        )
+        .unwrap();
+        let inverse = delta.inverse();
+        b.iter(|| {
+            black_box(engine.apply_delta(&delta));
+            engine.apply_delta(&inverse);
+        });
+    });
+
+    // InkStream-a (mean aggregation).
+    group.bench_function("inkstream_a", |b| {
+        let model = ModelKind::Gcn.build(w.spec.feat_len, &opts, Aggregator::Mean, 1);
+        let mut engine =
+            InkStream::new(model, w.graph.clone(), w.features.clone(), UpdateConfig::full())
+                .unwrap();
+        let inverse = delta.inverse();
+        b.iter(|| {
+            black_box(engine.apply_delta(&delta));
+            engine.apply_delta(&inverse);
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    // The one-time cost InkStream amortises: full inference with state
+    // retention.
+    let opts = BenchOpts::default();
+    let w = Workload::build(DatasetSpec::by_name("PM").unwrap(), 0.1);
+    let mut group = c.benchmark_group("bootstrap_pm");
+    group.sample_size(10);
+    group.bench_function("full_inference_with_cache", |b| {
+        let model = ModelKind::Gcn.build(w.spec.feat_len, &opts, Aggregator::Max, 2);
+        b.iter(|| black_box(full_inference(&model, &w.graph, &w.features, None)));
+    });
+    group.finish();
+}
+
+criterion_group!(end_to_end, bench_methods, bench_bootstrap);
+criterion_main!(end_to_end);

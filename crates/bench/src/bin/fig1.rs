@@ -1,0 +1,88 @@
+//! Fig. 1 — the paper's motivating measurement.
+//!
+//! (a) Ratio of the theoretical affected area (k-hop neighborhood of the
+//!     changed edges) to the full graph, on Cora, for k = 1..5 and
+//!     ΔG ∈ {1, 10, 100, 1k, 10k}.
+//! (b) Ratio of *really* affected nodes to the theoretical affected area
+//!     for max-aggregation GCN (k = 2) on Cora, Yelp and Papers100M.
+//!
+//! Run: `cargo run --release -p ink-bench --bin fig1 [--scale f] [--quick]`
+
+use ink_bench::{run_inkstream, scenario_count, scenarios, BenchOpts, ModelKind, Table, Workload};
+use ink_graph::bfs::theoretical_affected_area;
+use ink_graph::datasets::DatasetSpec;
+use ink_gnn::Aggregator;
+use inkstream::UpdateConfig;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let deltas = [1usize, 10, 100, 1_000, 10_000];
+
+    // ---- Fig. 1a: theoretical affected area on Cora ----
+    let cora = Workload::build(DatasetSpec::by_name("CA").unwrap(), opts.scale);
+    let n = cora.graph.num_vertices();
+    println!(
+        "Fig. 1a — theoretical affected area / |V| (%), {} (|V|={n}, |E|={}, scale {})",
+        cora.spec.name,
+        cora.graph.num_edges(),
+        opts.scale
+    );
+    let mut t = Table::new(vec![
+        "dG".to_string(),
+        "k=1".to_string(),
+        "k=2".to_string(),
+        "k=3".to_string(),
+        "k=4".to_string(),
+        "k=5".to_string(),
+    ]);
+    for &dg in &deltas {
+        let count = scenario_count(dg, opts.quick).min(3);
+        let scens = scenarios(&cora.graph, dg, count, 0xF161 + dg as u64);
+        let mut row = vec![format!("{dg}")];
+        for k in 1..=5 {
+            let mut ratio = 0.0;
+            for s in &scens {
+                let mut g = cora.graph.clone();
+                s.apply(&mut g);
+                ratio += theoretical_affected_area(&g, s, k).len() as f64 / n as f64;
+            }
+            row.push(format!("{:.2}%", 100.0 * ratio / scens.len() as f64));
+        }
+        t.add_row(row);
+    }
+    t.print();
+
+    // ---- Fig. 1b: real / theoretical, GCN(k=2, max) ----
+    println!("\nFig. 1b — real affected / theoretical affected (%), GCN k=2, max aggregation");
+    let mut t = Table::new(vec!["dataset", "dG=1", "dG=10", "dG=100"]);
+    for code in ["CA", "YP", "PP"] {
+        if !opts.selects(code, code) {
+            continue;
+        }
+        let w = Workload::build(DatasetSpec::by_name(code).unwrap(), opts.scale);
+        let mut row = vec![w.spec.name.to_string()];
+        for &dg in &[1usize, 10, 100] {
+            let count = scenario_count(dg, opts.quick).min(3);
+            let scens = scenarios(&w.graph, dg, count, 0xF1B0 + dg as u64);
+            let model = ModelKind::Gcn.build(w.spec.feat_len, &opts, Aggregator::Max, 0xF1B);
+            let ink = run_inkstream(
+                model,
+                w.graph.clone(),
+                w.features.clone(),
+                &scens,
+                UpdateConfig::full(),
+            );
+            let mut theo = 0.0;
+            for s in &scens {
+                let mut g = w.graph.clone();
+                s.apply(&mut g);
+                theo += theoretical_affected_area(&g, s, 2).len() as f64;
+            }
+            theo /= scens.len() as f64;
+            row.push(format!("{:.1}%", 100.0 * ink.avg_output_changed() / theo.max(1.0)));
+        }
+        t.add_row(row);
+        eprintln!("  [fig1b] {code} done");
+    }
+    t.print();
+}

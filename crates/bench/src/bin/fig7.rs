@@ -1,0 +1,55 @@
+//! Fig. 7 — speedup of InkStream-m / InkStream-a over the k-hop baseline as
+//! the number of changed edges ΔG grows (GCN, k = 2).
+//!
+//! The paper's trend: speedups shrink as ΔG grows, because a larger affected
+//! area leaves less redundancy to skip.
+//!
+//! Run: `cargo run --release -p ink-bench --bin fig7 [--scale f] [--quick]`
+
+use ink_bench::{
+    run_inkstream, run_khop, scenario_count, scenarios, BenchOpts, ModelKind, Table, Workload,
+};
+use ink_gnn::Aggregator;
+use inkstream::UpdateConfig;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let workloads = Workload::all_selected(&opts);
+    let sweep = [1usize, 10, 100, 1_000, 10_000];
+    println!("Fig. 7 — speedup vs k-hop across dG (GCN k=2), scale {}", opts.scale);
+
+    for variant in ["InkStream-m", "InkStream-a"] {
+        let agg = if variant == "InkStream-m" { Aggregator::Max } else { Aggregator::Mean };
+        println!("\n{variant} speedup over k-hop:");
+        let mut headers = vec!["dataset".to_string()];
+        headers.extend(sweep.iter().map(|d| format!("dG={d}")));
+        let mut table = Table::new(headers);
+
+        for w in &workloads {
+            let mut row = vec![w.spec.name.to_string()];
+            for &dg in &sweep {
+                if dg / 2 > w.graph.num_edges() {
+                    row.push("n/a".into());
+                    continue;
+                }
+                let count = opts.scenarios.unwrap_or_else(|| scenario_count(dg, opts.quick));
+                let scens = scenarios(&w.graph, dg, count, 0xF170 ^ (dg as u64) ^ w.spec.seed);
+                let model = ModelKind::Gcn.build(w.spec.feat_len, &opts, agg, w.spec.seed);
+                let khop = run_khop(&model, &w.graph, &w.features, &scens);
+                let model2 = ModelKind::Gcn.build(w.spec.feat_len, &opts, agg, w.spec.seed);
+                let ink = run_inkstream(
+                    model2,
+                    w.graph.clone(),
+                    w.features.clone(),
+                    &scens,
+                    UpdateConfig::full(),
+                );
+                let s = khop.timing.avg.as_secs_f64() / ink.timing.avg.as_secs_f64().max(1e-12);
+                row.push(format!("{s:.1}x"));
+            }
+            table.add_row(row);
+            eprintln!("  [fig7/{variant}] {} done", w.spec.name);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,151 @@
+//! Fig. 9 — model accuracy of a 2-layer GCN with GraphNorm using *exact*
+//! vertex-set statistics versus the paper's *approximate* (cached,
+//! training-time) statistics, as a growing percentage of vertices is removed
+//! from or added to the graph (paper §III-H).
+//!
+//! Datasets: planted-partition stand-ins for Cora and Reddit (a real node
+//! classification task is required here, so random weights won't do — see
+//! DESIGN.md §2, substitution 5).
+//!
+//! Run: `cargo run --release -p ink-bench --bin fig9 [--quick]`
+
+use ink_bench::{BenchOpts, Table};
+use ink_graph::generators::planted_partition;
+use ink_graph::DynGraph;
+use ink_gnn::{full_inference, Aggregator, Model};
+use ink_tensor::init::{normal, seeded_rng};
+use ink_tensor::train::{fit_softmax, SoftmaxClassifier, TrainConfig};
+use ink_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+struct Task {
+    name: &'static str,
+    graph: DynGraph,
+    features: Matrix,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+fn make_task(name: &'static str, n: usize, classes: usize, deg_in: f64, seed: u64) -> Task {
+    let mut rng = seeded_rng(seed);
+    let p = planted_partition(&mut rng, n, classes, deg_in, 1.0);
+    let feat_dim = 16;
+    let mut features = normal(&mut rng, n, feat_dim, 0.0, 1.0);
+    for v in 0..n {
+        features.row_mut(v)[p.labels[v]] += 1.2;
+    }
+    Task { name, graph: p.graph, features, labels: p.labels, classes }
+}
+
+fn accuracy_on(
+    model: &Model,
+    graph: &DynGraph,
+    features: &Matrix,
+    clf: &SoftmaxClassifier,
+    labels: &[usize],
+    test_idx: &[usize],
+) -> f64 {
+    let h = full_inference(model, graph, features, None).h;
+    clf.accuracy(&h, labels, test_idx)
+}
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    println!("Fig. 9 — accuracy with exact vs approximate (cached) GraphNorm statistics");
+    let percents: &[usize] = if opts.quick { &[0, 2, 10] } else { &[0, 1, 2, 5, 10] };
+
+    // Cora-like: small, sparse. Reddit-like: larger, denser.
+    let tasks = [
+        make_task("cora-like", 2_000, 4, 8.0, 0xF190),
+        make_task("reddit-like", 4_000, 5, 12.0, 0xF191),
+    ];
+
+    for task in tasks {
+        let n = task.graph.num_vertices();
+        let mut mrng = seeded_rng(0xF192);
+        let exact = Model::gcn(&mut mrng, &[task.features.cols(), 16, 16], Aggregator::Mean)
+            .with_exact_graphnorm();
+
+        // "Training": capture statistics, fit the head on balanced blocks.
+        let st = full_inference(&exact, &task.graph, &task.features, None);
+        let train_idx: Vec<usize> = (0..n).filter(|v| (v / task.classes) % 2 == 0).collect();
+        let test_idx: Vec<usize> = (0..n).filter(|v| (v / task.classes) % 2 == 1).collect();
+        let clf =
+            fit_softmax(&st.h, &task.labels, &train_idx, task.classes, TrainConfig::default());
+
+        // Rebuild the exact model (same seed) and a frozen-statistics copy.
+        let mut mrng2 = seeded_rng(0xF192);
+        let exact2 = Model::gcn(&mut mrng2, &[task.features.cols(), 16, 16], Aggregator::Mean)
+            .with_exact_graphnorm();
+        let mut mrng3 = seeded_rng(0xF192);
+        let frozen = Model::gcn(&mut mrng3, &[task.features.cols(), 16, 16], Aggregator::Mean)
+            .with_exact_graphnorm()
+            .freeze_graphnorm_stats(&st.norm_stats);
+
+        println!(
+            "\n{} (|V|={n}, |E|={}, {} classes):",
+            task.name,
+            task.graph.num_edges(),
+            task.classes
+        );
+        let mut table = Table::new(vec![
+            "vertices changed",
+            "removed: exact",
+            "removed: approx",
+            "added: exact",
+            "added: approx",
+        ]);
+        for &pct in percents {
+            let count = n * pct / 100;
+            let mut rng = StdRng::seed_from_u64(0xF193 + pct as u64);
+
+            // Removal: isolate `count` random train vertices.
+            let mut g_rm = task.graph.clone();
+            for _ in 0..count {
+                let v = train_idx[rng.random_range(0..train_idx.len())] as u32;
+                g_rm.isolate_vertex(v);
+            }
+            let acc_rm_exact =
+                accuracy_on(&exact2, &g_rm, &task.features, &clf, &task.labels, &test_idx);
+            let acc_rm_approx =
+                accuracy_on(&frozen, &g_rm, &task.features, &clf, &task.labels, &test_idx);
+
+            // Addition: `count` new vertices, each wired into one community.
+            let mut g_add = task.graph.clone();
+            let mut feats_add = task.features.clone();
+            let mut labels_add = task.labels.clone();
+            for _ in 0..count {
+                let c = rng.random_range(0..task.classes);
+                let v = g_add.add_vertex();
+                for _ in 0..3 {
+                    let t = rng.random_range(0..n) as u32;
+                    if labels_add[t as usize] == c {
+                        g_add.insert_edge(v, t);
+                    }
+                }
+                let mut feat = vec![0.0f32; task.features.cols()];
+                for f in feat.iter_mut() {
+                    *f = rng.random_range(-1.0..1.0);
+                }
+                feat[c] += 1.2;
+                feats_add.push_row(&feat);
+                labels_add.push(c);
+            }
+            let acc_add_exact =
+                accuracy_on(&exact2, &g_add, &feats_add, &clf, &labels_add, &test_idx);
+            let acc_add_approx =
+                accuracy_on(&frozen, &g_add, &feats_add, &clf, &labels_add, &test_idx);
+
+            table.add_row(vec![
+                format!("{pct}%"),
+                format!("{acc_rm_exact:.4}"),
+                format!("{acc_rm_approx:.4}"),
+                format!("{acc_add_exact:.4}"),
+                format!("{acc_add_approx:.4}"),
+            ]);
+        }
+        table.print();
+    }
+    println!("\n(the paper reports <0.1% accuracy difference between exact and approximate)");
+}

@@ -1,0 +1,60 @@
+//! §III-E — memory cost of InkStream's cached state.
+//!
+//! The paper: the two per-layer checkpoints (`m`, `α`) add 0.12–10× the size
+//! of the dataset for GCN with hidden 256 (the ogbn datasets' features are
+//! *shorter* than the hidden state, hence the >1× cases), dropping to
+//! 0.015–1.28× with hidden 32. This binary reproduces the ratio per dataset
+//! for both hidden sizes.
+//!
+//! Run: `cargo run --release -p ink-bench --bin memcost [--scale f]`
+
+use ink_bench::{BenchOpts, ModelKind, Table, Workload};
+use ink_graph::Csr;
+use ink_gnn::{full_inference, Aggregator};
+
+fn mib(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    println!(
+        "§III-E — cached-state overhead vs dataset size (GCN k=2), scale {}",
+        opts.scale
+    );
+    let mut table = Table::new(vec![
+        "dataset",
+        "feat len",
+        "dataset MiB",
+        "cache MiB (h=256)",
+        "ratio",
+        "cache MiB (h=32)",
+        "ratio",
+    ]);
+    for w in Workload::all_selected(&opts) {
+        // Dataset size: features + adjacency, the quantities a deployment
+        // must hold regardless of InkStream.
+        let dataset_bytes = w.features.nbytes() + Csr::from_graph(&w.graph).nbytes();
+        let mut row = vec![
+            w.spec.name.to_string(),
+            w.spec.feat_len.to_string(),
+            mib(dataset_bytes),
+        ];
+        for hidden in [256usize, 32] {
+            let mut o = opts.clone();
+            o.hidden = hidden;
+            let model = ModelKind::Gcn.build(w.spec.feat_len, &o, Aggregator::Max, w.spec.seed);
+            let state = full_inference(&model, &w.graph, &w.features, None);
+            let cache = state.cache_bytes();
+            row.push(mib(cache));
+            row.push(format!("{:.3}x", cache as f64 / dataset_bytes as f64));
+        }
+        table.add_row(row);
+        eprintln!("  [memcost] {} done", w.spec.name);
+    }
+    table.print();
+    println!(
+        "\n(paper: 0.12–10x at hidden 256 — above 1x exactly where features are shorter\n\
+         than the hidden state — and 0.015–1.28x at hidden 32)"
+    );
+}

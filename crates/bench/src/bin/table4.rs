@@ -1,0 +1,111 @@
+//! Table IV — inference time comparison of the five methods on all six
+//! datasets, for 2-layer GCN (ΔG=100), 2-layer GraphSAGE (ΔG=100) and
+//! 5-layer GIN (ΔG=1). Speedups are reported against the k-hop baseline,
+//! exactly as the paper lays the table out.
+//!
+//! Run: `cargo run --release -p ink-bench --bin table4 [--scale f] [--quick]`
+
+use ink_bench::{
+    graphiler_paper_oom, run_inkstream, run_khop, scenario_count, scenarios, time_graphiler,
+    time_pyg_sampled, BenchOpts, ModelKind, Table, Workload,
+};
+use ink_bench::table::{fmt_ms, fmt_speedup};
+use ink_gnn::Aggregator;
+use inkstream::UpdateConfig;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let workloads = Workload::all_selected(&opts);
+    println!(
+        "Table IV — inference time (ms) per update batch; scale {} (see DESIGN.md §2)",
+        opts.scale
+    );
+
+    for kind in [ModelKind::Gcn, ModelKind::Sage, ModelKind::Gin] {
+        let dg = kind.default_delta();
+        println!("\n{} (k={}, dG={})", kind.name(), kind.layers(), dg);
+        let mut headers = vec!["method".to_string()];
+        headers.extend(workloads.iter().map(|w| w.spec.name.to_string()));
+        let mut table = Table::new(headers);
+
+        let mut rows: Vec<Vec<String>> = vec![
+            vec!["PyG (+SAGE sampler)".into()],
+            vec!["k-hop".into()],
+            vec!["Graphiler".into()],
+            vec!["InkStream-m".into()],
+            vec!["InkStream-a".into()],
+        ];
+
+        for w in &workloads {
+            let count = opts.scenarios.unwrap_or_else(|| scenario_count(dg, opts.quick));
+            let scens = scenarios(&w.graph, dg, count, 0x7AB4 ^ w.spec.seed);
+            let seed = w.spec.seed ^ kind.layers() as u64;
+
+            // PyG full-graph with neighbor sampling (static, no cache).
+            let model = kind.build(w.spec.feat_len, &opts, Aggregator::Max, seed);
+            let pyg = time_pyg_sampled(&model, &w.graph, &w.features);
+            rows[0].push(fmt_ms(pyg));
+
+            // k-hop affected-area recomputation.
+            let khop = run_khop(&model, &w.graph, &w.features, &scens);
+            rows[1].push(format!("{} (1x)", fmt_ms(khop.timing.avg)));
+
+            // Graphiler stand-in (fused static full-graph), with the paper's
+            // reported feasibility.
+            if graphiler_paper_oom(kind, w.spec.code) {
+                rows[2].push("OOM".into());
+            } else {
+                match time_graphiler(&model, &w.graph, &w.features, opts.graphiler_budget_mib) {
+                    Some(d) => {
+                        rows[2].push(format!("{} {}", fmt_ms(d), fmt_speedup(khop.timing.avg, d)))
+                    }
+                    None => rows[2].push("OOM".into()),
+                }
+            }
+
+            // InkStream-m (max aggregation) and -a (mean aggregation).
+            let model_m = kind.build(w.spec.feat_len, &opts, Aggregator::Max, seed);
+            let ink_m = run_inkstream(
+                model_m,
+                w.graph.clone(),
+                w.features.clone(),
+                &scens,
+                UpdateConfig::full(),
+            );
+            rows[3].push(format!(
+                "{} {}",
+                fmt_ms(ink_m.timing.avg),
+                fmt_speedup(khop.timing.avg, ink_m.timing.avg)
+            ));
+
+            let model_a = kind.build(w.spec.feat_len, &opts, Aggregator::Mean, seed);
+            let scens_a = scens.clone();
+            // The -a baseline is k-hop with the same (mean) aggregator.
+            let khop_a = run_khop(&model_a, &w.graph, &w.features, &scens_a);
+            let ink_a = run_inkstream(
+                model_a,
+                w.graph.clone(),
+                w.features.clone(),
+                &scens_a,
+                UpdateConfig::full(),
+            );
+            rows[4].push(format!(
+                "{} {}",
+                fmt_ms(ink_a.timing.avg),
+                fmt_speedup(khop_a.timing.avg, ink_a.timing.avg)
+            ));
+
+            eprintln!(
+                "  [{} / {}] done (khop {} ms, ink-m {} ms)",
+                kind.name(),
+                w.spec.name,
+                fmt_ms(khop.timing.avg),
+                fmt_ms(ink_m.timing.avg)
+            );
+        }
+        for row in rows {
+            table.add_row(row);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,44 @@
+//! Table VI — ablation: the contribution of InkStream-m's two components
+//! (1: intra-layer incremental update; 2: inter-layer pruned propagation)
+//! for GCN with ΔG = 100, against the k-hop baseline.
+//!
+//! Run: `cargo run --release -p ink-bench --bin table6 [--scale f] [--quick]`
+
+use ink_bench::{
+    run_inkstream, run_khop, scenario_count, scenarios, BenchOpts, ModelKind, Table, Workload,
+};
+use ink_bench::table::{fmt_ms, fmt_speedup};
+use ink_gnn::Aggregator;
+use inkstream::UpdateConfig;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let workloads = Workload::all_selected(&opts);
+    let dg = 100usize;
+    println!("Table VI — component ablation for InkStream-m (GCN, dG={dg}), scale {}", opts.scale);
+    println!("1: intra-layer incremental update. 2: inter-layer pruned propagation.\n");
+
+    let mut table = Table::new(vec!["dataset", "k-hop", "InkStream-m (1)", "InkStream-m (1&2)"]);
+    for w in &workloads {
+        let count = opts.scenarios.unwrap_or_else(|| scenario_count(dg, opts.quick));
+        let scens = scenarios(&w.graph, dg, count, 0x7AB6 ^ w.spec.seed);
+        let model = ModelKind::Gcn.build(w.spec.feat_len, &opts, Aggregator::Max, w.spec.seed);
+        let khop = run_khop(&model, &w.graph, &w.features, &scens);
+
+        let run = |cfg: UpdateConfig| {
+            let m = ModelKind::Gcn.build(w.spec.feat_len, &opts, Aggregator::Max, w.spec.seed);
+            run_inkstream(m, w.graph.clone(), w.features.clone(), &scens, cfg)
+        };
+        let comp1 = run(UpdateConfig::incremental_only());
+        let full = run(UpdateConfig::full());
+
+        table.add_row(vec![
+            w.spec.name.to_string(),
+            format!("{} (1x)", fmt_ms(khop.timing.avg)),
+            format!("{} {}", fmt_ms(comp1.timing.avg), fmt_speedup(khop.timing.avg, comp1.timing.avg)),
+            format!("{} {}", fmt_ms(full.timing.avg), fmt_speedup(khop.timing.avg, full.timing.avg)),
+        ]);
+        eprintln!("  [table6] {} done", w.spec.name);
+    }
+    table.print();
+}

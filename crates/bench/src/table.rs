@@ -1,0 +1,123 @@
+//! Aligned text-table printing for the experiment binaries.
+
+use std::time::Duration;
+
+/// A simple column-aligned table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row; short rows are padded with empty cells.
+    pub fn add_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert!(row.len() <= self.headers.len(), "row wider than header");
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders the table to a string (first column left-aligned, the rest
+    /// right-aligned, like the paper's tables).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (c, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if c == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a duration as fractional milliseconds (`12.34`).
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a speedup factor the way the paper's tables do (`(28x)`).
+pub fn fmt_speedup(baseline: Duration, ours: Duration) -> String {
+    let s = baseline.as_secs_f64() / ours.as_secs_f64().max(1e-12);
+    if s >= 10.0 {
+        format!("({s:.0}x)")
+    } else {
+        format!("({s:.1}x)")
+    }
+}
+
+/// Formats a percentage with no decimals (`68%`).
+pub fn fmt_pct(x: f64) -> String {
+    format!("{x:.0}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["method", "time"]);
+        t.add_row(vec!["k-hop", "123.45"]);
+        t.add_row(vec!["inkstream-m", "1.2"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[2].contains("k-hop"));
+        // right-aligned second column: both time cells end at same offset
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.add_row(vec!["x"]);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than header")]
+    fn wide_rows_rejected() {
+        let mut t = Table::new(vec!["a"]);
+        t.add_row(vec!["x", "y"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ms(Duration::from_micros(12_340)), "12.34");
+        assert_eq!(fmt_speedup(Duration::from_secs(28), Duration::from_secs(1)), "(28x)");
+        assert_eq!(fmt_speedup(Duration::from_secs(5), Duration::from_secs(2)), "(2.5x)");
+        assert_eq!(fmt_pct(67.8), "68%");
+    }
+}

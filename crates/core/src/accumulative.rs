@@ -1,0 +1,109 @@
+//! Intra-layer incremental update for accumulative aggregation (paper §II-C2).
+//!
+//! Sum and mean are fully reversible, so a node's new aggregated
+//! neighborhood always evolves from the old one:
+//!
+//! * sum:  `α = α⁻ + Σ msg`
+//! * mean: `α = (α⁻·d⁻ + Σ msg_raw) / d` — the event payloads carry *raw*
+//!   message deltas (`Δm`, `+m`, `−m⁻`), and the degrees reconcile the
+//!   denominators. This is algebraically the paper's
+//!   `α = (d⁻/d)(α⁻ + Σ msg/d⁻)` form, written to avoid dividing each
+//!   payload.
+//!
+//! There is no pruning decision here: accumulative updates are always
+//! applied and always propagate (paper Algorithm 1, lines 18-21).
+
+use ink_gnn::Aggregator;
+
+/// Applies the accumulative update and returns the new `α`.
+///
+/// `degree_new` is the target's in-degree in the *current* graph;
+/// `degree_delta` is the net change contributed by ΔG events, so the old
+/// degree is `degree_new − degree_delta`.
+pub fn apply_accumulative(
+    agg: Aggregator,
+    alpha_old: &[f32],
+    sum: &[f32],
+    degree_new: usize,
+    degree_delta: i32,
+) -> Vec<f32> {
+    debug_assert!(agg.is_accumulative());
+    match agg {
+        Aggregator::Sum => {
+            let mut alpha = alpha_old.to_vec();
+            ink_tensor::ops::add_assign(&mut alpha, sum);
+            alpha
+        }
+        Aggregator::Mean => {
+            let degree_old = degree_new as i64 - degree_delta as i64;
+            debug_assert!(degree_old >= 0, "degree bookkeeping went negative");
+            if degree_new == 0 {
+                // Empty-neighborhood convention: zeros.
+                return vec![0.0; alpha_old.len()];
+            }
+            let d_old = degree_old as f32;
+            let inv_new = 1.0 / degree_new as f32;
+            alpha_old
+                .iter()
+                .zip(sum)
+                .map(|(a, s)| (a * d_old + s) * inv_new)
+                .collect()
+        }
+        _ => unreachable!("monotonic aggregators use apply_monotonic"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_adds_payload() {
+        let alpha = apply_accumulative(Aggregator::Sum, &[1.0, 2.0], &[0.5, -1.0], 3, 0);
+        assert_eq!(alpha, vec![1.5, 1.0]);
+    }
+
+    #[test]
+    fn sum_ignores_degree() {
+        let a = apply_accumulative(Aggregator::Sum, &[1.0], &[1.0], 5, 2);
+        let b = apply_accumulative(Aggregator::Sum, &[1.0], &[1.0], 9, -3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_with_stable_degree() {
+        // α⁻ = mean of 2 msgs = 3.0 (total 6.0); one neighbor changed by +2.0
+        // (raw), degree unchanged → new mean = 8/2 = 4.0.
+        let alpha = apply_accumulative(Aggregator::Mean, &[3.0], &[2.0], 2, 0);
+        assert_eq!(alpha, vec![4.0]);
+    }
+
+    #[test]
+    fn mean_with_inserted_edge() {
+        // Old: 2 neighbors, mean 3.0 (total 6.0). Insert a neighbor with
+        // message 9.0 → new mean = 15/3 = 5.0.
+        let alpha = apply_accumulative(Aggregator::Mean, &[3.0], &[9.0], 3, 1);
+        assert_eq!(alpha, vec![5.0]);
+    }
+
+    #[test]
+    fn mean_with_removed_edge() {
+        // Old: 3 neighbors, mean 5.0 (total 15.0). Remove a neighbor whose
+        // message was 9.0 (payload −9) → new mean = 6/2 = 3.0.
+        let alpha = apply_accumulative(Aggregator::Mean, &[5.0], &[-9.0], 2, -1);
+        assert_eq!(alpha, vec![3.0]);
+    }
+
+    #[test]
+    fn mean_losing_all_neighbors_goes_to_zero() {
+        let alpha = apply_accumulative(Aggregator::Mean, &[5.0, -2.0], &[-5.0, 2.0], 0, -1);
+        assert_eq!(alpha, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_first_neighbor_from_empty() {
+        // Old degree 0 (α⁻ = 0 by convention); insert a neighbor with message 7.
+        let alpha = apply_accumulative(Aggregator::Mean, &[0.0], &[7.0], 1, 1);
+        assert_eq!(alpha, vec![7.0]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Engine checkpointing.
+//!
+//! InkStream's whole value is the cached state that survives between
+//! timestamps; a production deployment also needs that state to survive
+//! restarts without paying a fresh full-graph bootstrap. A checkpoint holds
+//! the graph, the feature matrix and every layer's `m`/`α` plus the output —
+//! loading it reconstructs the engine exactly (bitwise) as it was saved.
+//!
+//! The model (weights) is *not* serialised: it lives with the training
+//! pipeline; the loader takes it as an argument and validates shape
+//! compatibility.
+
+use crate::{InkError, InkStream, UpdateConfig, UserHooks};
+use ink_gnn::{FullState, Model};
+use ink_tensor::Matrix;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"IKC1";
+
+fn write_matrix(m: &Matrix, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(&(m.rows() as u64).to_le_bytes())?;
+    w.write_all(&(m.cols() as u64).to_le_bytes())?;
+    for &x in m.as_slice() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_matrix(r: &mut impl Read) -> io::Result<Matrix> {
+    let rows = read_u64(r)? as usize;
+    let cols = read_u64(r)? as usize;
+    let count = rows
+        .checked_mul(cols)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "matrix shape overflow"))?;
+    let mut data = vec![0.0f32; count];
+    let mut buf = [0u8; 4];
+    for x in data.iter_mut() {
+        r.read_exact(&mut buf)?;
+        *x = f32::from_le_bytes(buf);
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Serialises the engine's graph, features and cached state.
+pub fn save(engine: &InkStream, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    ink_graph::io::write_graph(engine.graph(), w)?;
+    write_matrix(engine.features(), w)?;
+    let state = engine.state();
+    w.write_all(&(state.m.len() as u64).to_le_bytes())?;
+    for l in 0..state.m.len() {
+        write_matrix(&state.m[l], w)?;
+        write_matrix(&state.alpha[l], w)?;
+    }
+    write_matrix(&state.h, w)
+}
+
+/// Reconstructs an engine from a checkpoint written by [`save`]. `model`
+/// must be the same model (weights) the checkpoint was produced with — the
+/// shapes are validated, the values are the caller's contract.
+pub fn load(
+    model: Model,
+    r: &mut impl Read,
+    config: UpdateConfig,
+    hooks: Option<Box<dyn UserHooks>>,
+) -> io::Result<InkStream> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+    }
+    let graph = ink_graph::io::read_graph(r)?;
+    let features = read_matrix(r)?;
+    let layers = read_u64(r)? as usize;
+    let mut m = Vec::with_capacity(layers);
+    let mut alpha = Vec::with_capacity(layers);
+    for _ in 0..layers {
+        m.push(read_matrix(r)?);
+        alpha.push(read_matrix(r)?);
+    }
+    let h = read_matrix(r)?;
+    let state = FullState { m, alpha, h, norm_stats: vec![None; layers] };
+    InkStream::from_parts(model, graph, features, state, config, hooks)
+        .map_err(map_ink_error)
+}
+
+fn map_ink_error(e: InkError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ink_graph::generators::erdos_renyi;
+    use ink_graph::DeltaBatch;
+    use ink_gnn::Aggregator;
+    use ink_tensor::init::{seeded_rng, uniform};
+    use rand::SeedableRng;
+
+    fn make_engine(seed: u64) -> InkStream {
+        let mut rng = seeded_rng(seed);
+        let g = erdos_renyi(&mut rng, 30, 70);
+        let x = uniform(&mut rng, 30, 4, -1.0, 1.0);
+        let model = Model::gcn(&mut rng, &[4, 5, 3], Aggregator::Max);
+        InkStream::new(model, g, x, UpdateConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_state_bitwise() {
+        let mut engine = make_engine(1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        engine.apply_delta(&DeltaBatch::random_scenario(engine.graph(), &mut rng, 8));
+
+        let mut buf = Vec::new();
+        save(&engine, &mut buf).unwrap();
+        let mut mrng = seeded_rng(1);
+        let _ = erdos_renyi(&mut mrng, 30, 70);
+        let _ = uniform(&mut mrng, 30, 4, -1.0, 1.0);
+        let model = Model::gcn(&mut mrng, &[4, 5, 3], Aggregator::Max);
+        let loaded = load(model, &mut buf.as_slice(), UpdateConfig::default(), None).unwrap();
+
+        assert_eq!(loaded.graph(), engine.graph());
+        assert_eq!(loaded.output(), engine.output());
+        assert_eq!(&loaded.state().m[0], &engine.state().m[0]);
+        assert_eq!(&loaded.state().alpha[1], &engine.state().alpha[1]);
+    }
+
+    #[test]
+    fn loaded_engine_keeps_updating_correctly() {
+        let mut engine = make_engine(3);
+        let mut buf = Vec::new();
+        save(&engine, &mut buf).unwrap();
+        let mut mrng = seeded_rng(3);
+        let _ = erdos_renyi(&mut mrng, 30, 70);
+        let _ = uniform(&mut mrng, 30, 4, -1.0, 1.0);
+        let model = Model::gcn(&mut mrng, &[4, 5, 3], Aggregator::Max);
+        let mut loaded = load(model, &mut buf.as_slice(), UpdateConfig::default(), None).unwrap();
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let delta = DeltaBatch::random_scenario(loaded.graph(), &mut rng, 6);
+        loaded.apply_delta(&delta);
+        engine.apply_delta(&delta);
+        assert_eq!(loaded.output(), engine.output());
+        assert_eq!(loaded.output(), &loaded.recompute_reference());
+    }
+
+    #[test]
+    fn wrong_model_shape_is_rejected() {
+        let engine = make_engine(5);
+        let mut buf = Vec::new();
+        save(&engine, &mut buf).unwrap();
+        let mut mrng = seeded_rng(5);
+        let wrong = Model::gcn(&mut mrng, &[4, 7, 3], Aggregator::Max); // hidden 7 ≠ 5
+        let err = match load(wrong, &mut buf.as_slice(), UpdateConfig::default(), None) {
+            Err(e) => e,
+            Ok(_) => panic!("shape mismatch must be rejected"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        let mut mrng = seeded_rng(6);
+        let model = Model::gcn(&mut mrng, &[4, 5, 3], Aggregator::Max);
+        let err = match load(model, &mut &b"nonsense"[..], UpdateConfig::default(), None) {
+            Err(e) => e,
+            Ok(_) => panic!("garbage must be rejected"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

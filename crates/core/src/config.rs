@@ -1,0 +1,76 @@
+//! Engine configuration, including the ablation switches of the paper's
+//! Table VI.
+
+/// Tunables of the incremental engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateConfig {
+    /// Component 1 (paper Table VI): intra-layer incremental update. When
+    /// off, every event target recomputes its aggregated neighborhood from
+    /// the full neighborhood (still touching only the affected area).
+    pub incremental: bool,
+    /// Component 2: inter-layer pruned propagation. When off, resilient
+    /// nodes propagate events anyway (monotonic layers lose their savings
+    /// and behave like accumulative ones, as in the paper's `InkStream-m (1)`
+    /// row).
+    pub pruning: bool,
+    /// Process independent targets of a layer with rayon once a layer has at
+    /// least [`UpdateConfig::parallel_threshold`] of them.
+    pub parallel: bool,
+    /// Minimum per-layer target count before going parallel.
+    pub parallel_threshold: usize,
+}
+
+impl Default for UpdateConfig {
+    fn default() -> Self {
+        Self { incremental: true, pruning: true, parallel: true, parallel_threshold: 512 }
+    }
+}
+
+impl UpdateConfig {
+    /// The full InkStream configuration (components 1 & 2).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Ablation: incremental updates only, no pruned propagation —
+    /// `InkStream-m (1)` in Table VI.
+    pub fn incremental_only() -> Self {
+        Self { pruning: false, ..Self::default() }
+    }
+
+    /// Ablation: neither component — event-driven recomputation of every
+    /// touched node (the engine-internal k-hop-like floor).
+    pub fn recompute_all() -> Self {
+        Self { incremental: false, pruning: false, ..Self::default() }
+    }
+
+    /// Disables rayon (deterministic single-thread profiling runs).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_both_components() {
+        let c = UpdateConfig::default();
+        assert!(c.incremental && c.pruning && c.parallel);
+    }
+
+    #[test]
+    fn ablation_presets() {
+        assert!(UpdateConfig::incremental_only().incremental);
+        assert!(!UpdateConfig::incremental_only().pruning);
+        assert!(!UpdateConfig::recompute_all().incremental);
+        assert!(!UpdateConfig::recompute_all().pruning);
+    }
+
+    #[test]
+    fn sequential_turns_off_rayon() {
+        assert!(!UpdateConfig::full().sequential().parallel);
+    }
+}

@@ -1,0 +1,882 @@
+//! The InkStream engine — the paper's Algorithm 1.
+//!
+//! [`InkStream`] owns the model, the current graph, the features, and the
+//! cached per-layer state (`m`, `α`, output `h`) from the previous
+//! timestamp. Each update round processes layers in order:
+//!
+//! 1. seed events for ΔG (edge changes hit *every* layer's aggregation);
+//! 2. merge effect-propagation events from the previous layer, skipping
+//!    edges already covered by ΔG events (the duplicate-event rule);
+//! 3. group + reduce events per target;
+//! 4. apply: monotonic targets go through the evolvability check
+//!    (no reset / covered reset / exposed reset → recompute), accumulative
+//!    targets always update incrementally;
+//! 5. rebuild next-layer messages for every node whose `α` changed — plus,
+//!    for self-dependent models, every node whose own message changed — and
+//!    emit events for the next layer unless pruned.
+//!
+//! Monotonic updates are bitwise identical to full recomputation; the
+//! integration suite asserts that per aggregation function.
+
+use crate::accumulative::apply_accumulative;
+use crate::config::UpdateConfig;
+use crate::error::InkError;
+use crate::event::{Event, EventOp, PayloadArena};
+use crate::grouping::{group_events, Group};
+use crate::hooks::{UserEvent, UserHooks};
+use crate::monotonic::{apply_monotonic, Condition, MonoOutcome};
+use crate::stats::{LayerStats, UpdateReport};
+use ink_graph::{DeltaBatch, DynGraph, EdgeChange, EdgeOp, FxHashMap, FxHashSet, VertexId};
+use ink_gnn::full::{batch_aggregate, batch_message};
+use ink_gnn::{FullState, Model};
+use ink_tensor::Matrix;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Per-target outcome of the apply phase.
+enum CondKind {
+    Mono(Condition),
+    Acc,
+    Forced,
+}
+
+struct ApplyResult {
+    target: VertexId,
+    alpha_new: Vec<f32>,
+    cond: CondKind,
+    reads: u64,
+    changed: bool,
+}
+
+/// The incremental GNN inference engine.
+pub struct InkStream {
+    model: Model,
+    graph: DynGraph,
+    features: Matrix,
+    state: FullState,
+    config: UpdateConfig,
+    hooks: Option<Box<dyn UserHooks>>,
+    user_cache: Vec<Option<Matrix>>,
+}
+
+impl InkStream {
+    /// Bootstraps the engine with a full-graph inference (the paper's
+    /// initial step) and takes ownership of graph and features.
+    pub fn new(
+        model: Model,
+        graph: DynGraph,
+        features: Matrix,
+        config: UpdateConfig,
+    ) -> Result<Self, InkError> {
+        Self::with_hooks(model, graph, features, config, None)
+    }
+
+    /// Like [`InkStream::new`] with user-defined event hooks (paper §II-D).
+    pub fn with_hooks(
+        model: Model,
+        graph: DynGraph,
+        features: Matrix,
+        config: UpdateConfig,
+        hooks: Option<Box<dyn UserHooks>>,
+    ) -> Result<Self, InkError> {
+        if !model.supports_incremental() {
+            return Err(InkError::ExactGraphNorm);
+        }
+        if features.cols() != model.in_dim() {
+            return Err(InkError::ShapeMismatch {
+                detail: format!(
+                    "feature dim {} != model input dim {}",
+                    features.cols(),
+                    model.in_dim()
+                ),
+            });
+        }
+        if features.rows() != graph.num_vertices() {
+            return Err(InkError::ShapeMismatch {
+                detail: format!(
+                    "{} feature rows for {} vertices",
+                    features.rows(),
+                    graph.num_vertices()
+                ),
+            });
+        }
+        let (state, user_cache) = bootstrap(&model, &graph, &features, hooks.as_deref());
+        Ok(Self { model, graph, features, state, config, hooks, user_cache })
+    }
+
+    /// Reassembles an engine from previously cached state *without* a full
+    /// inference — the checkpoint-resume path (see [`crate::checkpoint`]).
+    /// Shapes are validated; user caches are rebuilt from the cached
+    /// messages. The caller is responsible for the state actually matching
+    /// the graph/features (checkpoints written by [`crate::checkpoint::save`]
+    /// do by construction).
+    pub fn from_parts(
+        model: Model,
+        graph: DynGraph,
+        features: Matrix,
+        state: FullState,
+        config: UpdateConfig,
+        hooks: Option<Box<dyn UserHooks>>,
+    ) -> Result<Self, InkError> {
+        if !model.supports_incremental() {
+            return Err(InkError::ExactGraphNorm);
+        }
+        let n = graph.num_vertices();
+        let k = model.num_layers();
+        if features.shape() != (n, model.in_dim()) {
+            return Err(InkError::ShapeMismatch {
+                detail: format!("features {:?} for n={n}, in_dim={}", features.shape(), model.in_dim()),
+            });
+        }
+        if state.m.len() != k || state.alpha.len() != k {
+            return Err(InkError::ShapeMismatch {
+                detail: format!("state has {} layers, model has {k}", state.m.len()),
+            });
+        }
+        for l in 0..k {
+            let want = (n, model.msg_dim(l));
+            if state.m[l].shape() != want || state.alpha[l].shape() != want {
+                return Err(InkError::ShapeMismatch {
+                    detail: format!(
+                        "layer {l}: m {:?} / alpha {:?}, expected {want:?}",
+                        state.m[l].shape(),
+                        state.alpha[l].shape()
+                    ),
+                });
+            }
+        }
+        if state.h.shape() != (n, model.out_dim()) {
+            return Err(InkError::ShapeMismatch {
+                detail: format!("output {:?}, expected ({n}, {})", state.h.shape(), model.out_dim()),
+            });
+        }
+        let user_cache = (0..k)
+            .map(|l| hooks.as_deref().and_then(|h| h.init_cache(l, &state.m[l])))
+            .collect();
+        Ok(Self { model, graph, features, state, config, hooks, user_cache })
+    }
+
+    /// The current output embeddings.
+    pub fn output(&self) -> &Matrix {
+        &self.state.h
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// The current feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// The cached per-layer state (`m`, `α`, `h`).
+    pub fn state(&self) -> &FullState {
+        &self.state
+    }
+
+    /// The model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Replaces the update configuration (e.g. to switch ablation modes).
+    pub fn set_config(&mut self, config: UpdateConfig) {
+        self.config = config;
+    }
+
+    /// Recomputes the output from scratch (fresh bootstrap) — the reference
+    /// the incremental state must match. Intended for verification.
+    pub fn recompute_reference(&self) -> Matrix {
+        bootstrap(&self.model, &self.graph, &self.features, self.hooks.as_deref()).0.h
+    }
+
+    /// Applies a batch of edge changes and incrementally updates all cached
+    /// state. Changes that are no-ops against the current graph (duplicate
+    /// inserts, missing removals) are skipped and counted in the report.
+    pub fn apply_delta(&mut self, delta: &DeltaBatch) -> UpdateReport {
+        let mut directed: Vec<(VertexId, VertexId, EdgeOp)> = Vec::with_capacity(delta.len() * 2);
+        let mut skipped = 0usize;
+        for c in delta.changes() {
+            if self.graph.apply(*c) {
+                directed.push((c.src, c.dst, c.op));
+                if !self.graph.is_directed() {
+                    directed.push((c.dst, c.src, c.op));
+                }
+            } else {
+                skipped += 1;
+            }
+        }
+        let mut report = self.run_layers(directed, FxHashMap::default(), Vec::new());
+        report.skipped_changes = skipped;
+        report
+    }
+
+    /// Updates one vertex's input feature (paper §II-F) and propagates the
+    /// effect through all layers.
+    pub fn update_vertex_feature(
+        &mut self,
+        v: VertexId,
+        new_feat: &[f32],
+    ) -> Result<UpdateReport, InkError> {
+        if (v as usize) >= self.graph.num_vertices() {
+            return Err(InkError::UnknownVertex(v));
+        }
+        if new_feat.len() != self.model.in_dim() {
+            return Err(InkError::ShapeMismatch {
+                detail: format!("feature len {} != {}", new_feat.len(), self.model.in_dim()),
+            });
+        }
+        self.features.set_row(v as usize, new_feat);
+        let conv0 = &self.model.layer(0).conv;
+        let mut new_m = conv0.message(new_feat);
+        if conv0.degree_scaled() {
+            ink_tensor::ops::scale(&mut new_m, conv0.degree_scale(self.graph.in_degree(v)));
+        }
+        let old = self.state.m[0].row(v as usize).to_vec();
+        let mut seeds = FxHashMap::default();
+        let mut user0 = Vec::new();
+        if new_m != old {
+            self.state.m[0].set_row(v as usize, &new_m);
+            if let Some(hooks) = self.hooks.as_deref() {
+                user0 = hooks.user_propagate(0, v, &old, &new_m);
+            }
+            seeds.insert(v, old);
+        }
+        Ok(self.run_layers(Vec::new(), seeds, user0))
+    }
+
+    /// Inserts a new vertex with `feat` and undirected/outgoing edges to
+    /// `neighbors`, extending all cached state (paper §II-F).
+    pub fn add_vertex(
+        &mut self,
+        feat: &[f32],
+        neighbors: &[VertexId],
+    ) -> Result<(VertexId, UpdateReport), InkError> {
+        if feat.len() != self.model.in_dim() {
+            return Err(InkError::ShapeMismatch {
+                detail: format!("feature len {} != {}", feat.len(), self.model.in_dim()),
+            });
+        }
+        for &n in neighbors {
+            if (n as usize) >= self.graph.num_vertices() {
+                return Err(InkError::UnknownVertex(n));
+            }
+        }
+        let v = self.graph.add_vertex();
+        self.features.push_row(feat);
+        // Build the new vertex's self-consistent isolated chain: empty
+        // neighborhood → α = 0 at every layer.
+        let k = self.model.num_layers();
+        let conv0 = &self.model.layer(0).conv;
+        let mut msg = conv0.message(feat);
+        if conv0.degree_scaled() {
+            ink_tensor::ops::scale(&mut msg, conv0.degree_scale(0));
+        }
+        for l in 0..k {
+            let dim = self.model.msg_dim(l);
+            self.state.m[l].push_row(&msg);
+            self.state.alpha[l].push_row(&vec![0.0; dim]);
+            if let Some(cache) = self.user_cache[l].as_mut() {
+                let single = Matrix::from_vec(1, dim, msg.clone());
+                let row = self
+                    .hooks
+                    .as_deref()
+                    .and_then(|h| h.init_cache(l, &single))
+                    .expect("hooked layer must produce a cache row");
+                cache.push_row(row.row(0));
+            }
+            let h_next = compute_next_hidden(
+                &self.model,
+                &self.state,
+                self.hooks.as_deref(),
+                &self.user_cache,
+                l,
+                v,
+                0,
+            );
+            if l + 1 < k {
+                let next_conv = &self.model.layer(l + 1).conv;
+                msg = next_conv.message(&h_next);
+                if next_conv.degree_scaled() {
+                    ink_tensor::ops::scale(&mut msg, next_conv.degree_scale(0));
+                }
+            } else {
+                self.state.h.push_row(&h_next);
+            }
+        }
+        let changes: Vec<EdgeChange> =
+            neighbors.iter().map(|&n| EdgeChange::insert(v, n)).collect();
+        let report = self.apply_delta(&DeltaBatch::new(changes));
+        Ok((v, report))
+    }
+
+    /// Removes all edges incident to `v` (the id slot stays, isolated, so
+    /// embedding tables keep their indices) and updates the affected area.
+    pub fn remove_vertex(&mut self, v: VertexId) -> Result<UpdateReport, InkError> {
+        if (v as usize) >= self.graph.num_vertices() {
+            return Err(InkError::UnknownVertex(v));
+        }
+        let mut changes: Vec<EdgeChange> =
+            self.graph.out_neighbors(v).iter().map(|&n| EdgeChange::remove(v, n)).collect();
+        if self.graph.is_directed() {
+            changes.extend(self.graph.in_neighbors(v).iter().map(|&n| EdgeChange::remove(n, v)));
+        }
+        Ok(self.apply_delta(&DeltaBatch::new(changes)))
+    }
+
+    /// The engine's main loop over layers (Algorithm 1).
+    fn run_layers(
+        &mut self,
+        directed: Vec<(VertexId, VertexId, EdgeOp)>,
+        seeds0: FxHashMap<VertexId, Vec<f32>>,
+        user0: Vec<UserEvent>,
+    ) -> UpdateReport {
+        let t0 = Instant::now();
+        let k = self.model.num_layers();
+        let mut report = UpdateReport::default();
+        let mut real_affected: FxHashSet<VertexId> = FxHashSet::default();
+
+        // Old values of messages that changed this round, per layer.
+        let mut old_msgs: Vec<FxHashMap<VertexId, Vec<f32>>> =
+            (0..k).map(|_| FxHashMap::default()).collect();
+        old_msgs[0] = seeds0;
+        for u in old_msgs[0].keys() {
+            real_affected.insert(*u);
+        }
+        let mut pending_user: Vec<Vec<UserEvent>> = (0..k).map(|_| Vec::new()).collect();
+        pending_user[0] = user0;
+
+        // Edges covered by ΔG events, to skip duplicate effect propagation.
+        let mut inserted_out: FxHashMap<VertexId, FxHashSet<VertexId>> = FxHashMap::default();
+        for &(s, t, op) in &directed {
+            if op == EdgeOp::Insert {
+                inserted_out.entry(s).or_default().insert(t);
+            }
+        }
+
+        // Net in-degree change per vertex — degree-scaled layers must rescale
+        // the cached messages of these vertices (topology-only weights).
+        let mut degree_net: FxHashMap<VertexId, i64> = FxHashMap::default();
+        for &(_, t, op) in &directed {
+            *degree_net.entry(t).or_insert(0) +=
+                if op == EdgeOp::Insert { 1 } else { -1 };
+        }
+
+        let mut f32_read: u64 = 0;
+        let mut f32_written: u64 = 0;
+
+        for l in 0..k {
+            let agg = self.model.layer(l).conv.aggregator();
+            let mono = agg.is_monotonic();
+            let dim = self.model.msg_dim(l);
+            let mut arena = PayloadArena::new(dim);
+            let mut events: Vec<Event> = Vec::new();
+
+            // 0) Degree-scaled layers (LightGCN-style): a vertex whose degree
+            // changed has a changed message at this layer even if nothing
+            // else touched it. Rescale the cached message by the weight
+            // ratio, or rebuild it from upstream state when the old degree
+            // was 0 (the cached message is then the zero convention, not a
+            // scaled value). Vertices already refreshed by upstream
+            // propagation are skipped — their new message already carries
+            // the new weight.
+            if self.model.layer(l).conv.degree_scaled() {
+                for (&v, &net) in &degree_net {
+                    if net == 0 || old_msgs[l].contains_key(&v) {
+                        continue;
+                    }
+                    let d_new = self.graph.in_degree(v);
+                    let d_old = (d_new as i64 - net).max(0) as usize;
+                    let conv = &self.model.layer(l).conv;
+                    let old = self.state.m[l].row(v as usize).to_vec();
+                    let new = if d_old == 0 {
+                        let base_h = if l == 0 {
+                            self.features.row(v as usize).to_vec()
+                        } else {
+                            compute_next_hidden(
+                                &self.model,
+                                &self.state,
+                                self.hooks.as_deref(),
+                                &self.user_cache,
+                                l - 1,
+                                v,
+                                d_new,
+                            )
+                        };
+                        let mut msg = conv.message(&base_h);
+                        ink_tensor::ops::scale(&mut msg, conv.degree_scale(d_new));
+                        msg
+                    } else {
+                        let ratio = conv.degree_scale(d_new) / conv.degree_scale(d_old);
+                        let mut msg = old.clone();
+                        ink_tensor::ops::scale(&mut msg, ratio);
+                        msg
+                    };
+                    if new != old {
+                        self.state.m[l].set_row(v as usize, &new);
+                        if let Some(hooks) = self.hooks.as_deref() {
+                            pending_user[l].extend(hooks.user_propagate(l, v, &old, &new));
+                        }
+                        old_msgs[l].insert(v, old);
+                    }
+                }
+            }
+
+            // 1) ΔG events for this layer.
+            for &(s, t, op) in &directed {
+                match op {
+                    EdgeOp::Remove => {
+                        let old: &[f32] = old_msgs[l]
+                            .get(&s)
+                            .map(Vec::as_slice)
+                            .unwrap_or_else(|| self.state.m[l].row(s as usize));
+                        let (ev_op, payload) = if mono {
+                            (EventOp::Del, arena.push(old))
+                        } else {
+                            (EventOp::Update, arena.push_negated(old))
+                        };
+                        events.push(Event { op: ev_op, target: t, payload, degree_delta: -1 });
+                    }
+                    EdgeOp::Insert => {
+                        let cur = self.state.m[l].row(s as usize);
+                        let ev_op = if mono { EventOp::Add } else { EventOp::Update };
+                        let payload = arena.push(cur);
+                        events.push(Event { op: ev_op, target: t, payload, degree_delta: 1 });
+                    }
+                }
+            }
+
+            // 2) Effect propagation from messages changed at this layer.
+            for (v, old) in &old_msgs[l] {
+                let new = self.state.m[l].row(*v as usize);
+                let skip = inserted_out.get(v);
+                if mono {
+                    let del_id = arena.push(old);
+                    let add_id = arena.push(new);
+                    for &x in self.graph.out_neighbors(*v) {
+                        if skip.is_some_and(|s| s.contains(&x)) {
+                            continue;
+                        }
+                        events.push(Event { op: EventOp::Del, target: x, payload: del_id, degree_delta: 0 });
+                        events.push(Event { op: EventOp::Add, target: x, payload: add_id, degree_delta: 0 });
+                    }
+                } else {
+                    let diff_id = arena.push_diff(new, old);
+                    for &x in self.graph.out_neighbors(*v) {
+                        if skip.is_some_and(|s| s.contains(&x)) {
+                            continue;
+                        }
+                        events.push(Event { op: EventOp::Update, target: x, payload: diff_id, degree_delta: 0 });
+                    }
+                }
+            }
+
+            // 3) Group and reduce.
+            let grouped = group_events(&events, &arena, agg);
+            f32_read += grouped.payload_values_read as u64;
+            f32_written += (arena.len() * dim) as u64;
+            let mut layer_stats = LayerStats {
+                events_created: events.len(),
+                targets: grouped.groups.len(),
+                ..LayerStats::default()
+            };
+
+            // 4) Apply per target (parallel when the layer is wide enough).
+            let targets: Vec<(VertexId, Group)> = grouped.groups.into_iter().collect();
+            let this = &*self;
+            let cfg = self.config;
+            let process = |(u, group): &(VertexId, Group)| -> ApplyResult {
+                let uu = *u as usize;
+                let alpha_old = this.state.alpha[l].row(uu);
+                let mut reads = dim as u64;
+                let recompute = |reads: &mut u64| -> Vec<f32> {
+                    let mut out = vec![0.0; dim];
+                    agg.aggregate_into(
+                        this.graph.in_neighbors(*u).iter().map(|&v| this.state.m[l].row(v as usize)),
+                        &mut out,
+                    );
+                    *reads += (this.graph.in_degree(*u) * dim) as u64;
+                    out
+                };
+                let (alpha_new, cond) = if !cfg.incremental {
+                    (recompute(&mut reads), CondKind::Forced)
+                } else {
+                    match group {
+                        Group::Mono { del, add, degree_delta } => {
+                            // A target whose *old* neighborhood was empty has
+                            // α⁻ = 0 by convention, not as a real aggregate:
+                            // the incremental rules don't apply there.
+                            let old_deg =
+                                this.graph.in_degree(*u) as i64 - *degree_delta as i64;
+                            if old_deg <= 0 {
+                                (recompute(&mut reads), CondKind::Mono(Condition::ExposedReset))
+                            } else {
+                                match apply_monotonic(
+                                    agg,
+                                    alpha_old,
+                                    del.as_deref(),
+                                    add.as_deref(),
+                                ) {
+                                    MonoOutcome::Updated { condition, alpha } => {
+                                        (alpha, CondKind::Mono(condition))
+                                    }
+                                    MonoOutcome::Recompute => (
+                                        recompute(&mut reads),
+                                        CondKind::Mono(Condition::ExposedReset),
+                                    ),
+                                }
+                            }
+                        }
+                        Group::Acc { sum, degree_delta } => (
+                            apply_accumulative(
+                                agg,
+                                alpha_old,
+                                sum,
+                                this.graph.in_degree(*u),
+                                *degree_delta,
+                            ),
+                            CondKind::Acc,
+                        ),
+                    }
+                };
+                let changed = alpha_new.as_slice() != alpha_old;
+                ApplyResult { target: *u, alpha_new, cond, reads, changed }
+            };
+            let use_par = cfg.parallel && targets.len() >= cfg.parallel_threshold;
+            let results: Vec<ApplyResult> = if use_par {
+                targets.par_iter().map(process).collect()
+            } else {
+                targets.iter().map(process).collect()
+            };
+
+            // Write phase + stats.
+            let mut next_targets: Vec<VertexId> = Vec::new();
+            for r in results {
+                f32_read += r.reads;
+                match r.cond {
+                    CondKind::Mono(c) => {
+                        layer_stats.conditions.record(c);
+                        report
+                            .per_node_condition
+                            .entry(r.target)
+                            .and_modify(|worst| {
+                                if c.severity() > worst.severity() {
+                                    *worst = c;
+                                }
+                            })
+                            .or_insert(c);
+                    }
+                    CondKind::Acc => layer_stats.conditions.accumulative += 1,
+                    CondKind::Forced => {
+                        layer_stats.conditions.forced_recompute += 1;
+                        report.per_node_condition.insert(r.target, Condition::ExposedReset);
+                    }
+                }
+                // Accumulative targets always propagate (Algorithm 1 l.18-21).
+                let propagates = match r.cond {
+                    CondKind::Acc => true,
+                    _ => r.changed,
+                };
+                if r.changed {
+                    self.state.alpha[l].set_row(r.target as usize, &r.alpha_new);
+                    f32_written += dim as u64;
+                    layer_stats.alpha_changed += 1;
+                    real_affected.insert(r.target);
+                }
+                if propagates || !cfg.pruning {
+                    next_targets.push(r.target);
+                }
+            }
+
+            // 5) User events targeting this layer's update phase.
+            let user_events = std::mem::take(&mut pending_user[l]);
+            if !user_events.is_empty() {
+                let hooks = self.hooks.as_deref().expect("user events require hooks");
+                let cache =
+                    self.user_cache[l].as_mut().expect("user events require a hooked layer");
+                let mut by_target: FxHashMap<VertexId, Vec<UserEvent>> = FxHashMap::default();
+                for e in user_events {
+                    by_target.entry(e.target).or_default().push(e);
+                }
+                for (target, evs) in by_target {
+                    let reduced = hooks.user_grouping(l, evs);
+                    hooks.user_apply(l, target, cache.row_mut(target as usize), &reduced);
+                    real_affected.insert(target);
+                    next_targets.push(target);
+                }
+            }
+
+            // 6) Self-dependence: nodes whose own message changed re-enter.
+            if self.model.layer(l).conv.self_dependent() {
+                next_targets.extend(old_msgs[l].keys().copied());
+            }
+            next_targets.sort_unstable();
+            next_targets.dedup();
+            layer_stats.targets = layer_stats.targets.max(next_targets.len());
+            report.nodes_visited += next_targets.len() as u64;
+
+            // 7) Rebuild next-layer messages / final outputs.
+            let is_last = l + 1 == k;
+            let out_dim = self.model.layer(l).conv.out_dim();
+            let this = &*self;
+            let produce = |u: &VertexId| -> (VertexId, Vec<f32>) {
+                let h_new = compute_next_hidden(
+                    &this.model,
+                    &this.state,
+                    this.hooks.as_deref(),
+                    &this.user_cache,
+                    l,
+                    *u,
+                    this.graph.in_degree(*u),
+                );
+                if is_last {
+                    (*u, h_new)
+                } else {
+                    let next_conv = &this.model.layer(l + 1).conv;
+                    let mut msg = next_conv.message(&h_new);
+                    if next_conv.degree_scaled() {
+                        let scale = next_conv.degree_scale(this.graph.in_degree(*u));
+                        ink_tensor::ops::scale(&mut msg, scale);
+                    }
+                    (*u, msg)
+                }
+            };
+            let use_par = cfg.parallel && next_targets.len() >= cfg.parallel_threshold;
+            let produced: Vec<(VertexId, Vec<f32>)> = if use_par {
+                next_targets.par_iter().map(produce).collect()
+            } else {
+                next_targets.iter().map(produce).collect()
+            };
+            f32_read += (next_targets.len() * 2 * dim) as u64;
+            f32_written += (next_targets.len() * out_dim) as u64;
+
+            for (u, vec_new) in produced {
+                if is_last {
+                    if vec_new.as_slice() != self.state.h.row(u as usize) {
+                        self.state.h.set_row(u as usize, &vec_new);
+                        report.output_changed += 1;
+                    }
+                } else {
+                    let old = self.state.m[l + 1].row(u as usize);
+                    let changed = vec_new.as_slice() != old;
+                    if changed || !cfg.pruning {
+                        let old_vec = old.to_vec();
+                        if changed {
+                            if let Some(hooks) = self.hooks.as_deref() {
+                                pending_user[l + 1].extend(hooks.user_propagate(
+                                    l + 1,
+                                    u,
+                                    &old_vec,
+                                    &vec_new,
+                                ));
+                            }
+                            self.state.m[l + 1].set_row(u as usize, &vec_new);
+                        }
+                        old_msgs[l + 1].insert(u, old_vec);
+                    }
+                }
+            }
+
+            report.per_layer.push(layer_stats);
+        }
+
+        report.real_affected = real_affected.len() as u64;
+        report.f32_read = f32_read;
+        report.f32_written = f32_written;
+        report.elapsed = t0.elapsed();
+        report
+    }
+}
+
+/// `h_{l+1,u} = act(norm(T(α_{l,u}, m_{l,u}) + user_contribution))` for one
+/// node, from the *current* cached state. `degree` feeds the target-side
+/// weight of degree-scaled layers.
+fn compute_next_hidden(
+    model: &Model,
+    state: &FullState,
+    hooks: Option<&dyn UserHooks>,
+    user_cache: &[Option<Matrix>],
+    l: usize,
+    u: VertexId,
+    degree: usize,
+) -> Vec<f32> {
+    let layer = model.layer(l);
+    let mut out = vec![0.0; layer.conv.out_dim()];
+    if layer.conv.degree_scaled() {
+        let mut a = state.alpha[l].row(u as usize).to_vec();
+        ink_tensor::ops::scale(&mut a, layer.conv.update_scale(degree));
+        layer.conv.update_into(&a, state.m[l].row(u as usize), &mut out);
+    } else {
+        layer.conv.update_into(
+            state.alpha[l].row(u as usize),
+            state.m[l].row(u as usize),
+            &mut out,
+        );
+    }
+    if let (Some(hk), Some(cache)) = (hooks, user_cache.get(l).and_then(Option::as_ref)) {
+        hk.contribute(l, u, &mut out, cache.row(u as usize));
+    }
+    if let Some(norm) = &layer.norm {
+        norm.apply_cached(&mut out);
+    }
+    layer.act.apply(&mut out);
+    out
+}
+
+/// Full-graph bootstrap that also initialises the user caches (and therefore
+/// supports hook-based models, which `ink_gnn::full_inference` knows nothing
+/// about).
+fn bootstrap(
+    model: &Model,
+    graph: &DynGraph,
+    features: &Matrix,
+    hooks: Option<&dyn UserHooks>,
+) -> (FullState, Vec<Option<Matrix>>) {
+    let n = graph.num_vertices();
+    let k = model.num_layers();
+    let mut m_all = Vec::with_capacity(k);
+    let mut alpha_all = Vec::with_capacity(k);
+    let mut user_cache = Vec::with_capacity(k);
+    let mut h = features.clone();
+
+    for l in 0..k {
+        let layer = model.layer(l);
+        let m = batch_message(model, l, &h, graph);
+        let cache = hooks.and_then(|hk| hk.init_cache(l, &m));
+        let alpha = batch_aggregate(model, l, graph, &m);
+        let out_dim = layer.conv.out_dim();
+        let degree_scaled = layer.conv.degree_scaled();
+        let mut h_next = Matrix::zeros(n, out_dim);
+        h_next
+            .as_mut_slice()
+            .par_chunks_mut(out_dim.max(1))
+            .enumerate()
+            .for_each(|(u, out)| {
+                if degree_scaled {
+                    let mut a = alpha.row(u).to_vec();
+                    let scale = layer.conv.update_scale(graph.in_degree(u as VertexId));
+                    ink_tensor::ops::scale(&mut a, scale);
+                    layer.conv.update_into(&a, m.row(u), out);
+                } else {
+                    layer.conv.update_into(alpha.row(u), m.row(u), out);
+                }
+                if let (Some(hk), Some(c)) = (hooks, cache.as_ref()) {
+                    hk.contribute(l, u as VertexId, out, c.row(u));
+                }
+                if let Some(norm) = &layer.norm {
+                    norm.apply_cached(out);
+                }
+                layer.act.apply(out);
+            });
+        m_all.push(m);
+        alpha_all.push(alpha);
+        user_cache.push(cache);
+        h = h_next;
+    }
+
+    (FullState { m: m_all, alpha: alpha_all, h, norm_stats: vec![None; k] }, user_cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ink_gnn::{full_inference, Aggregator};
+    use ink_tensor::init::seeded_rng;
+
+    fn ring(n: usize) -> DynGraph {
+        let edges: Vec<_> =
+            (0..n).map(|i| (i as VertexId, ((i + 1) % n) as VertexId)).collect();
+        DynGraph::undirected_from_edges(n, &edges)
+    }
+
+    fn feats(n: usize, d: usize) -> Matrix {
+        Matrix::from_fn(n, d, |r, c| ((r * 17 + c * 5) % 11) as f32 * 0.25 - 1.0)
+    }
+
+    #[test]
+    fn bootstrap_matches_reference_inference() {
+        let mut rng = seeded_rng(1);
+        let model = Model::gcn(&mut rng, &[4, 5, 3], Aggregator::Max);
+        let g = ring(10);
+        let x = feats(10, 4);
+        let reference = full_inference(&model, &g, &x, None);
+        let engine = InkStream::new(model, g, x, UpdateConfig::default()).unwrap();
+        assert_eq!(engine.output(), &reference.h);
+        assert_eq!(engine.state().alpha[0], reference.alpha[0]);
+        assert_eq!(engine.state().m[1], reference.m[1]);
+    }
+
+    #[test]
+    fn single_insert_matches_full_recompute_bitwise_for_max() {
+        let mut rng = seeded_rng(2);
+        let model = Model::gcn(&mut rng, &[4, 5, 3], Aggregator::Max);
+        let g = ring(12);
+        let x = feats(12, 4);
+        let mut engine = InkStream::new(model, g, x, UpdateConfig::default()).unwrap();
+        let delta = DeltaBatch::new(vec![EdgeChange::insert(0, 6)]);
+        let report = engine.apply_delta(&delta);
+        assert_eq!(report.skipped_changes, 0);
+        let reference = engine.recompute_reference();
+        assert_eq!(engine.output(), &reference, "monotonic path must be bitwise identical");
+    }
+
+    #[test]
+    fn single_remove_matches_full_recompute_bitwise_for_max() {
+        let mut rng = seeded_rng(3);
+        let model = Model::gcn(&mut rng, &[4, 5, 3], Aggregator::Max);
+        let g = ring(12);
+        let x = feats(12, 4);
+        let mut engine = InkStream::new(model, g, x, UpdateConfig::default()).unwrap();
+        engine.apply_delta(&DeltaBatch::new(vec![EdgeChange::remove(3, 4)]));
+        assert_eq!(engine.output(), &engine.recompute_reference());
+    }
+
+    #[test]
+    fn accumulative_updates_track_reference_within_tolerance() {
+        for agg in [Aggregator::Sum, Aggregator::Mean] {
+            let mut rng = seeded_rng(4);
+            let model = Model::gcn(&mut rng, &[4, 5, 3], agg);
+            let g = ring(12);
+            let x = feats(12, 4);
+            let mut engine = InkStream::new(model, g, x, UpdateConfig::default()).unwrap();
+            engine.apply_delta(&DeltaBatch::new(vec![
+                EdgeChange::insert(0, 6),
+                EdgeChange::remove(2, 3),
+            ]));
+            let reference = engine.recompute_reference();
+            assert!(
+                engine.output().allclose(&reference, 1e-4),
+                "{agg:?}: max diff {}",
+                engine.output().max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_is_skipped() {
+        let mut rng = seeded_rng(5);
+        let model = Model::gcn(&mut rng, &[4, 4], Aggregator::Max);
+        let g = ring(8);
+        let x = feats(8, 4);
+        let mut engine = InkStream::new(model, g, x, UpdateConfig::default()).unwrap();
+        let report = engine.apply_delta(&DeltaBatch::new(vec![EdgeChange::insert(0, 1)]));
+        assert_eq!(report.skipped_changes, 1, "edge 0-1 already exists in the ring");
+        assert_eq!(engine.output(), &engine.recompute_reference());
+    }
+
+    #[test]
+    fn report_counts_events_and_conditions() {
+        let mut rng = seeded_rng(6);
+        let model = Model::gcn(&mut rng, &[4, 5, 3], Aggregator::Max);
+        let g = ring(16);
+        let x = feats(16, 4);
+        let mut engine = InkStream::new(model, g, x, UpdateConfig::default()).unwrap();
+        let report = engine.apply_delta(&DeltaBatch::new(vec![EdgeChange::insert(0, 8)]));
+        assert!(report.events_created() > 0);
+        assert!(report.conditions().total() > 0);
+        assert!(report.traffic() > 0);
+        assert_eq!(report.per_layer.len(), 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! Engine error type.
+
+/// Reasons the incremental engine can reject a configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InkError {
+    /// The model contains an exact GraphNorm layer — its whole-vertex-set
+    /// statistics contradict incremental updates. Capture statistics with a
+    /// full inference and freeze them (paper §II-E).
+    ExactGraphNorm,
+    /// The feature matrix does not match the model input or the graph size.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A vertex id outside the graph was referenced.
+    UnknownVertex(ink_graph::VertexId),
+}
+
+impl std::fmt::Display for InkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InkError::ExactGraphNorm => write!(
+                f,
+                "model uses exact GraphNorm; freeze cached statistics before incremental updates"
+            ),
+            InkError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            InkError::UnknownVertex(v) => write!(f, "unknown vertex {v}"),
+        }
+    }
+}
+
+impl std::error::Error for InkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(InkError::ExactGraphNorm.to_string().contains("GraphNorm"));
+        assert!(InkError::ShapeMismatch { detail: "x".into() }.to_string().contains("x"));
+        assert!(InkError::UnknownVertex(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,201 @@
+//! User-defined event functions (paper §II-D).
+//!
+//! InkStream's native events cover the neighborhood-aggregation term of a
+//! layer. Model structure beyond it — GraphSAGE's `W₂·h_u`, GIN's
+//! `(1+ε)·h_u` — is expressed with *user events* through three interfaces,
+//! mirroring the paper's `user_propagate` / `user_grouping` / `user_apply`:
+//!
+//! * the engine keeps one cached contribution tensor per hooked layer
+//!   (initialised by [`UserHooks::init_cache`] during bootstrap);
+//! * when a node's layer-`l` message changes, [`UserHooks::user_propagate`]
+//!   emits events carrying the *change* of that node's extra contribution;
+//! * events heading to the same node are reduced by
+//!   [`UserHooks::user_grouping`] and folded into the cache by
+//!   [`UserHooks::user_apply`];
+//! * [`UserHooks::contribute`] injects the cached contribution into the
+//!   node's pre-activation update.
+//!
+//! [`LinearSelfTerm`] is the ≲10-lines-of-configuration implementation the
+//! paper's Fig. 6 sketches for GraphSAGE; the integration test
+//! `hooked_sage_matches_builtin` proves it bitwise-equivalent to the native
+//! self-dependent path.
+
+use ink_graph::VertexId;
+use ink_tensor::{Linear, Matrix};
+
+/// A user-defined event: target node and an opaque payload interpreted by the
+/// hooks that created it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UserEvent {
+    /// The node whose cached contribution this event updates.
+    pub target: VertexId,
+    /// User-defined discriminator (multiple custom event kinds can coexist).
+    pub tag: u16,
+    /// The event payload.
+    pub payload: Vec<f32>,
+}
+
+/// User extension points for model structure outside the native
+/// neighborhood-aggregation events.
+pub trait UserHooks: Send + Sync {
+    /// Called once per layer at bootstrap: returns the initial cached
+    /// contribution tensor for layer `l` (one row per vertex, `out_dim(l)`
+    /// columns), or `None` when layer `l` has no custom term.
+    fn init_cache(&self, layer: usize, messages: &Matrix) -> Option<Matrix>;
+
+    /// Called when node `u`'s layer-`layer` message changes; returns the
+    /// user events to deliver when that layer is processed.
+    fn user_propagate(
+        &self,
+        layer: usize,
+        node: VertexId,
+        old_msg: &[f32],
+        new_msg: &[f32],
+    ) -> Vec<UserEvent>;
+
+    /// Reduces the events heading to one node (default: keep all).
+    fn user_grouping(&self, _layer: usize, events: Vec<UserEvent>) -> Vec<UserEvent> {
+        events
+    }
+
+    /// Applies the grouped events to the node's cached contribution row.
+    fn user_apply(&self, layer: usize, node: VertexId, cache_row: &mut [f32], events: &[UserEvent]);
+
+    /// Injects the cached contribution into the pre-activation update output
+    /// (default: element-wise add).
+    fn contribute(&self, _layer: usize, _node: VertexId, out: &mut [f32], cache_row: &[f32]) {
+        ink_tensor::ops::add_assign(out, cache_row);
+    }
+}
+
+/// The paper's GraphSAGE configuration: a per-layer linear self-term
+/// `W·m_{l,u}` maintained incrementally through user events that carry
+/// `W·Δm`.
+pub struct LinearSelfTerm {
+    /// `weights[l]` is `Some(W)` for every layer with a self term.
+    pub weights: Vec<Option<Linear>>,
+}
+
+impl LinearSelfTerm {
+    /// Hooks from one optional linear self-term per layer.
+    pub fn new(weights: Vec<Option<Linear>>) -> Self {
+        Self { weights }
+    }
+}
+
+impl UserHooks for LinearSelfTerm {
+    fn init_cache(&self, layer: usize, messages: &Matrix) -> Option<Matrix> {
+        let w = self.weights.get(layer)?.as_ref()?;
+        let mut cache = Matrix::zeros(messages.rows(), w.out_dim());
+        for u in 0..messages.rows() {
+            let mut row = vec![0.0; w.out_dim()];
+            w.weight().vecmul(messages.row(u), &mut row);
+            cache.set_row(u, &row);
+        }
+        Some(cache)
+    }
+
+    fn user_propagate(
+        &self,
+        layer: usize,
+        node: VertexId,
+        old_msg: &[f32],
+        new_msg: &[f32],
+    ) -> Vec<UserEvent> {
+        let Some(Some(w)) = self.weights.get(layer) else {
+            return Vec::new();
+        };
+        // Carry W·(new − old): exact because the transform is linear.
+        let mut old_t = vec![0.0; w.out_dim()];
+        let mut new_t = vec![0.0; w.out_dim()];
+        w.weight().vecmul(old_msg, &mut old_t);
+        w.weight().vecmul(new_msg, &mut new_t);
+        ink_tensor::ops::sub_assign(&mut new_t, &old_t);
+        vec![UserEvent { target: node, tag: 0, payload: new_t }]
+    }
+
+    fn user_grouping(&self, _layer: usize, mut events: Vec<UserEvent>) -> Vec<UserEvent> {
+        // Sum all deltas into one event.
+        if events.len() <= 1 {
+            return events;
+        }
+        let mut first = events.swap_remove(0);
+        for e in &events {
+            ink_tensor::ops::add_assign(&mut first.payload, &e.payload);
+        }
+        vec![first]
+    }
+
+    fn user_apply(
+        &self,
+        _layer: usize,
+        _node: VertexId,
+        cache_row: &mut [f32],
+        events: &[UserEvent],
+    ) {
+        for e in events {
+            ink_tensor::ops::add_assign(cache_row, &e.payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hooks_with_identity(dim: usize) -> LinearSelfTerm {
+        LinearSelfTerm::new(vec![Some(Linear::identity(dim)), None])
+    }
+
+    #[test]
+    fn init_cache_transforms_every_row() {
+        let hooks = hooks_with_identity(2);
+        let m = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let cache = hooks.init_cache(0, &m).unwrap();
+        assert_eq!(cache, m, "identity self-term caches the messages themselves");
+        assert!(hooks.init_cache(1, &m).is_none(), "layer without self term");
+    }
+
+    #[test]
+    fn propagate_carries_the_delta() {
+        let hooks = hooks_with_identity(2);
+        let evs = hooks.user_propagate(0, 7, &[1.0, 1.0], &[4.0, -1.0]);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].target, 7);
+        assert_eq!(evs[0].payload, vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn propagate_outside_hooked_layers_is_empty() {
+        let hooks = hooks_with_identity(2);
+        assert!(hooks.user_propagate(1, 0, &[1.0], &[2.0]).is_empty());
+        assert!(hooks.user_propagate(9, 0, &[1.0], &[2.0]).is_empty());
+    }
+
+    #[test]
+    fn grouping_sums_deltas() {
+        let hooks = hooks_with_identity(2);
+        let evs = vec![
+            UserEvent { target: 3, tag: 0, payload: vec![1.0, 2.0] },
+            UserEvent { target: 3, tag: 0, payload: vec![0.5, -1.0] },
+        ];
+        let reduced = hooks.user_grouping(0, evs);
+        assert_eq!(reduced.len(), 1);
+        assert_eq!(reduced[0].payload, vec![1.5, 1.0]);
+    }
+
+    #[test]
+    fn apply_then_contribute_roundtrip() {
+        let hooks = hooks_with_identity(2);
+        let mut cache_row = vec![10.0, 20.0];
+        hooks.user_apply(0, 3, &mut cache_row, &[UserEvent {
+            target: 3,
+            tag: 0,
+            payload: vec![1.0, -1.0],
+        }]);
+        assert_eq!(cache_row, vec![11.0, 19.0]);
+        let mut out = vec![100.0, 100.0];
+        hooks.contribute(0, 3, &mut out, &cache_row);
+        assert_eq!(out, vec![111.0, 119.0]);
+    }
+}

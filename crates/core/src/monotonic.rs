@@ -1,0 +1,240 @@
+//! Intra-layer incremental update for monotonic aggregation (paper §II-C1).
+//!
+//! Given a target's old aggregated neighborhood `α⁻` and its reduced event
+//! group, the effect falls into one of three conditions:
+//!
+//! * **No reset** — no channel of `α⁻` equals the reduced deletion, so the
+//!   deletions were never the per-channel extreme: `α = A(α⁻, m_A)`. If
+//!   nothing changes the node is *resilient* and propagation is pruned.
+//! * **Covered reset** — some channels must reset, but the reduced addition
+//!   dominates the deleted value there; by transitivity it dominates every
+//!   hidden neighbor too, so `α = A(α⁻, m_A)` is still exact.
+//! * **Exposed reset** — a reset channel is not covered: the extreme was
+//!   deleted and nothing at hand bounds the remaining neighbors. Recompute
+//!   from the full neighborhood.
+//!
+//! All comparisons are bit-exact `f32` equality — that is what makes the
+//! incremental result *bitwise identical* to recomputation.
+
+use ink_gnn::Aggregator;
+
+/// Which of the paper's conditions a target fell into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Condition {
+    /// No reset and the addition changed nothing — propagation pruned.
+    Resilient,
+    /// No reset; the addition updated some channels.
+    NoReset,
+    /// Reset channels fully covered by the addition.
+    CoveredReset,
+    /// Reset channels not covered — full recomputation required.
+    ExposedReset,
+}
+
+impl Condition {
+    /// Cost rank (higher = more expensive): used to keep a node's *worst*
+    /// condition when it is processed in several layers (paper Fig. 8).
+    pub fn severity(self) -> u8 {
+        match self {
+            Condition::Resilient => 0,
+            Condition::NoReset => 1,
+            Condition::CoveredReset => 2,
+            Condition::ExposedReset => 3,
+        }
+    }
+}
+
+/// Outcome of the evolvability check.
+pub enum MonoOutcome {
+    /// Incremental update applied; `alpha` is the new aggregated
+    /// neighborhood (possibly equal to the old one when resilient).
+    Updated {
+        /// The condition that allowed the update.
+        condition: Condition,
+        /// The new aggregated neighborhood.
+        alpha: Vec<f32>,
+    },
+    /// Exposed reset — the caller must recompute from the neighborhood.
+    Recompute,
+}
+
+/// Classifies the reduced group against `alpha_old` and applies the
+/// incremental update when one of the paper's two evolvable conditions holds.
+pub fn apply_monotonic(
+    agg: Aggregator,
+    alpha_old: &[f32],
+    del: Option<&[f32]>,
+    add: Option<&[f32]>,
+) -> MonoOutcome {
+    debug_assert!(agg.is_monotonic());
+
+    // Reset channels: D = { i : α⁻[i] == m⁻_A[i] }.
+    let has_reset = |del: &[f32]| alpha_old.iter().zip(del).any(|(a, d)| a == d);
+
+    match del {
+        None => {}
+        Some(del) if !has_reset(del) => {}
+        Some(del) => {
+            // Covered iff the reduced addition dominates the deleted value on
+            // every reset channel.
+            let covered = match add {
+                Some(add) => alpha_old
+                    .iter()
+                    .zip(del)
+                    .zip(add)
+                    .all(|((a, d), m)| a != d || agg.dominates(*m, *d)),
+                None => false,
+            };
+            if !covered {
+                return MonoOutcome::Recompute;
+            }
+            let add = add.expect("covered implies an addition exists");
+            let mut alpha = alpha_old.to_vec();
+            agg.combine_into(&mut alpha, add);
+            return MonoOutcome::Updated { condition: Condition::CoveredReset, alpha };
+        }
+    }
+
+    // No-reset path (including "no deletions at all").
+    let mut alpha = alpha_old.to_vec();
+    if let Some(add) = add {
+        agg.combine_into(&mut alpha, add);
+    }
+    let condition = if alpha == alpha_old { Condition::Resilient } else { Condition::NoReset };
+    MonoOutcome::Updated { condition, alpha }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unwrap_updated(out: MonoOutcome) -> (Condition, Vec<f32>) {
+        match out {
+            MonoOutcome::Updated { condition, alpha } => (condition, alpha),
+            MonoOutcome::Recompute => panic!("expected an incremental update"),
+        }
+    }
+
+    /// Paper Fig. 5, "no reset": deletion below the old max everywhere.
+    #[test]
+    fn no_reset_with_improvement() {
+        let out = apply_monotonic(
+            Aggregator::Max,
+            &[14.0, 16.0, 12.0, 3.0],
+            Some(&[13.0, 13.0, 3.0, 2.0]),
+            Some(&[15.0, 10.0, 10.0, 1.0]),
+        );
+        let (cond, alpha) = unwrap_updated(out);
+        assert_eq!(cond, Condition::NoReset);
+        assert_eq!(alpha, vec![15.0, 16.0, 12.0, 3.0]);
+    }
+
+    #[test]
+    fn resilient_when_addition_is_dominated() {
+        let out = apply_monotonic(
+            Aggregator::Max,
+            &[14.0, 16.0],
+            Some(&[1.0, 2.0]),
+            Some(&[3.0, 4.0]),
+        );
+        let (cond, alpha) = unwrap_updated(out);
+        assert_eq!(cond, Condition::Resilient);
+        assert_eq!(alpha, vec![14.0, 16.0]);
+    }
+
+    /// Paper Fig. 4f: deleting the dominating neighbor but the new addition
+    /// covers the reset channels.
+    #[test]
+    fn covered_reset_applies_incrementally() {
+        // α⁻ = [14, 16, 12, 3]; delete [14, 16, 8, 1] → resets at channels 0, 1;
+        // add [15, 18, 14, 0] dominates there.
+        let out = apply_monotonic(
+            Aggregator::Max,
+            &[14.0, 16.0, 12.0, 3.0],
+            Some(&[14.0, 16.0, 8.0, 1.0]),
+            Some(&[15.0, 18.0, 14.0, 0.0]),
+        );
+        let (cond, alpha) = unwrap_updated(out);
+        assert_eq!(cond, Condition::CoveredReset);
+        assert_eq!(alpha, vec![15.0, 18.0, 14.0, 3.0]);
+    }
+
+    /// Paper Fig. 4d: deletion exposes channels no addition covers.
+    #[test]
+    fn exposed_reset_forces_recompute() {
+        let out = apply_monotonic(
+            Aggregator::Max,
+            &[14.0, 16.0, 12.0, 3.0],
+            Some(&[14.0, 16.0, 8.0, 1.0]),
+            Some(&[11.0, 16.0, 12.0, 3.0]),
+        );
+        // channel 0: reset (14 == 14) and add 11 < 14 → exposed.
+        assert!(matches!(out, MonoOutcome::Recompute));
+    }
+
+    #[test]
+    fn deletion_only_with_no_reset_is_resilient() {
+        let out =
+            apply_monotonic(Aggregator::Max, &[10.0, 20.0], Some(&[5.0, 5.0]), None);
+        let (cond, alpha) = unwrap_updated(out);
+        assert_eq!(cond, Condition::Resilient);
+        assert_eq!(alpha, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn deletion_only_with_reset_recomputes() {
+        let out =
+            apply_monotonic(Aggregator::Max, &[10.0, 20.0], Some(&[10.0, 5.0]), None);
+        assert!(matches!(out, MonoOutcome::Recompute));
+    }
+
+    #[test]
+    fn addition_only_never_recomputes() {
+        let out = apply_monotonic(Aggregator::Max, &[1.0, 2.0], None, Some(&[5.0, 0.0]));
+        let (cond, alpha) = unwrap_updated(out);
+        assert_eq!(cond, Condition::NoReset);
+        assert_eq!(alpha, vec![5.0, 2.0]);
+    }
+
+    #[test]
+    fn tie_between_add_and_del_counts_as_covered() {
+        // The deleted value equals the added value on the reset channel: the
+        // remaining neighbors are ≤ that value, so the tie is exact.
+        let out = apply_monotonic(Aggregator::Max, &[7.0], Some(&[7.0]), Some(&[7.0]));
+        let (cond, alpha) = unwrap_updated(out);
+        assert_eq!(cond, Condition::CoveredReset);
+        assert_eq!(alpha, vec![7.0]);
+    }
+
+    #[test]
+    fn min_aggregation_mirrors_max() {
+        // α⁻ = [3, 5]; delete the per-channel minimum [3, 9] → reset at 0;
+        // add [2, 10] dominates (2 < 3) → covered.
+        let out = apply_monotonic(
+            Aggregator::Min,
+            &[3.0, 5.0],
+            Some(&[3.0, 9.0]),
+            Some(&[2.0, 10.0]),
+        );
+        let (cond, alpha) = unwrap_updated(out);
+        assert_eq!(cond, Condition::CoveredReset);
+        assert_eq!(alpha, vec![2.0, 5.0]);
+
+        // add [4, 10] does not reach the deleted minimum → exposed.
+        let out = apply_monotonic(
+            Aggregator::Min,
+            &[3.0, 5.0],
+            Some(&[3.0, 9.0]),
+            Some(&[4.0, 10.0]),
+        );
+        assert!(matches!(out, MonoOutcome::Recompute));
+    }
+
+    #[test]
+    fn no_events_is_resilient() {
+        let out = apply_monotonic(Aggregator::Max, &[1.0], None, None);
+        let (cond, alpha) = unwrap_updated(out);
+        assert_eq!(cond, Condition::Resilient);
+        assert_eq!(alpha, vec![1.0]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Streaming session: the operational wrapper a deployment actually runs.
+//!
+//! [`StreamSession`] owns an [`InkStream`] engine and adds the concerns the
+//! paper's evaluation protocol implies but the core algorithm doesn't cover:
+//! splitting oversized deltas into refresh batches (speedup falls with ΔG —
+//! paper Fig. 7 — so bounded batches keep latency predictable), rolling
+//! latency statistics, and optional periodic self-verification against full
+//! recomputation (cheap insurance for accumulative aggregation, where float
+//! drift is bounded but nonzero).
+
+use crate::{InkStream, UpdateReport};
+use ink_graph::DeltaBatch;
+use std::time::{Duration, Instant};
+
+/// Session tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// Split incoming deltas into batches of at most this many changes.
+    pub max_batch: usize,
+    /// Verify against full recomputation every `n` ingests (None = never).
+    pub verify_every: Option<usize>,
+    /// Maximum per-channel deviation tolerated by verification.
+    pub verify_tolerance: f32,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self { max_batch: 1_000, verify_every: None, verify_tolerance: 1e-3 }
+    }
+}
+
+/// The incremental state drifted past the verification tolerance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftError {
+    /// Observed maximum deviation.
+    pub max_diff: f32,
+    /// Configured tolerance.
+    pub tolerance: f32,
+}
+
+impl std::fmt::Display for DriftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "incremental state drifted: max diff {} > tolerance {}", self.max_diff, self.tolerance)
+    }
+}
+
+impl std::error::Error for DriftError {}
+
+/// What one [`StreamSession::ingest`] call did.
+#[derive(Clone, Debug, Default)]
+pub struct IngestReport {
+    /// Batches the delta was split into.
+    pub batches: usize,
+    /// Changes applied (excluding skipped no-ops).
+    pub changes_applied: usize,
+    /// No-op changes skipped.
+    pub skipped: usize,
+    /// Nodes whose final output changed (summed over batches).
+    pub output_changed: u64,
+    /// Wall-clock time of the whole ingest.
+    pub elapsed: Duration,
+    /// Max deviation measured, when this ingest triggered verification.
+    pub verified_diff: Option<f32>,
+}
+
+/// Rolling summary of a session.
+#[derive(Clone, Debug, Default)]
+pub struct SessionSummary {
+    /// Total ingest calls.
+    pub ingests: usize,
+    /// Total edge changes applied.
+    pub changes: usize,
+    /// Latency percentiles over per-batch updates: (p50, p90, p99, max).
+    pub latency: (Duration, Duration, Duration, Duration),
+    /// Mean real-affected nodes per batch.
+    pub avg_real_affected: f64,
+}
+
+/// An engine plus operational bookkeeping for long-running streams.
+///
+/// ```
+/// use ink_graph::{DeltaBatch, DynGraph, EdgeChange};
+/// use ink_gnn::{Aggregator, Model};
+/// use ink_tensor::init;
+/// use inkstream::{InkStream, StreamSession, UpdateConfig};
+///
+/// let mut rng = init::seeded_rng(1);
+/// let g = DynGraph::undirected_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+/// let x = init::uniform(&mut rng, 4, 6, -1.0, 1.0);
+/// let model = Model::gcn(&mut rng, &[6, 8, 4], Aggregator::Max);
+/// let engine = InkStream::new(model, g, x, UpdateConfig::default()).unwrap();
+///
+/// let mut session = StreamSession::new(engine);
+/// let report = session
+///     .ingest(&DeltaBatch::new(vec![EdgeChange::insert(0, 3)]))
+///     .unwrap();
+/// assert_eq!(report.changes_applied, 1);
+/// assert_eq!(session.summary().ingests, 1);
+/// ```
+pub struct StreamSession {
+    engine: InkStream,
+    config: SessionConfig,
+    ingests: usize,
+    changes: usize,
+    affected_total: u64,
+    batch_latencies: Vec<Duration>,
+}
+
+impl StreamSession {
+    /// Wraps an engine with default session settings.
+    pub fn new(engine: InkStream) -> Self {
+        Self::with_config(engine, SessionConfig::default())
+    }
+
+    /// Wraps an engine with explicit settings.
+    pub fn with_config(engine: InkStream, config: SessionConfig) -> Self {
+        assert!(config.max_batch >= 1);
+        Self {
+            engine,
+            config,
+            ingests: 0,
+            changes: 0,
+            affected_total: 0,
+            batch_latencies: Vec::new(),
+        }
+    }
+
+    /// The wrapped engine (read access).
+    pub fn engine(&self) -> &InkStream {
+        &self.engine
+    }
+
+    /// The wrapped engine (e.g. for vertex operations).
+    pub fn engine_mut(&mut self) -> &mut InkStream {
+        &mut self.engine
+    }
+
+    /// Applies a delta, split into batches of at most `max_batch` changes,
+    /// and runs periodic verification when configured.
+    pub fn ingest(&mut self, delta: &DeltaBatch) -> Result<IngestReport, DriftError> {
+        let t0 = Instant::now();
+        let mut report = IngestReport::default();
+        for chunk in delta.changes().chunks(self.config.max_batch.max(1)) {
+            let batch = DeltaBatch::new(chunk.to_vec());
+            let t = Instant::now();
+            let r: UpdateReport = self.engine.apply_delta(&batch);
+            self.batch_latencies.push(t.elapsed());
+            report.batches += 1;
+            report.skipped += r.skipped_changes;
+            report.changes_applied += chunk.len() - r.skipped_changes;
+            report.output_changed += r.output_changed;
+            self.affected_total += r.real_affected;
+        }
+        self.ingests += 1;
+        self.changes += report.changes_applied;
+
+        if let Some(every) = self.config.verify_every {
+            if every > 0 && self.ingests.is_multiple_of(every) {
+                let reference = self.engine.recompute_reference();
+                let diff = self.engine.output().max_abs_diff(&reference);
+                report.verified_diff = Some(diff);
+                if diff > self.config.verify_tolerance {
+                    return Err(DriftError { max_diff: diff, tolerance: self.config.verify_tolerance });
+                }
+            }
+        }
+        report.elapsed = t0.elapsed();
+        Ok(report)
+    }
+
+    /// Latency percentile over all batches so far.
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        if self.batch_latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.batch_latencies.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Rolling summary.
+    pub fn summary(&self) -> SessionSummary {
+        SessionSummary {
+            ingests: self.ingests,
+            changes: self.changes,
+            latency: (
+                self.latency_percentile(0.50),
+                self.latency_percentile(0.90),
+                self.latency_percentile(0.99),
+                self.batch_latencies.iter().max().copied().unwrap_or_default(),
+            ),
+            avg_real_affected: self.affected_total as f64
+                / self.batch_latencies.len().max(1) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UpdateConfig;
+    use ink_graph::generators::erdos_renyi;
+    use ink_gnn::{Aggregator, Model};
+    use ink_tensor::init::{seeded_rng, uniform};
+    use rand::SeedableRng;
+
+    fn engine(seed: u64) -> InkStream {
+        let mut rng = seeded_rng(seed);
+        let g = erdos_renyi(&mut rng, 40, 100);
+        let x = uniform(&mut rng, 40, 4, -1.0, 1.0);
+        let model = Model::gcn(&mut rng, &[4, 5, 3], Aggregator::Max);
+        InkStream::new(model, g, x, UpdateConfig::default()).unwrap()
+    }
+
+    fn delta(s: &StreamSession, seed: u64, n: usize) -> DeltaBatch {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        DeltaBatch::random_scenario(s.engine().graph(), &mut rng, n)
+    }
+
+    #[test]
+    fn ingest_splits_into_batches() {
+        let mut s = StreamSession::with_config(
+            engine(1),
+            SessionConfig { max_batch: 4, ..SessionConfig::default() },
+        );
+        let d = delta(&s, 2, 10);
+        let r = s.ingest(&d).unwrap();
+        assert_eq!(r.batches, 3); // 4 + 4 + 2
+        assert_eq!(r.changes_applied + r.skipped, 10);
+        let sum = s.summary();
+        assert_eq!(sum.ingests, 1);
+        assert!(sum.latency.3 >= sum.latency.0, "max ≥ p50");
+    }
+
+    #[test]
+    fn verification_passes_for_monotonic_engine() {
+        let mut s = StreamSession::with_config(
+            engine(3),
+            SessionConfig { verify_every: Some(1), verify_tolerance: 0.0, max_batch: 100 },
+        );
+        let d = delta(&s, 4, 8);
+        let r = s.ingest(&d).unwrap();
+        assert_eq!(r.verified_diff, Some(0.0), "max aggregation is bitwise exact");
+    }
+
+    #[test]
+    fn verification_interval_is_respected() {
+        let mut s = StreamSession::with_config(
+            engine(5),
+            SessionConfig { verify_every: Some(2), ..SessionConfig::default() },
+        );
+        let r1 = s.ingest(&delta(&s, 6, 4)).unwrap();
+        assert!(r1.verified_diff.is_none());
+        let r2 = s.ingest(&delta(&s, 7, 4)).unwrap();
+        assert!(r2.verified_diff.is_some());
+    }
+
+    #[test]
+    fn summary_accumulates_across_ingests() {
+        let mut s = StreamSession::new(engine(8));
+        for i in 0..3 {
+            let d = delta(&s, 10 + i, 6);
+            s.ingest(&d).unwrap();
+        }
+        let sum = s.summary();
+        assert_eq!(sum.ingests, 3);
+        assert!(sum.changes > 0);
+        assert!(sum.avg_real_affected > 0.0);
+    }
+
+    #[test]
+    fn empty_delta_is_harmless() {
+        let mut s = StreamSession::new(engine(9));
+        let r = s.ingest(&DeltaBatch::new(vec![])).unwrap();
+        assert_eq!(r.batches, 0);
+        assert_eq!(s.latency_percentile(0.99), Duration::ZERO);
+    }
+}

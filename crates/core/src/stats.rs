@@ -1,0 +1,191 @@
+//! Update statistics — the observables behind the paper's Figures 1b and 8
+//! and Tables V and VI.
+
+use crate::monotonic::Condition;
+use std::time::Duration;
+
+/// How many targets fell into each evolvability condition (paper Fig. 8,
+/// plus the accumulative path which is always incrementally updated).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConditionCounts {
+    /// Resilient nodes — propagation pruned (monotonic only).
+    pub resilient: u64,
+    /// Incrementally updated without any reset.
+    pub no_reset: u64,
+    /// Incrementally updated under a covered reset.
+    pub covered_reset: u64,
+    /// Recomputed from the full neighborhood (exposed reset).
+    pub exposed_reset: u64,
+    /// Accumulative targets (always incrementally updated).
+    pub accumulative: u64,
+    /// Targets recomputed because incremental updates were disabled
+    /// (ablation runs only).
+    pub forced_recompute: u64,
+}
+
+impl ConditionCounts {
+    /// Records one monotonic condition.
+    pub fn record(&mut self, c: Condition) {
+        match c {
+            Condition::Resilient => self.resilient += 1,
+            Condition::NoReset => self.no_reset += 1,
+            Condition::CoveredReset => self.covered_reset += 1,
+            Condition::ExposedReset => self.exposed_reset += 1,
+        }
+    }
+
+    /// Total recorded targets.
+    pub fn total(&self) -> u64 {
+        self.resilient
+            + self.no_reset
+            + self.covered_reset
+            + self.exposed_reset
+            + self.accumulative
+            + self.forced_recompute
+    }
+
+    /// Merges another count set into this one.
+    pub fn merge(&mut self, other: &ConditionCounts) {
+        self.resilient += other.resilient;
+        self.no_reset += other.no_reset;
+        self.covered_reset += other.covered_reset;
+        self.exposed_reset += other.exposed_reset;
+        self.accumulative += other.accumulative;
+        self.forced_recompute += other.forced_recompute;
+    }
+}
+
+/// Per-layer observations of one update round.
+#[derive(Clone, Debug, Default)]
+pub struct LayerStats {
+    /// Events created for this layer (ΔG seeds + propagated).
+    pub events_created: usize,
+    /// Distinct target nodes after grouping.
+    pub targets: usize,
+    /// Targets whose aggregated neighborhood actually changed.
+    pub alpha_changed: usize,
+    /// Condition distribution for this layer.
+    pub conditions: ConditionCounts,
+}
+
+/// The report returned by every engine update.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateReport {
+    /// Per-layer breakdown.
+    pub per_layer: Vec<LayerStats>,
+    /// Wall-clock time of the update.
+    pub elapsed: Duration,
+    /// Distinct nodes touched across all layers (RNVV numerator).
+    pub nodes_visited: u64,
+    /// Distinct nodes whose aggregated neighborhood changed in any layer —
+    /// the paper's *real affected* nodes (Fig. 1b).
+    pub real_affected: u64,
+    /// Nodes whose final output embedding changed.
+    pub output_changed: u64,
+    /// `f32` embedding values read (RMC numerator, reads).
+    pub f32_read: u64,
+    /// `f32` embedding values written (RMC numerator, writes).
+    pub f32_written: u64,
+    /// Requested changes that were no-ops against the current graph
+    /// (duplicate inserts, missing removals) and were skipped.
+    pub skipped_changes: usize,
+    /// The *worst* (most expensive) condition each monotonic target hit
+    /// across layers — the per-node view behind the paper's Fig. 8. Nodes of
+    /// the theoretical affected area that are absent here were never even
+    /// visited (their subtree was pruned upstream).
+    pub per_node_condition: ink_graph::FxHashMap<ink_graph::VertexId, Condition>,
+}
+
+impl UpdateReport {
+    /// Total condition counts across layers.
+    pub fn conditions(&self) -> ConditionCounts {
+        let mut total = ConditionCounts::default();
+        for l in &self.per_layer {
+            total.merge(&l.conditions);
+        }
+        total
+    }
+
+    /// Total events created across layers.
+    pub fn events_created(&self) -> usize {
+        self.per_layer.iter().map(|l| l.events_created).sum()
+    }
+
+    /// Total embedding traffic (reads + writes).
+    pub fn traffic(&self) -> u64 {
+        self.f32_read + self.f32_written
+    }
+
+    /// Fraction of processed monotonic targets that avoided recomputation
+    /// (pruned or incrementally updated) — the headline of paper Fig. 8.
+    pub fn evolvable_fraction(&self) -> f64 {
+        let c = self.conditions();
+        let mono = c.resilient + c.no_reset + c.covered_reset + c.exposed_reset;
+        if mono == 0 {
+            return 0.0;
+        }
+        (c.resilient + c.no_reset + c.covered_reset) as f64 / mono as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_covers_all_conditions() {
+        let mut c = ConditionCounts::default();
+        c.record(Condition::Resilient);
+        c.record(Condition::NoReset);
+        c.record(Condition::CoveredReset);
+        c.record(Condition::ExposedReset);
+        assert_eq!((c.resilient, c.no_reset, c.covered_reset, c.exposed_reset), (1, 1, 1, 1));
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = ConditionCounts { resilient: 1, accumulative: 2, ..Default::default() };
+        let b = ConditionCounts { resilient: 3, exposed_reset: 4, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.resilient, 4);
+        assert_eq!(a.exposed_reset, 4);
+        assert_eq!(a.accumulative, 2);
+    }
+
+    #[test]
+    fn evolvable_fraction_excludes_accumulative() {
+        let mut r = UpdateReport::default();
+        r.per_layer.push(LayerStats {
+            conditions: ConditionCounts {
+                resilient: 6,
+                no_reset: 2,
+                covered_reset: 1,
+                exposed_reset: 1,
+                accumulative: 100,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        assert!((r.evolvable_fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evolvable_fraction_of_empty_report_is_zero() {
+        assert_eq!(UpdateReport::default().evolvable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn aggregates_across_layers() {
+        let mut r = UpdateReport::default();
+        for _ in 0..3 {
+            r.per_layer.push(LayerStats {
+                events_created: 5,
+                conditions: ConditionCounts { no_reset: 2, ..Default::default() },
+                ..Default::default()
+            });
+        }
+        assert_eq!(r.events_created(), 15);
+        assert_eq!(r.conditions().no_reset, 6);
+    }
+}

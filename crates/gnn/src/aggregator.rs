@@ -1,0 +1,197 @@
+//! Aggregation functions — `A()` in the paper's notation.
+//!
+//! InkStream's two-level savings hinge on a split the paper draws between
+//! **monotonic** aggregators (max, min — *selective*: only the extreme
+//! neighbor matters per channel, so updates can be pruned) and
+//! **accumulative** aggregators (sum, mean — *fully reversible*: a neighbor's
+//! old impact can always be subtracted out).
+//!
+//! Empty-neighborhood convention: aggregating zero messages yields the zero
+//! vector for every aggregator (applied by [`Aggregator::finalize`]); the
+//! incremental engine and the recompute baselines share this code so they
+//! agree bitwise.
+
+/// The four aggregation functions InkStream supports natively.
+///
+/// ```
+/// use ink_gnn::Aggregator;
+///
+/// let msgs: [&[f32]; 2] = [&[1.0, 4.0], &[3.0, 2.0]];
+/// let mut out = vec![0.0; 2];
+/// Aggregator::Max.aggregate_into(msgs.iter().copied(), &mut out);
+/// assert_eq!(out, vec![3.0, 4.0]);
+/// assert!(Aggregator::Max.is_monotonic());
+/// assert!(Aggregator::Mean.is_accumulative());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Aggregator {
+    /// Channel-wise maximum (monotonic).
+    Max,
+    /// Channel-wise minimum (monotonic).
+    Min,
+    /// Channel-wise sum (accumulative).
+    Sum,
+    /// Channel-wise arithmetic mean (accumulative).
+    Mean,
+}
+
+impl Aggregator {
+    /// Max/min — selective aggregators whose propagation can be pruned.
+    #[inline]
+    pub fn is_monotonic(self) -> bool {
+        matches!(self, Aggregator::Max | Aggregator::Min)
+    }
+
+    /// Sum/mean — fully reversible aggregators.
+    #[inline]
+    pub fn is_accumulative(self) -> bool {
+        !self.is_monotonic()
+    }
+
+    /// The identity element of the reduction (`-∞` for max, `+∞` for min,
+    /// `0` for sum/mean) — the *reset* value in the paper's Fig. 4.
+    #[inline]
+    pub fn identity(self) -> f32 {
+        match self {
+            Aggregator::Max => f32::NEG_INFINITY,
+            Aggregator::Min => f32::INFINITY,
+            Aggregator::Sum | Aggregator::Mean => 0.0,
+        }
+    }
+
+    /// Scalar reduction of two values.
+    #[inline]
+    pub fn combine_scalar(self, a: f32, b: f32) -> f32 {
+        match self {
+            Aggregator::Max => a.max(b),
+            Aggregator::Min => a.min(b),
+            Aggregator::Sum | Aggregator::Mean => a + b,
+        }
+    }
+
+    /// `acc = A(acc, msg)` channel-wise. Mean accumulates a running sum here;
+    /// the division happens in [`Aggregator::finalize`].
+    #[inline]
+    pub fn combine_into(self, acc: &mut [f32], msg: &[f32]) {
+        match self {
+            Aggregator::Max => ink_tensor::ops::max_assign(acc, msg),
+            Aggregator::Min => ink_tensor::ops::min_assign(acc, msg),
+            Aggregator::Sum | Aggregator::Mean => ink_tensor::ops::add_assign(acc, msg),
+        }
+    }
+
+    /// Turns a running reduction over `degree` messages into the final
+    /// aggregate: divides by the degree for mean, and maps an empty
+    /// neighborhood to the zero vector for every aggregator.
+    #[inline]
+    pub fn finalize(self, acc: &mut [f32], degree: usize) {
+        if degree == 0 {
+            acc.fill(0.0);
+            return;
+        }
+        if self == Aggregator::Mean {
+            let inv = 1.0 / degree as f32;
+            ink_tensor::ops::scale(acc, inv);
+        }
+    }
+
+    /// Aggregates an iterator of messages into `out` (including
+    /// [`Aggregator::finalize`]). `out.len()` is the channel count.
+    pub fn aggregate_into<'a>(
+        self,
+        msgs: impl Iterator<Item = &'a [f32]>,
+        out: &mut [f32],
+    ) {
+        out.fill(self.identity());
+        let mut degree = 0usize;
+        for m in msgs {
+            self.combine_into(out, m);
+            degree += 1;
+        }
+        self.finalize(out, degree);
+    }
+
+    /// True when `a` wins the reduction against `b` (`A(a, b) == a`). Used by
+    /// the covered-reset check: the added message must *dominate* the deleted
+    /// one on every reset channel.
+    #[inline]
+    pub fn dominates(self, a: f32, b: f32) -> bool {
+        self.combine_scalar(a, b) == a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Aggregator; 4] =
+        [Aggregator::Max, Aggregator::Min, Aggregator::Sum, Aggregator::Mean];
+
+    #[test]
+    fn classification_is_exhaustive() {
+        for a in ALL {
+            assert_ne!(a.is_monotonic(), a.is_accumulative());
+        }
+        assert!(Aggregator::Max.is_monotonic());
+        assert!(Aggregator::Min.is_monotonic());
+        assert!(Aggregator::Sum.is_accumulative());
+        assert!(Aggregator::Mean.is_accumulative());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        for a in ALL {
+            assert_eq!(a.combine_scalar(a.identity(), 3.5), 3.5, "{a:?}");
+            assert_eq!(a.combine_scalar(3.5, a.identity()), 3.5, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn aggregate_hand_checked() {
+        let msgs: Vec<&[f32]> = vec![&[1.0, 4.0], &[3.0, 2.0]];
+        let mut out = vec![0.0; 2];
+        Aggregator::Max.aggregate_into(msgs.iter().copied(), &mut out);
+        assert_eq!(out, vec![3.0, 4.0]);
+        Aggregator::Min.aggregate_into(msgs.iter().copied(), &mut out);
+        assert_eq!(out, vec![1.0, 2.0]);
+        Aggregator::Sum.aggregate_into(msgs.iter().copied(), &mut out);
+        assert_eq!(out, vec![4.0, 6.0]);
+        Aggregator::Mean.aggregate_into(msgs.iter().copied(), &mut out);
+        assert_eq!(out, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_neighborhood_is_zero_for_all() {
+        for a in ALL {
+            let mut out = vec![9.0; 3];
+            a.aggregate_into(std::iter::empty(), &mut out);
+            assert_eq!(out, vec![0.0; 3], "{a:?}");
+        }
+    }
+
+    #[test]
+    fn single_message_passes_through() {
+        for a in ALL {
+            let msgs: Vec<&[f32]> = vec![&[-1.5, 0.0, 2.0]];
+            let mut out = vec![0.0; 3];
+            a.aggregate_into(msgs.iter().copied(), &mut out);
+            assert_eq!(out, vec![-1.5, 0.0, 2.0], "{a:?}");
+        }
+    }
+
+    #[test]
+    fn dominates_matches_semantics() {
+        assert!(Aggregator::Max.dominates(5.0, 3.0));
+        assert!(!Aggregator::Max.dominates(3.0, 5.0));
+        assert!(Aggregator::Min.dominates(3.0, 5.0));
+        assert!(Aggregator::Max.dominates(3.0, 3.0), "ties dominate");
+    }
+
+    #[test]
+    fn mean_divides_by_degree_not_channel_count() {
+        let msgs: Vec<&[f32]> = vec![&[3.0], &[5.0], &[10.0]];
+        let mut out = vec![0.0; 1];
+        Aggregator::Mean.aggregate_into(msgs.iter().copied(), &mut out);
+        assert_eq!(out, vec![6.0]);
+    }
+}

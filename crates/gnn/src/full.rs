@@ -1,0 +1,316 @@
+//! Full-graph inference — the classic method and the *PyG* baseline.
+//!
+//! Besides producing output embeddings, full inference is how InkStream
+//! bootstraps: the paper's workflow saves the embedding *before and after
+//! aggregation* (`m_l`, `α_l`) for the whole node set in all layers, and the
+//! incremental engine evolves that cache. [`FullState`] is that cache.
+
+use crate::cost::CostMeter;
+use crate::{GraphNormMode, Model};
+use ink_graph::{DynGraph, VertexId};
+use ink_tensor::Matrix;
+use rayon::prelude::*;
+
+/// Anything that exposes per-vertex in-neighborhoods (the full graph or a
+/// sampled view of it).
+pub trait Neighborhood: Sync {
+    /// Vertex count.
+    fn num_vertices(&self) -> usize;
+    /// Vertices whose messages `u` aggregates.
+    fn in_neighbors(&self, u: VertexId) -> &[VertexId];
+}
+
+impl Neighborhood for DynGraph {
+    fn num_vertices(&self) -> usize {
+        DynGraph::num_vertices(self)
+    }
+
+    fn in_neighbors(&self, u: VertexId) -> &[VertexId] {
+        DynGraph::in_neighbors(self, u)
+    }
+}
+
+impl Neighborhood for ink_graph::Csr {
+    fn num_vertices(&self) -> usize {
+        ink_graph::Csr::num_vertices(self)
+    }
+
+    fn in_neighbors(&self, u: VertexId) -> &[VertexId] {
+        self.neighbors(u)
+    }
+}
+
+/// The cached intermediate state of one full inference: the paper's two
+/// checkpoints per layer (messages `m_l` and aggregated neighborhoods `α_l`)
+/// plus the final output `h`.
+pub struct FullState {
+    /// `m[l]` — messages entering layer `l`'s aggregation (`n × msg_dim(l)`).
+    pub m: Vec<Matrix>,
+    /// `alpha[l]` — aggregated neighborhoods of layer `l` (`n × msg_dim(l)`).
+    pub alpha: Vec<Matrix>,
+    /// Final output embeddings (`n × out_dim`).
+    pub h: Matrix,
+    /// Per-layer GraphNorm statistics captured when the layer ran in exact
+    /// mode (for freezing into the cached approximation).
+    pub norm_stats: Vec<Option<NormStats>>,
+}
+
+impl FullState {
+    /// Bytes held by the cached state (the paper's §III-E memory overhead).
+    pub fn cache_bytes(&self) -> usize {
+        self.m.iter().map(Matrix::nbytes).sum::<usize>()
+            + self.alpha.iter().map(Matrix::nbytes).sum::<usize>()
+            + self.h.nbytes()
+    }
+}
+
+/// Computes messages for every vertex: `m_l = message(h_l)`, times the
+/// source-side degree weight for degree-scaled layers (LightGCN-style).
+pub fn batch_message<N: Neighborhood>(model: &Model, l: usize, h: &Matrix, view: &N) -> Matrix {
+    let conv = &model.layer(l).conv;
+    let scaled = conv.degree_scaled();
+    if conv.message_is_identity() && !scaled {
+        return h.clone();
+    }
+    let n = h.rows();
+    let mut m = Matrix::zeros(n, conv.msg_dim());
+    m.as_mut_slice()
+        .par_chunks_mut(conv.msg_dim())
+        .enumerate()
+        .for_each(|(u, out)| {
+            conv.message_into(h.row(u), out);
+            if scaled {
+                let s = conv.degree_scale(view.in_neighbors(u as VertexId).len());
+                ink_tensor::ops::scale(out, s);
+            }
+        });
+    m
+}
+
+/// Aggregates every vertex's in-neighborhood: `α_l[u] = A(m_l[v] : v∈N(u))`.
+pub fn batch_aggregate<N: Neighborhood>(model: &Model, l: usize, view: &N, m: &Matrix) -> Matrix {
+    let conv = &model.layer(l).conv;
+    let agg = conv.aggregator();
+    let dim = conv.msg_dim();
+    let n = view.num_vertices();
+    let mut alpha = Matrix::zeros(n, dim);
+    alpha
+        .as_mut_slice()
+        .par_chunks_mut(dim)
+        .enumerate()
+        .for_each(|(u, out)| {
+            agg.aggregate_into(
+                view.in_neighbors(u as VertexId).iter().map(|&v| m.row(v as usize)),
+                out,
+            );
+        });
+    alpha
+}
+
+/// Captured per-layer GraphNorm statistics: `(mean, var)`.
+pub type NormStats = (Vec<f32>, Vec<f32>);
+
+/// One layer's update phase: `h_{l+1} = act(norm(T(α, m)))`, handling exact
+/// GraphNorm (whole-vertex-set statistics) when present. Returns the captured
+/// statistics for exact norms.
+fn batch_update<N: Neighborhood>(
+    model: &Model,
+    l: usize,
+    alpha: &Matrix,
+    m: &Matrix,
+    view: &N,
+) -> (Matrix, Option<NormStats>) {
+    let layer = model.layer(l);
+    let out_dim = layer.conv.out_dim();
+    let scaled = layer.conv.degree_scaled();
+    let n = alpha.rows();
+    let mut h = Matrix::zeros(n, out_dim);
+    h.as_mut_slice()
+        .par_chunks_mut(out_dim)
+        .enumerate()
+        .for_each(|(u, out)| {
+            if scaled {
+                let s = layer.conv.update_scale(view.in_neighbors(u as VertexId).len());
+                let mut a = alpha.row(u).to_vec();
+                ink_tensor::ops::scale(&mut a, s);
+                layer.conv.update_into(&a, m.row(u), out);
+            } else {
+                layer.conv.update_into(alpha.row(u), m.row(u), out);
+            }
+        });
+
+    let mut captured = None;
+    match &layer.norm {
+        Some(GraphNormMode::Exact(norm)) => {
+            captured = Some(norm.apply_exact(&mut h));
+        }
+        Some(cached @ GraphNormMode::Cached { .. }) => {
+            h.as_mut_slice()
+                .par_chunks_mut(out_dim)
+                .for_each(|row| cached.apply_cached(row));
+        }
+        None => {}
+    }
+    layer.act.apply(h.as_mut_slice());
+    (h, captured)
+}
+
+/// Classic full-graph inference over `view`, caching all intermediates.
+///
+/// When a `meter` is given, the embedding traffic of every phase is recorded
+/// (analytically per layer, to keep the counters off the hot path).
+pub fn full_inference<N: Neighborhood>(
+    model: &Model,
+    view: &N,
+    features: &Matrix,
+    meter: Option<&CostMeter>,
+) -> FullState {
+    assert_eq!(features.cols(), model.in_dim(), "feature dim must match model input");
+    assert_eq!(features.rows(), view.num_vertices(), "one feature row per vertex");
+    let n = view.num_vertices();
+    let k = model.num_layers();
+    let mut m_all = Vec::with_capacity(k);
+    let mut alpha_all = Vec::with_capacity(k);
+    let mut norm_stats = Vec::with_capacity(k);
+    let mut h = features.clone();
+
+    for l in 0..k {
+        let conv = &model.layer(l).conv;
+        let m = batch_message(model, l, &h, view);
+        let alpha = batch_aggregate(model, l, view, &m);
+        let (h_next, stats) = batch_update(model, l, &alpha, &m, view);
+        if let Some(meter) = meter {
+            let entries: usize = (0..n).map(|u| view.in_neighbors(u as VertexId).len()).sum();
+            // message: read h, write m; aggregate: gather msgs, write α;
+            // update: read α (+ self msg), write h.
+            meter.read(n * conv.in_dim() + entries * conv.msg_dim() + n * conv.msg_dim());
+            if conv.self_dependent() {
+                meter.read(n * conv.msg_dim());
+            }
+            meter.write(n * conv.msg_dim() + n * conv.msg_dim() + n * conv.out_dim());
+            meter.visit_nodes(n);
+        }
+        m_all.push(m);
+        alpha_all.push(alpha);
+        norm_stats.push(stats);
+        h = h_next;
+    }
+
+    FullState { m: m_all, alpha: alpha_all, h, norm_stats }
+}
+
+/// Full inference that discards intermediates — used when only the output
+/// matters (baseline comparisons, accuracy studies).
+pub fn infer_embeddings<N: Neighborhood>(
+    model: &Model,
+    view: &N,
+    features: &Matrix,
+    meter: Option<&CostMeter>,
+) -> Matrix {
+    full_inference(model, view, features, meter).h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Aggregator;
+    use ink_tensor::init::seeded_rng;
+
+    fn toy_graph() -> DynGraph {
+        // 0 – 1 – 2 triangle plus a pendant 3.
+        DynGraph::undirected_from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)])
+    }
+
+    fn toy_features(n: usize, d: usize) -> Matrix {
+        Matrix::from_fn(n, d, |r, c| (r * d + c) as f32 * 0.1 - 0.5)
+    }
+
+    #[test]
+    fn state_shapes_match_model() {
+        let mut rng = seeded_rng(1);
+        let model = Model::gcn(&mut rng, &[6, 4, 3], Aggregator::Max);
+        let g = toy_graph();
+        let st = full_inference(&model, &g, &toy_features(4, 6), None);
+        assert_eq!(st.m.len(), 2);
+        assert_eq!(st.m[0].shape(), (4, 4));
+        assert_eq!(st.alpha[0].shape(), (4, 4));
+        assert_eq!(st.m[1].shape(), (4, 3));
+        assert_eq!(st.h.shape(), (4, 3));
+    }
+
+    #[test]
+    fn isolated_vertex_gets_zero_alpha() {
+        let mut rng = seeded_rng(2);
+        let model = Model::gcn(&mut rng, &[3, 2], Aggregator::Max);
+        let g = DynGraph::new(2, false); // no edges at all
+        let st = full_inference(&model, &g, &toy_features(2, 3), None);
+        assert_eq!(st.alpha[0].row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn sum_aggregation_hand_checked() {
+        // Identity GCN-ish layer: W = I, b = 0 → h1[u] = Σ_{v∈N(u)} x[v].
+        let lin = ink_tensor::Linear::identity(2);
+        let conv = crate::GcnConv::from_linear(lin, Aggregator::Sum);
+        let model = Model::new(vec![crate::LayerDef {
+            conv: Box::new(conv),
+            norm: None,
+            act: ink_tensor::Activation::Identity,
+        }]);
+        let g = toy_graph();
+        let x = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0]);
+        let st = full_inference(&model, &g, &x, None);
+        // N(0) = {1, 2} → [1, 2]; N(3) = {2} → [1, 1]
+        assert_eq!(st.h.row(0), &[1.0, 2.0]);
+        assert_eq!(st.h.row(3), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn csr_view_matches_dyn_graph() {
+        let mut rng = seeded_rng(3);
+        let model = Model::sage(&mut rng, &[5, 4, 3], Aggregator::Mean);
+        let g = toy_graph();
+        let x = toy_features(4, 5);
+        let a = full_inference(&model, &g, &x, None);
+        let csr = ink_graph::Csr::from_graph(&g);
+        let b = full_inference(&model, &csr, &x, None);
+        assert_eq!(a.h, b.h);
+    }
+
+    #[test]
+    fn meter_counts_scale_with_layers() {
+        let mut rng = seeded_rng(4);
+        let model = Model::gcn(&mut rng, &[3, 3, 3], Aggregator::Mean);
+        let g = toy_graph();
+        let x = toy_features(4, 3);
+        let meter = CostMeter::new();
+        full_inference(&model, &g, &x, Some(&meter));
+        assert!(meter.total_traffic() > 0);
+        assert_eq!(meter.nodes_visited(), 8, "4 nodes × 2 layers");
+    }
+
+    #[test]
+    fn exact_graphnorm_stats_are_captured() {
+        let mut rng = seeded_rng(5);
+        let model = Model::gcn(&mut rng, &[3, 4, 2], Aggregator::Mean).with_exact_graphnorm();
+        let g = toy_graph();
+        let st = full_inference(&model, &g, &toy_features(4, 3), None);
+        assert!(st.norm_stats[0].is_some());
+        assert!(st.norm_stats[1].is_none(), "last layer is unnormalised");
+        let (mean, var) = st.norm_stats[0].as_ref().unwrap();
+        assert_eq!(mean.len(), 4);
+        assert_eq!(var.len(), 4);
+    }
+
+    #[test]
+    fn frozen_stats_reproduce_exact_inference_on_same_graph() {
+        let mut rng = seeded_rng(6);
+        let g = toy_graph();
+        let x = toy_features(4, 3);
+        let exact = Model::gcn(&mut rng, &[3, 4, 2], Aggregator::Mean).with_exact_graphnorm();
+        let st = full_inference(&exact, &g, &x, None);
+        let frozen = exact.freeze_graphnorm_stats(&st.norm_stats);
+        let st2 = full_inference(&frozen, &g, &x, None);
+        assert!(st.h.allclose(&st2.h, 1e-5), "same graph → same statistics → same output");
+    }
+}

@@ -1,0 +1,184 @@
+//! The *Graphiler* stand-in: fused full-graph inference with an explicit
+//! memory-budget model.
+//!
+//! Graphiler compiles the message-passing data-flow graph into fused GPU
+//! kernels — extremely fast *static full-graph* inference — but cannot
+//! sample or mini-batch, so large graphs × deep models go out of memory.
+//! This substitute reproduces both behaviours (DESIGN.md §2): a streamlined
+//! engine over a CSR snapshot that keeps only two ping-pong buffers (no
+//! cached state, no per-node dispatch), plus [`estimate_peak_bytes`] checked
+//! against a configurable device budget before running.
+
+use crate::Model;
+use ink_graph::{Csr, VertexId};
+use ink_tensor::Matrix;
+use rayon::prelude::*;
+
+/// Error returned when the model × graph would exceed the device budget —
+/// the `OOM` entries of the paper's Table IV.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OomError {
+    /// Estimated peak working set.
+    pub required_bytes: usize,
+    /// Configured device budget.
+    pub budget_bytes: usize,
+}
+
+impl std::fmt::Display for OomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "OOM: fused full-graph inference needs {} MiB but the device budget is {} MiB",
+            self.required_bytes / (1 << 20),
+            self.budget_bytes / (1 << 20)
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+/// Peak working-set estimate of fused full-graph inference: features +
+/// adjacency + the widest pair of layer activations + messages + aggregates,
+/// all resident at once (no mini-batching — Graphiler's limitation).
+pub fn estimate_peak_bytes(model: &Model, n: usize, adjacency_entries: usize) -> usize {
+    let f = std::mem::size_of::<f32>();
+    let feat = n * model.in_dim() * f;
+    let adj = adjacency_entries * std::mem::size_of::<VertexId>() + (n + 1) * 8;
+    let widest_layer = (0..model.num_layers())
+        .map(|l| {
+            let c = &model.layer(l).conv;
+            // h_l + m_l + α_l + h_{l+1} live simultaneously inside a layer.
+            n * (c.in_dim() + 2 * c.msg_dim() + c.out_dim()) * f
+        })
+        .max()
+        .unwrap_or(0);
+    let params = model.param_count() * f;
+    feat + adj + widest_layer + params
+}
+
+/// Fused full-graph inference with a device memory budget.
+pub fn fused_inference(
+    model: &Model,
+    csr: &Csr,
+    features: &Matrix,
+    budget_bytes: usize,
+) -> Result<Matrix, OomError> {
+    let n = csr.num_vertices();
+    let required = estimate_peak_bytes(model, n, csr.num_entries());
+    if required > budget_bytes {
+        return Err(OomError { required_bytes: required, budget_bytes });
+    }
+
+    let mut h = features.clone();
+    let mut msg_buf = Matrix::zeros(0, 0);
+    for l in 0..model.num_layers() {
+        let conv = &model.layer(l).conv;
+        let dim = conv.msg_dim();
+        // Fused message phase (reusing the ping-pong buffer when shapes allow).
+        let scaled = conv.degree_scaled();
+        let m: &Matrix = if conv.message_is_identity() && !scaled {
+            &h
+        } else {
+            if msg_buf.shape() != (n, dim) {
+                msg_buf = Matrix::zeros(n, dim);
+            }
+            msg_buf
+                .as_mut_slice()
+                .par_chunks_mut(dim)
+                .enumerate()
+                .for_each(|(u, out)| {
+                    conv.message_into(h.row(u), out);
+                    if scaled {
+                        ink_tensor::ops::scale(out, conv.degree_scale(csr.degree(u as VertexId)));
+                    }
+                });
+            &msg_buf
+        };
+        // Fused gather-reduce-update: one pass per vertex, no intermediate α
+        // matrix handed back to the caller.
+        let agg = conv.aggregator();
+        let out_dim = conv.out_dim();
+        let act = model.layer(l).act;
+        let mut h_next = Matrix::zeros(n, out_dim);
+        h_next
+            .as_mut_slice()
+            .par_chunks_mut(out_dim)
+            .enumerate()
+            .for_each(|(u, out)| {
+                let mut alpha = vec![0.0; dim];
+                agg.aggregate_into(
+                    csr.neighbors(u as VertexId).iter().map(|&v| m.row(v as usize)),
+                    &mut alpha,
+                );
+                if scaled {
+                    ink_tensor::ops::scale(&mut alpha, conv.update_scale(csr.degree(u as VertexId)));
+                }
+                conv.update_into(&alpha, m.row(u), out);
+                if let Some(norm) = &model.layer(l).norm {
+                    norm.apply_cached(out);
+                }
+                act.apply(out);
+            });
+        h = h_next;
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::full_inference;
+    use crate::{Aggregator, Model};
+    use ink_graph::DynGraph;
+    use ink_tensor::init::seeded_rng;
+
+    fn toy() -> (DynGraph, Matrix) {
+        let g = DynGraph::undirected_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
+        let x = Matrix::from_fn(6, 4, |r, c| ((r + 2 * c) % 5) as f32 - 2.0);
+        (g, x)
+    }
+
+    #[test]
+    fn fused_matches_reference_engine() {
+        for agg in [Aggregator::Max, Aggregator::Min, Aggregator::Sum, Aggregator::Mean] {
+            let mut rng = seeded_rng(20);
+            let model = Model::gcn(&mut rng, &[4, 5, 3], agg);
+            let (g, x) = toy();
+            let csr = Csr::from_graph(&g);
+            let fused = fused_inference(&model, &csr, &x, usize::MAX).unwrap();
+            let reference = full_inference(&model, &g, &x, None);
+            assert_eq!(fused, reference.h, "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn fused_matches_reference_for_self_dependent_models() {
+        let mut rng = seeded_rng(21);
+        let model = Model::gin(&mut rng, 4, 6, 3, 0.2, Aggregator::Max);
+        let (g, x) = toy();
+        let csr = Csr::from_graph(&g);
+        let fused = fused_inference(&model, &csr, &x, usize::MAX).unwrap();
+        let reference = full_inference(&model, &g, &x, None);
+        assert_eq!(fused, reference.h);
+    }
+
+    #[test]
+    fn oom_when_budget_too_small() {
+        let mut rng = seeded_rng(22);
+        let model = Model::gcn(&mut rng, &[4, 4], Aggregator::Max);
+        let (g, x) = toy();
+        let csr = Csr::from_graph(&g);
+        let err = fused_inference(&model, &csr, &x, 64).unwrap_err();
+        assert!(err.required_bytes > err.budget_bytes);
+        assert!(err.to_string().contains("OOM"));
+    }
+
+    #[test]
+    fn peak_estimate_grows_with_graph() {
+        let mut rng = seeded_rng(23);
+        let model = Model::gcn(&mut rng, &[8, 8], Aggregator::Max);
+        let small = estimate_peak_bytes(&model, 100, 500);
+        let large = estimate_peak_bytes(&model, 10_000, 50_000);
+        assert!(large > 50 * small);
+    }
+}

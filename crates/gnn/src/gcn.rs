@@ -1,0 +1,107 @@
+//! GCN convolution (Kipf & Welling), in the transform-first form PyG uses:
+//! `m_u = W·h_u`, `h'_u = A(m_v : v ∈ N(u)) + b`.
+//!
+//! Transform-first keeps layer-0 aggregation in the hidden dimension instead
+//! of the (much longer) feature dimension — the same reason PyG's `GCNConv`
+//! multiplies by `W` before propagating. GCN is *not* self-dependent: the
+//! update reads only the aggregated neighborhood, which is why the paper sees
+//! its propagation tree prune best.
+
+use crate::{Aggregator, Conv};
+use ink_tensor::Linear;
+use rand::rngs::StdRng;
+
+/// A GCN layer with a configurable aggregator (the paper's InkStream-m uses
+/// max, InkStream-a uses mean).
+#[derive(Clone, Debug)]
+pub struct GcnConv {
+    lin: Linear,
+    agg: Aggregator,
+}
+
+impl GcnConv {
+    /// Glorot-initialised layer.
+    pub fn new(rng: &mut StdRng, in_dim: usize, out_dim: usize, agg: Aggregator) -> Self {
+        Self { lin: Linear::new(rng, in_dim, out_dim), agg }
+    }
+
+    /// Layer from explicit parameters.
+    pub fn from_linear(lin: Linear, agg: Aggregator) -> Self {
+        Self { lin, agg }
+    }
+}
+
+impl Conv for GcnConv {
+    fn in_dim(&self) -> usize {
+        self.lin.in_dim()
+    }
+
+    fn msg_dim(&self) -> usize {
+        self.lin.out_dim()
+    }
+
+    fn out_dim(&self) -> usize {
+        self.lin.out_dim()
+    }
+
+    fn aggregator(&self) -> Aggregator {
+        self.agg
+    }
+
+    fn message_into(&self, h: &[f32], out: &mut [f32]) {
+        self.lin.weight().vecmul(h, out);
+    }
+
+    fn update_into(&self, alpha: &[f32], _self_msg: &[f32], out: &mut [f32]) {
+        out.copy_from_slice(alpha);
+        ink_tensor::ops::add_assign(out, self.lin.bias());
+    }
+
+    fn self_dependent(&self) -> bool {
+        false
+    }
+
+    fn param_count(&self) -> usize {
+        self.lin.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ink_tensor::init::seeded_rng;
+    use ink_tensor::Matrix;
+
+    #[test]
+    fn message_is_weight_product_without_bias() {
+        let lin = Linear::from_parts(Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 2.0]), vec![5.0, 5.0]);
+        let conv = GcnConv::from_linear(lin, Aggregator::Max);
+        assert_eq!(conv.message(&[3.0, 4.0]), vec![3.0, 8.0], "bias must not leak into messages");
+    }
+
+    #[test]
+    fn update_adds_bias_to_alpha() {
+        let lin = Linear::from_parts(Matrix::zeros(2, 2), vec![1.0, -1.0]);
+        let conv = GcnConv::from_linear(lin, Aggregator::Mean);
+        assert_eq!(conv.update(&[10.0, 20.0], &[99.0, 99.0]), vec![11.0, 19.0]);
+    }
+
+    #[test]
+    fn gcn_ignores_self_message() {
+        let mut rng = seeded_rng(1);
+        let conv = GcnConv::new(&mut rng, 3, 2, Aggregator::Sum);
+        assert!(!conv.self_dependent());
+        let a = conv.update(&[1.0, 2.0], &[0.0, 0.0, 0.0]);
+        let b = conv.update(&[1.0, 2.0], &[7.0, 8.0, 9.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dims_follow_linear() {
+        let mut rng = seeded_rng(2);
+        let conv = GcnConv::new(&mut rng, 5, 3, Aggregator::Max);
+        assert_eq!((conv.in_dim(), conv.msg_dim(), conv.out_dim()), (5, 3, 3));
+        assert_eq!(conv.param_count(), 5 * 3 + 3);
+        assert!(!conv.message_is_identity());
+    }
+}

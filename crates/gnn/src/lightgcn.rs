@@ -1,0 +1,123 @@
+//! LightGCN-style propagation (He et al.):
+//! `h_{l+1,u} = Σ_{v∈N(u)} h_{l,v} / √(d_v · d_u)`.
+//!
+//! The paper's expressiveness discussion (§II) singles this out as the
+//! weighted-sum case InkStream supports, because the weights use *only graph
+//! topology*: the `1/√d_v` half rides on the source's message, the `1/√d_u`
+//! half on the target's aggregate, and a degree change shows up to the
+//! engine as "this vertex's message changed" — exactly the effect-propagation
+//! machinery that already exists.
+//!
+//! The layer is parameter-free (LightGCN removes the transform and the
+//! non-linearity); stack `k` of them to propagate embeddings `k` hops.
+
+use crate::{Aggregator, Conv};
+
+/// One parameter-free, symmetrically degree-normalised propagation layer.
+#[derive(Clone, Copy, Debug)]
+pub struct LightGcnConv {
+    dim: usize,
+}
+
+impl LightGcnConv {
+    /// A propagation layer over `dim`-channel embeddings.
+    pub fn new(dim: usize) -> Self {
+        Self { dim }
+    }
+}
+
+impl Conv for LightGcnConv {
+    fn in_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn msg_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn out_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn aggregator(&self) -> Aggregator {
+        Aggregator::Sum
+    }
+
+    fn message_into(&self, h: &[f32], out: &mut [f32]) {
+        out.copy_from_slice(h);
+    }
+
+    fn message_is_identity(&self) -> bool {
+        true
+    }
+
+    fn update_into(&self, alpha: &[f32], _self_msg: &[f32], out: &mut [f32]) {
+        // The degree scales are applied by the engine (update_scale below);
+        // the combination itself is the identity.
+        out.copy_from_slice(alpha);
+    }
+
+    fn self_dependent(&self) -> bool {
+        false
+    }
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn degree_scaled(&self) -> bool {
+        true
+    }
+
+    fn degree_scale(&self, degree: usize) -> f32 {
+        if degree == 0 {
+            0.0
+        } else {
+            1.0 / (degree as f32).sqrt()
+        }
+    }
+
+    fn update_scale(&self, degree: usize) -> f32 {
+        if degree == 0 {
+            0.0
+        } else {
+            1.0 / (degree as f32).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_inverse_sqrt_degree() {
+        let c = LightGcnConv::new(4);
+        assert_eq!(c.degree_scale(4), 0.5);
+        assert_eq!(c.update_scale(16), 0.25);
+        assert_eq!(c.degree_scale(0), 0.0, "isolated vertices contribute nothing");
+        assert_eq!(c.update_scale(0), 0.0);
+    }
+
+    #[test]
+    fn layer_is_parameter_free_identity() {
+        let c = LightGcnConv::new(3);
+        assert_eq!(c.param_count(), 0);
+        assert!(c.degree_scaled());
+        assert!(c.message_is_identity());
+        assert!(!c.self_dependent());
+        let mut out = vec![0.0; 3];
+        c.update_into(&[1.0, -2.0, 3.0], &[9.0, 9.0, 9.0], &mut out);
+        assert_eq!(out, vec![1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn default_convs_are_not_degree_scaled() {
+        use ink_tensor::init::seeded_rng;
+        let mut rng = seeded_rng(1);
+        let gcn = crate::GcnConv::new(&mut rng, 3, 2, Aggregator::Max);
+        assert!(!gcn.degree_scaled());
+        assert_eq!(gcn.degree_scale(5), 1.0);
+        assert_eq!(gcn.update_scale(5), 1.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! GraphSAGE convolution (Hamilton et al.):
+//! `h'_u = W₁·A(h_v : v ∈ N(u)) + W₂·h_u`.
+//!
+//! The message is the identity (`m = h`, aggregate-first), and the update
+//! reads the node's own message through the `W₂` term — the *self-impact*
+//! that, per the paper's Fig. 8 discussion, makes GraphSAGE's embeddings
+//! sensitive and its exposed-reset fraction non-negligible.
+
+use crate::{Aggregator, Conv};
+use ink_tensor::Linear;
+use rand::rngs::StdRng;
+
+/// A GraphSAGE layer with a configurable neighborhood aggregator.
+#[derive(Clone, Debug)]
+pub struct SageConv {
+    w_neigh: Linear,
+    w_self: Linear,
+    agg: Aggregator,
+}
+
+impl SageConv {
+    /// Glorot-initialised layer (`W₁` carries the bias, matching PyG).
+    pub fn new(rng: &mut StdRng, in_dim: usize, out_dim: usize, agg: Aggregator) -> Self {
+        Self {
+            w_neigh: Linear::new(rng, in_dim, out_dim),
+            w_self: Linear::from_parts(
+                ink_tensor::init::glorot_uniform(rng, in_dim, out_dim),
+                vec![0.0; out_dim],
+            ),
+            agg,
+        }
+    }
+
+    /// Layer from explicit parameter blocks.
+    pub fn from_parts(w_neigh: Linear, w_self: Linear, agg: Aggregator) -> Self {
+        assert_eq!(w_neigh.in_dim(), w_self.in_dim());
+        assert_eq!(w_neigh.out_dim(), w_self.out_dim());
+        Self { w_neigh, w_self, agg }
+    }
+
+    /// The neighborhood transform `W₁` (used by the user-hook demo).
+    pub fn w_neigh(&self) -> &Linear {
+        &self.w_neigh
+    }
+
+    /// The self transform `W₂` (used by the user-hook demo).
+    pub fn w_self(&self) -> &Linear {
+        &self.w_self
+    }
+}
+
+impl Conv for SageConv {
+    fn in_dim(&self) -> usize {
+        self.w_neigh.in_dim()
+    }
+
+    fn msg_dim(&self) -> usize {
+        self.w_neigh.in_dim()
+    }
+
+    fn out_dim(&self) -> usize {
+        self.w_neigh.out_dim()
+    }
+
+    fn aggregator(&self) -> Aggregator {
+        self.agg
+    }
+
+    fn message_into(&self, h: &[f32], out: &mut [f32]) {
+        out.copy_from_slice(h);
+    }
+
+    fn message_is_identity(&self) -> bool {
+        true
+    }
+
+    fn update_into(&self, alpha: &[f32], self_msg: &[f32], out: &mut [f32]) {
+        self.w_neigh.forward_vec(alpha, out);
+        let mut self_part = vec![0.0; out.len()];
+        self.w_self.weight().vecmul(self_msg, &mut self_part);
+        ink_tensor::ops::add_assign(out, &self_part);
+    }
+
+    fn self_dependent(&self) -> bool {
+        true
+    }
+
+    fn param_count(&self) -> usize {
+        self.w_neigh.param_count() + self.w_self.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ink_tensor::init::seeded_rng;
+    use ink_tensor::Matrix;
+
+    fn ident_linear(dim: usize) -> Linear {
+        Linear::identity(dim)
+    }
+
+    #[test]
+    fn message_is_identity() {
+        let mut rng = seeded_rng(1);
+        let conv = SageConv::new(&mut rng, 3, 2, Aggregator::Max);
+        assert!(conv.message_is_identity());
+        assert_eq!(conv.message(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn update_sums_neighbor_and_self_terms() {
+        // W1 = I, W2 = 2I → update = α + 2·h_u.
+        let w2 = Linear::from_parts(Matrix::from_vec(2, 2, vec![2.0, 0.0, 0.0, 2.0]), vec![0.0; 2]);
+        let conv = SageConv::from_parts(ident_linear(2), w2, Aggregator::Sum);
+        assert_eq!(conv.update(&[1.0, 1.0], &[10.0, -3.0]), vec![21.0, -5.0]);
+    }
+
+    #[test]
+    fn sage_is_self_dependent() {
+        let mut rng = seeded_rng(2);
+        let conv = SageConv::new(&mut rng, 3, 3, Aggregator::Mean);
+        assert!(conv.self_dependent());
+        let a = conv.update(&[1.0, 2.0, 3.0], &[0.0, 0.0, 0.0]);
+        let b = conv.update(&[1.0, 2.0, 3.0], &[1.0, 0.0, 0.0]);
+        assert_ne!(a, b, "self message must influence the update");
+    }
+
+    #[test]
+    fn msg_dim_is_input_dim() {
+        let mut rng = seeded_rng(3);
+        let conv = SageConv::new(&mut rng, 5, 2, Aggregator::Max);
+        assert_eq!((conv.in_dim(), conv.msg_dim(), conv.out_dim()), (5, 5, 2));
+        assert_eq!(conv.param_count(), (5 * 2 + 2) + (5 * 2 + 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_parts_rejects_dim_mismatch() {
+        let _ = SageConv::from_parts(
+            Linear::identity(2),
+            Linear::identity(3),
+            Aggregator::Max,
+        );
+    }
+}

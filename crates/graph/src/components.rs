@@ -1,0 +1,118 @@
+//! Connected components and reachability utilities.
+//!
+//! The dataset stand-ins and the stress suite need to reason about
+//! connectivity: a disconnected component is exactly the part of a graph an
+//! edge change can never affect, so component structure bounds the
+//! theoretical affected area from above.
+
+use crate::{DynGraph, VertexId};
+
+/// Per-vertex component labels (0-based, dense) plus the component count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// `label[v]` is the component id of vertex `v`.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// True when `u` and `v` are in the same component.
+    pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        self.label[u as usize] == self.label[v as usize]
+    }
+
+    /// Size of each component, indexed by label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.label {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest component.
+    pub fn largest(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Computes weakly connected components (treating edges as undirected) with
+/// an iterative BFS.
+pub fn connected_components(g: &DynGraph) -> Components {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue: Vec<VertexId> = Vec::new();
+    for start in 0..n {
+        if label[start] != u32::MAX {
+            continue;
+        }
+        label[start] = count;
+        queue.push(start as VertexId);
+        while let Some(u) = queue.pop() {
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = count;
+                    queue.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { label, count: count as usize }
+}
+
+/// True when the whole graph is one (weak) component. Empty graphs count as
+/// connected.
+pub fn is_connected(g: &DynGraph) -> bool {
+    g.num_vertices() == 0 || connected_components(g).count == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_separate_edges_are_two_components_plus_isolates() {
+        let g = DynGraph::undirected_from_edges(6, &[(0, 1), (2, 3)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 4); // {0,1}, {2,3}, {4}, {5}
+        assert!(c.connected(0, 1));
+        assert!(!c.connected(1, 2));
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 2, 2]);
+        assert_eq!(c.largest(), 2);
+    }
+
+    #[test]
+    fn ring_is_connected() {
+        let edges: Vec<_> = (0..10).map(|i| (i, (i + 1) % 10)).collect();
+        let g = DynGraph::undirected_from_edges(10, &edges);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn directed_graphs_use_weak_connectivity() {
+        let g = DynGraph::directed_from_edges(3, &[(0, 1), (2, 1)]);
+        assert!(is_connected(&g), "weakly connected despite no directed path 0→2");
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(is_connected(&DynGraph::new(0, false)));
+        assert!(!is_connected(&DynGraph::new(2, false)), "two isolates are two components");
+    }
+
+    #[test]
+    fn component_bounds_affected_area() {
+        // An edge change in one component cannot affect the other.
+        let g = DynGraph::undirected_from_edges(8, &[(0, 1), (1, 2), (4, 5), (5, 6)]);
+        let c = connected_components(&g);
+        let ball = crate::bfs::k_hop_out(&g, &[1], 10);
+        for &v in &ball {
+            assert!(c.connected(1, v));
+        }
+    }
+}

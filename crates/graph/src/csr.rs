@@ -1,0 +1,108 @@
+//! Immutable compressed-sparse-row snapshot.
+//!
+//! The full-graph baselines (the *PyG* and *Graphiler* stand-ins) iterate
+//! every vertex's in-neighborhood once per layer; CSR gives them the flat,
+//! gather-friendly layout such engines actually use.
+
+use crate::{DynGraph, VertexId};
+
+/// CSR over *in*-neighborhoods: `neighbors(u)` are the vertices whose
+/// messages `u` aggregates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    row_ptr: Vec<usize>,
+    col_idx: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Snapshot of `g`'s in-adjacency.
+    pub fn from_graph(g: &DynGraph) -> Self {
+        let n = g.num_vertices();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        for u in 0..n {
+            col_idx.extend_from_slice(g.in_neighbors(u as VertexId));
+            row_ptr.push(col_idx.len());
+        }
+        Self { row_ptr, col_idx }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Total stored adjacency entries (2·|E| for undirected graphs).
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// In-neighbors of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: VertexId) -> &[VertexId] {
+        &self.col_idx[self.row_ptr[u as usize]..self.row_ptr[u as usize + 1]]
+    }
+
+    /// In-degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.row_ptr[u as usize + 1] - self.row_ptr[u as usize]
+    }
+
+    /// Bytes occupied by the index arrays (for the memory model).
+    pub fn nbytes(&self) -> usize {
+        self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_matches_dyn_graph() {
+        let mut g = DynGraph::new(4, false);
+        g.insert_edge(0, 1);
+        g.insert_edge(0, 2);
+        g.insert_edge(2, 3);
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_entries(), 6); // undirected → 2|E|
+        for u in 0..4 {
+            assert_eq!(csr.neighbors(u), g.in_neighbors(u), "vertex {u}");
+            assert_eq!(csr.degree(u), g.in_degree(u));
+        }
+    }
+
+    #[test]
+    fn directed_snapshot_uses_in_edges() {
+        let mut g = DynGraph::new(3, true);
+        g.insert_edge(0, 2);
+        g.insert_edge(1, 2);
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.neighbors(2), &[0, 1]);
+        assert_eq!(csr.neighbors(0), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn empty_graph_snapshot() {
+        let g = DynGraph::new(5, false);
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.num_vertices(), 5);
+        assert_eq!(csr.num_entries(), 0);
+        assert_eq!(csr.degree(3), 0);
+    }
+
+    #[test]
+    fn snapshot_is_stable_after_graph_mutation() {
+        let mut g = DynGraph::new(3, false);
+        g.insert_edge(0, 1);
+        let csr = Csr::from_graph(&g);
+        g.insert_edge(1, 2);
+        assert_eq!(csr.neighbors(1), &[0], "CSR is an immutable snapshot");
+    }
+}

@@ -1,0 +1,275 @@
+//! Edge-change batches (ΔG).
+//!
+//! Between two timestamps the paper modifies ΔG edges, evenly split between
+//! insertion and removal, at random locations. `DeltaBatch::random_scenario`
+//! reproduces that workload generator.
+
+use crate::{DynGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Insert or remove.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeOp {
+    /// The edge appears in the new timestamp.
+    Insert,
+    /// The edge disappears in the new timestamp.
+    Remove,
+}
+
+/// One changed edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeChange {
+    /// Source endpoint.
+    pub src: VertexId,
+    /// Destination endpoint.
+    pub dst: VertexId,
+    /// Insert or remove.
+    pub op: EdgeOp,
+}
+
+impl EdgeChange {
+    /// An insertion.
+    pub fn insert(src: VertexId, dst: VertexId) -> Self {
+        Self { src, dst, op: EdgeOp::Insert }
+    }
+
+    /// A removal.
+    pub fn remove(src: VertexId, dst: VertexId) -> Self {
+        Self { src, dst, op: EdgeOp::Remove }
+    }
+
+    /// The change that undoes this one.
+    pub fn inverse(self) -> Self {
+        Self {
+            op: match self.op {
+                EdgeOp::Insert => EdgeOp::Remove,
+                EdgeOp::Remove => EdgeOp::Insert,
+            },
+            ..self
+        }
+    }
+}
+
+/// A batch of edge changes applied atomically between two timestamps.
+///
+/// ```
+/// use ink_graph::{DeltaBatch, DynGraph, EdgeChange};
+///
+/// let mut g = DynGraph::undirected_from_edges(3, &[(0, 1)]);
+/// let delta = DeltaBatch::new(vec![EdgeChange::remove(0, 1), EdgeChange::insert(1, 2)]);
+/// delta.apply(&mut g);
+/// assert!(g.has_edge(1, 2) && !g.has_edge(0, 1));
+/// delta.inverse().apply(&mut g); // undoes the batch
+/// assert!(g.has_edge(0, 1) && !g.has_edge(1, 2));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaBatch {
+    changes: Vec<EdgeChange>,
+}
+
+impl DeltaBatch {
+    /// Wraps an explicit change list.
+    pub fn new(changes: Vec<EdgeChange>) -> Self {
+        Self { changes }
+    }
+
+    /// The changes, in application order.
+    pub fn changes(&self) -> &[EdgeChange] {
+        &self.changes
+    }
+
+    /// Number of changed edges (ΔG in the paper).
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Applies every change to `g` in order.
+    pub fn apply(&self, g: &mut DynGraph) {
+        for &c in &self.changes {
+            g.apply(c);
+        }
+    }
+
+    /// Reverts every change (inverse ops in reverse order).
+    pub fn revert(&self, g: &mut DynGraph) {
+        for &c in self.changes.iter().rev() {
+            g.apply(c.inverse());
+        }
+    }
+
+    /// The batch that undoes this one (inverse ops in reverse order) — used
+    /// by the bench harness to restore an engine to the base snapshot
+    /// between scenarios without a fresh bootstrap.
+    pub fn inverse(&self) -> DeltaBatch {
+        DeltaBatch::new(self.changes.iter().rev().map(|c| c.inverse()).collect())
+    }
+
+    /// The endpoints touched by the batch (deduplicated, sorted).
+    pub fn touched_vertices(&self) -> Vec<VertexId> {
+        let mut v: Vec<VertexId> =
+            self.changes.iter().flat_map(|c| [c.src, c.dst]).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// A random graph-changing scenario against the *current* state of `g`:
+    /// `n_changes` edges, evenly split between removals of existing edges and
+    /// insertions of currently-absent edges (the paper's default mix). The
+    /// returned batch is consistent — no change in the batch collides with
+    /// another (each edge appears at most once).
+    pub fn random_scenario(g: &DynGraph, rng: &mut StdRng, n_changes: usize) -> Self {
+        let n_remove = n_changes / 2;
+        let n_insert = n_changes - n_remove;
+        let mut changes = Vec::with_capacity(n_changes);
+        let mut used: crate::FxHashSet<(VertexId, VertexId)> = crate::FxHashSet::default();
+        let canon = |u: VertexId, v: VertexId, directed: bool| {
+            if directed || u < v {
+                (u, v)
+            } else {
+                (v, u)
+            }
+        };
+
+        // Removals: sample distinct existing edges.
+        if n_remove > 0 {
+            let mut edges = g.edges();
+            assert!(
+                edges.len() >= n_remove,
+                "graph has {} edges, cannot remove {n_remove}",
+                edges.len()
+            );
+            // Partial Fisher–Yates: the first n_remove slots become the sample.
+            for i in 0..n_remove {
+                let j = rng.random_range(i..edges.len());
+                edges.swap(i, j);
+                let (u, v) = edges[i];
+                used.insert(canon(u, v, g.is_directed()));
+                changes.push(EdgeChange::remove(u, v));
+            }
+        }
+
+        // Insertions: rejection-sample absent edges.
+        let n = g.num_vertices() as VertexId;
+        assert!(n >= 2, "need at least two vertices to insert edges");
+        let mut inserted = 0;
+        let mut attempts = 0usize;
+        while inserted < n_insert {
+            attempts += 1;
+            assert!(
+                attempts < 1000 * n_insert.max(16),
+                "could not find {n_insert} absent edges (graph too dense?)"
+            );
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            if u == v || g.has_edge(u, v) {
+                continue;
+            }
+            if !used.insert(canon(u, v, g.is_directed())) {
+                continue;
+            }
+            changes.push(EdgeChange::insert(u, v));
+            inserted += 1;
+        }
+        Self { changes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ring(n: usize) -> DynGraph {
+        let edges: Vec<(VertexId, VertexId)> =
+            (0..n).map(|i| (i as VertexId, ((i + 1) % n) as VertexId)).collect();
+        DynGraph::undirected_from_edges(n, &edges)
+    }
+
+    #[test]
+    fn inverse_undoes_change() {
+        let c = EdgeChange::insert(1, 2);
+        assert_eq!(c.inverse(), EdgeChange::remove(1, 2));
+        assert_eq!(c.inverse().inverse(), c);
+    }
+
+    #[test]
+    fn random_scenario_has_requested_mix() {
+        let g = ring(100);
+        let mut rng = StdRng::seed_from_u64(5);
+        let b = DeltaBatch::random_scenario(&g, &mut rng, 20);
+        assert_eq!(b.len(), 20);
+        let removes = b.changes().iter().filter(|c| c.op == EdgeOp::Remove).count();
+        assert_eq!(removes, 10);
+    }
+
+    #[test]
+    fn random_scenario_is_consistent_with_graph() {
+        let mut g = ring(50);
+        let mut rng = StdRng::seed_from_u64(6);
+        let b = DeltaBatch::random_scenario(&g, &mut rng, 30);
+        for c in b.changes() {
+            match c.op {
+                EdgeOp::Remove => assert!(g.has_edge(c.src, c.dst), "{c:?} must exist"),
+                EdgeOp::Insert => assert!(!g.has_edge(c.src, c.dst), "{c:?} must be absent"),
+            }
+        }
+        // Every change must be effective when applied.
+        let before = g.num_edges();
+        b.apply(&mut g);
+        assert_eq!(g.num_edges(), before + 15 - 15);
+        b.revert(&mut g);
+        assert_eq!(g, ring(50));
+    }
+
+    #[test]
+    fn random_scenario_no_duplicate_edges() {
+        let g = ring(30);
+        let mut rng = StdRng::seed_from_u64(7);
+        let b = DeltaBatch::random_scenario(&g, &mut rng, 20);
+        let mut seen = std::collections::HashSet::new();
+        for c in b.changes() {
+            let key = if c.src < c.dst { (c.src, c.dst) } else { (c.dst, c.src) };
+            assert!(seen.insert(key), "edge {key:?} appears twice");
+        }
+    }
+
+    #[test]
+    fn odd_count_favors_insertions() {
+        let g = ring(40);
+        let mut rng = StdRng::seed_from_u64(8);
+        let b = DeltaBatch::random_scenario(&g, &mut rng, 5);
+        let inserts = b.changes().iter().filter(|c| c.op == EdgeOp::Insert).count();
+        assert_eq!(inserts, 3);
+    }
+
+    #[test]
+    fn inverse_batch_restores_graph() {
+        let mut g = ring(20);
+        let mut rng = StdRng::seed_from_u64(10);
+        let b = DeltaBatch::random_scenario(&g, &mut rng, 8);
+        b.apply(&mut g);
+        b.inverse().apply(&mut g);
+        assert_eq!(g, ring(20));
+    }
+
+    #[test]
+    fn touched_vertices_dedups() {
+        let b = DeltaBatch::new(vec![EdgeChange::insert(3, 1), EdgeChange::remove(1, 2)]);
+        assert_eq!(b.touched_vertices(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove")]
+    fn removal_from_sparse_graph_panics() {
+        let g = DynGraph::new(10, false);
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = DeltaBatch::random_scenario(&g, &mut rng, 4);
+    }
+}

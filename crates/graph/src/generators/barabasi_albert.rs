@@ -1,0 +1,94 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! Citation graphs (PubMed, Cora, ogbn-papers100M) have heavy-tailed degree
+//! distributions; preferential attachment reproduces that tail, which is what
+//! makes the affected area of a random edge change vary so widely on these
+//! datasets.
+
+use crate::{DynGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Undirected BA graph: starts from a small clique and attaches each new
+/// vertex to `m` existing vertices chosen proportionally to degree.
+pub fn barabasi_albert(rng: &mut StdRng, n: usize, m: usize) -> DynGraph {
+    assert!(m >= 1, "attachment count must be positive");
+    assert!(n > m, "need more vertices ({n}) than the attachment count ({m})");
+    let mut g = DynGraph::new(n, false);
+    // `targets` holds one entry per edge endpoint, so uniform sampling from it
+    // is degree-proportional sampling.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique over the first m+1 vertices.
+    for u in 0..=(m as VertexId) {
+        for v in 0..u {
+            if g.insert_edge(u, v) {
+                endpoints.push(u);
+                endpoints.push(v);
+            }
+        }
+    }
+
+    for u in (m + 1)..n {
+        let u = u as VertexId;
+        let mut attached = 0;
+        while attached < m {
+            let v = endpoints[rng.random_range(0..endpoints.len())];
+            if g.insert_edge(u, v) {
+                attached += 1;
+            }
+        }
+        // Record u's new edges only after all m are chosen, so a new vertex
+        // does not attach to itself through its own fresh endpoints.
+        for &v in g.in_neighbors(u) {
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_count_formula() {
+        let (n, m) = (200, 3);
+        let g = barabasi_albert(&mut StdRng::seed_from_u64(1), n, m);
+        // clique edges + m per subsequent vertex
+        assert_eq!(g.num_edges(), m * (m + 1) / 2 + (n - m - 1) * m);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = barabasi_albert(&mut StdRng::seed_from_u64(2), 100, 2);
+        let b = barabasi_albert(&mut StdRng::seed_from_u64(2), 100, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let g = barabasi_albert(&mut StdRng::seed_from_u64(3), 150, 2);
+        let reach = crate::bfs::k_hop_out(&g, &[0], 150);
+        assert_eq!(reach.len(), 150);
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = barabasi_albert(&mut StdRng::seed_from_u64(4), 2000, 2);
+        let max_deg = (0..2000).map(|u| g.in_degree(u)).max().unwrap();
+        let avg = 2.0 * g.num_edges() as f64 / 2000.0;
+        assert!(
+            max_deg as f64 > 8.0 * avg,
+            "hub degree {max_deg} should dwarf the average {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn min_degree_is_attachment_count() {
+        let g = barabasi_albert(&mut StdRng::seed_from_u64(5), 300, 4);
+        assert!((0..300).all(|u| g.in_degree(u) >= 4));
+    }
+}

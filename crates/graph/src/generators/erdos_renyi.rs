@@ -1,0 +1,60 @@
+//! G(n, m) Erdős–Rényi generator.
+
+use crate::{DynGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Undirected G(n, m): exactly `m` distinct edges sampled uniformly from all
+/// vertex pairs. Panics if `m` exceeds the number of possible edges.
+pub fn erdos_renyi(rng: &mut StdRng, n: usize, m: usize) -> DynGraph {
+    let max_edges = n * n.saturating_sub(1) / 2;
+    assert!(m <= max_edges, "G({n}, {m}) requested but only {max_edges} pairs exist");
+    let mut g = DynGraph::new(n, false);
+    let n32 = n as VertexId;
+    while g.num_edges() < m {
+        let u = rng.random_range(0..n32);
+        let v = rng.random_range(0..n32);
+        g.insert_edge(u, v);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(&mut StdRng::seed_from_u64(1), 100, 250);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 250);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = erdos_renyi(&mut StdRng::seed_from_u64(2), 50, 100);
+        let b = erdos_renyi(&mut StdRng::seed_from_u64(2), 50, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(&mut StdRng::seed_from_u64(3), 30, 60);
+        for (u, v) in g.edges() {
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn complete_graph_possible() {
+        let g = erdos_renyi(&mut StdRng::seed_from_u64(4), 6, 15);
+        assert_eq!(g.num_edges(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "pairs exist")]
+    fn over_dense_request_panics() {
+        let _ = erdos_renyi(&mut StdRng::seed_from_u64(5), 4, 7);
+    }
+}

@@ -1,0 +1,20 @@
+//! Synthetic graph generators.
+//!
+//! The paper's datasets are proprietary-scale downloads; the stand-ins are
+//! synthesised with the generator family each dataset resembles (DESIGN.md §2):
+//! citation graphs → preferential attachment ([`barabasi_albert()`]), dense
+//! social/review graphs → [`rmat()`], control experiments → [`erdos_renyi()`],
+//! and the node-classification task for the GraphNorm study →
+//! [`planted`] partitions.
+
+pub mod barabasi_albert;
+pub mod erdos_renyi;
+pub mod planted;
+pub mod rmat;
+pub mod watts_strogatz;
+
+pub use barabasi_albert::barabasi_albert;
+pub use erdos_renyi::erdos_renyi;
+pub use planted::{planted_partition, PlantedGraph};
+pub use rmat::rmat;
+pub use watts_strogatz::watts_strogatz;

@@ -1,0 +1,101 @@
+//! Watts–Strogatz small-world generator.
+//!
+//! Small-world rewiring produces graphs with high clustering *and* short
+//! paths — the regime where a k-hop affected area saturates fastest. Used by
+//! the stress suite to exercise the engine on a third topology family
+//! (heavy-tailed BA, clustered R-MAT, small-world WS).
+
+use crate::{DynGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Undirected Watts–Strogatz graph: a ring lattice where each vertex links
+/// to its `k` nearest neighbors (`k` even), with each edge rewired to a
+/// random endpoint with probability `beta`.
+pub fn watts_strogatz(rng: &mut StdRng, n: usize, k: usize, beta: f64) -> DynGraph {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and ≥ 2");
+    assert!(n > k, "need more vertices than lattice degree");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut g = DynGraph::new(n, false);
+    // Ring lattice.
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            g.insert_edge(u as VertexId, ((u + j) % n) as VertexId);
+        }
+    }
+    // Rewire.
+    let n32 = n as VertexId;
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            if rng.random_range(0.0..1.0) >= beta {
+                continue;
+            }
+            let v = ((u + j) % n) as VertexId;
+            let u = u as VertexId;
+            // Pick a new endpoint that keeps the graph simple.
+            let mut attempts = 0;
+            loop {
+                let w = rng.random_range(0..n32);
+                attempts += 1;
+                if attempts > 100 {
+                    break; // dense corner case: keep the lattice edge
+                }
+                if w == u || g.has_edge(u, w) {
+                    continue;
+                }
+                g.remove_edge(u, v);
+                g.insert_edge(u, w);
+                break;
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_beta_is_ring_lattice() {
+        let g = watts_strogatz(&mut StdRng::seed_from_u64(1), 20, 4, 0.0);
+        assert_eq!(g.num_edges(), 20 * 2);
+        for u in 0..20u32 {
+            assert_eq!(g.in_degree(u), 4, "lattice degree");
+            assert!(g.has_edge(u, (u + 1) % 20));
+            assert!(g.has_edge(u, (u + 2) % 20));
+        }
+    }
+
+    #[test]
+    fn edge_count_is_preserved_by_rewiring() {
+        let g = watts_strogatz(&mut StdRng::seed_from_u64(2), 100, 6, 0.3);
+        assert_eq!(g.num_edges(), 100 * 3);
+    }
+
+    #[test]
+    fn rewiring_shortens_paths() {
+        // With β = 0 the 3-hop ball around a vertex is exactly 1 + 3·k nodes;
+        // rewiring must reach further.
+        let lattice = watts_strogatz(&mut StdRng::seed_from_u64(3), 200, 4, 0.0);
+        let small_world = watts_strogatz(&mut StdRng::seed_from_u64(3), 200, 4, 0.5);
+        let ball_l = crate::bfs::k_hop_out(&lattice, &[0], 3).len();
+        let ball_s = crate::bfs::k_hop_out(&small_world, &[0], 3).len();
+        assert_eq!(ball_l, 13);
+        assert!(ball_s > ball_l, "small world ball {ball_s} vs lattice {ball_l}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = watts_strogatz(&mut StdRng::seed_from_u64(4), 50, 4, 0.2);
+        let b = watts_strogatz(&mut StdRng::seed_from_u64(4), 50, 4, 0.2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn odd_k_rejected() {
+        let _ = watts_strogatz(&mut StdRng::seed_from_u64(5), 10, 3, 0.1);
+    }
+}

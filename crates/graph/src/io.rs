@@ -1,0 +1,118 @@
+//! Binary edge-list serialisation.
+//!
+//! Synthesising the larger stand-ins takes tens of seconds; the bench
+//! harness caches them on disk between runs. Format: magic, version,
+//! directed flag, vertex count, edge count, then little-endian `u32` pairs —
+//! all through buffered I/O (per the perf-book guidance on unbuffered
+//! syscalls).
+
+use crate::{DynGraph, VertexId};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"IKG1";
+
+/// Writes `g` to an arbitrary writer.
+pub fn write_graph(g: &DynGraph, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[u8::from(g.is_directed())])?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    let edges = g.edges();
+    w.write_all(&(edges.len() as u64).to_le_bytes())?;
+    for (u, v) in edges {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a graph previously written by [`write_graph`].
+pub fn read_graph(r: &mut impl Read) -> io::Result<DynGraph> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let directed = flag[0] != 0;
+    let n = read_u64(r)? as usize;
+    let m = read_u64(r)? as usize;
+    let mut g = DynGraph::new(n, directed);
+    let mut buf = [0u8; 8];
+    for _ in 0..m {
+        r.read_exact(&mut buf)?;
+        let u = VertexId::from_le_bytes(buf[..4].try_into().unwrap());
+        let v = VertexId::from_le_bytes(buf[4..].try_into().unwrap());
+        if u as usize >= n || v as usize >= n {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "vertex id out of range"));
+        }
+        g.insert_edge(u, v);
+    }
+    Ok(g)
+}
+
+/// Writes `g` to `path`.
+pub fn save_graph(g: &DynGraph, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    write_graph(g, &mut w)?;
+    w.flush()
+}
+
+/// Reads a graph previously written by [`save_graph`].
+pub fn load_graph(path: &Path) -> io::Result<DynGraph> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    read_graph(&mut r)
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ink-graph-io-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_undirected() {
+        let g = DynGraph::undirected_from_edges(5, &[(0, 1), (2, 3), (1, 4)]);
+        let path = tmp("u");
+        save_graph(&g, &path).unwrap();
+        let loaded = load_graph(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, g);
+    }
+
+    #[test]
+    fn roundtrip_directed() {
+        let g = DynGraph::directed_from_edges(4, &[(0, 1), (1, 0), (3, 2)]);
+        let path = tmp("d");
+        save_graph(&g, &path).unwrap();
+        let loaded = load_graph(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, g);
+        assert!(loaded.is_directed());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("bad");
+        std::fs::write(&path, b"not a graph").unwrap();
+        let err = load_graph(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(load_graph(Path::new("/nonexistent/x.ikg")).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! T-GCN-style temporal edge timelines.
+//!
+//! The paper simulates graph dynamics by assigning random edge creation and
+//! deletion times (following T-GCN) and diffing consecutive snapshots. This
+//! module reproduces that: every edge of a base graph gets a creation time in
+//! `[0, 1)` and, with probability `p_delete`, a deletion time after it.
+
+use crate::{DeltaBatch, DynGraph, EdgeChange, VertexId};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// One edge with its lifetime.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TemporalEdge {
+    /// Source endpoint.
+    pub src: VertexId,
+    /// Destination endpoint.
+    pub dst: VertexId,
+    /// Creation time in `[0, 1)`.
+    pub created: f64,
+    /// Deletion time in `(created, 1]`, or `f64::INFINITY` if never deleted.
+    pub deleted: f64,
+}
+
+impl TemporalEdge {
+    /// True when the edge exists at time `t`.
+    #[inline]
+    pub fn alive_at(&self, t: f64) -> bool {
+        self.created <= t && t < self.deleted
+    }
+}
+
+/// A dynamic graph represented as an edge set with lifetimes.
+#[derive(Clone, Debug)]
+pub struct TemporalGraph {
+    n: usize,
+    directed: bool,
+    edges: Vec<TemporalEdge>,
+}
+
+impl TemporalGraph {
+    /// Assigns random creation times to every edge of `base`, and a deletion
+    /// time to a `p_delete` fraction of them.
+    pub fn from_graph(base: &DynGraph, rng: &mut StdRng, p_delete: f64) -> Self {
+        let edges = base
+            .edges()
+            .into_iter()
+            .map(|(src, dst)| {
+                let created = rng.random_range(0.0..1.0);
+                let deleted = if rng.random_range(0.0..1.0) < p_delete {
+                    rng.random_range(created..1.0f64) + f64::MIN_POSITIVE
+                } else {
+                    f64::INFINITY
+                };
+                TemporalEdge { src, dst, created, deleted }
+            })
+            .collect();
+        Self { n: base.num_vertices(), directed: base.is_directed(), edges }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// All temporal edges.
+    pub fn edges(&self) -> &[TemporalEdge] {
+        &self.edges
+    }
+
+    /// The graph as it exists at time `t`.
+    pub fn snapshot_at(&self, t: f64) -> DynGraph {
+        let mut g = DynGraph::new(self.n, self.directed);
+        for e in &self.edges {
+            if e.alive_at(t) {
+                g.insert_edge(e.src, e.dst);
+            }
+        }
+        g
+    }
+
+    /// The ΔG between the snapshots at `t0` and `t1 > t0`: insertions for
+    /// edges that came alive, removals for edges that died.
+    pub fn delta_between(&self, t0: f64, t1: f64) -> DeltaBatch {
+        assert!(t0 <= t1);
+        let mut changes = Vec::new();
+        for e in &self.edges {
+            match (e.alive_at(t0), e.alive_at(t1)) {
+                (false, true) => changes.push(EdgeChange::insert(e.src, e.dst)),
+                (true, false) => changes.push(EdgeChange::remove(e.src, e.dst)),
+                _ => {}
+            }
+        }
+        DeltaBatch::new(changes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn base() -> DynGraph {
+        DynGraph::undirected_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+    }
+
+    #[test]
+    fn snapshot_at_one_contains_only_undeleted() {
+        let tg = TemporalGraph::from_graph(&base(), &mut StdRng::seed_from_u64(1), 0.0);
+        // p_delete = 0 → at t→1 every edge is alive.
+        assert_eq!(tg.snapshot_at(0.999999).num_edges(), 6);
+    }
+
+    #[test]
+    fn snapshot_grows_monotonically_without_deletions() {
+        let tg = TemporalGraph::from_graph(&base(), &mut StdRng::seed_from_u64(2), 0.0);
+        let e25 = tg.snapshot_at(0.25).num_edges();
+        let e75 = tg.snapshot_at(0.75).num_edges();
+        assert!(e25 <= e75);
+    }
+
+    #[test]
+    fn delta_is_consistent_with_snapshots() {
+        let tg = TemporalGraph::from_graph(&base(), &mut StdRng::seed_from_u64(3), 0.5);
+        let (t0, t1) = (0.3, 0.8);
+        let mut g0 = tg.snapshot_at(t0);
+        let g1 = tg.snapshot_at(t1);
+        tg.delta_between(t0, t1).apply(&mut g0);
+        assert_eq!(g0, g1, "snapshot(t0) + ΔG must equal snapshot(t1)");
+    }
+
+    #[test]
+    fn deletion_happens_after_creation() {
+        let tg = TemporalGraph::from_graph(&base(), &mut StdRng::seed_from_u64(4), 1.0);
+        for e in tg.edges() {
+            assert!(e.deleted > e.created);
+        }
+    }
+
+    #[test]
+    fn alive_interval_is_half_open() {
+        let e = TemporalEdge { src: 0, dst: 1, created: 0.2, deleted: 0.6 };
+        assert!(!e.alive_at(0.1));
+        assert!(e.alive_at(0.2));
+        assert!(e.alive_at(0.5));
+        assert!(!e.alive_at(0.6));
+    }
+}

@@ -1,0 +1,115 @@
+//! Element-wise activation functions — `act()` in the paper's notation.
+//!
+//! Activations are applied at the end of each GNN layer when the next-layer
+//! message of an affected node is rebuilt, so they must be cheap, pure and
+//! deterministic: the incremental path and the recompute path call the exact
+//! same code and therefore agree bitwise.
+
+/// The activation functions used by the benchmark models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// No-op (used for final layers that emit logits).
+    Identity,
+    /// `max(x, 0)` — GCN / GraphSAGE / GIN all use ReLU in the paper's setup.
+    Relu,
+    /// `max(x, alpha*x)` with fixed `alpha = 0.01`.
+    LeakyRelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation to a single value.
+    #[inline]
+    pub fn apply_scalar(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Applies the activation in place over a slice.
+    #[inline]
+    pub fn apply(self, xs: &mut [f32]) {
+        if self == Activation::Identity {
+            return;
+        }
+        for x in xs.iter_mut() {
+            *x = self.apply_scalar(*x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut v = vec![-1.0, 0.0, 2.5];
+        Activation::Relu.apply(&mut v);
+        assert_eq!(v, vec![0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let mut v = vec![-1.0, 3.0];
+        Activation::Identity.apply(&mut v);
+        assert_eq!(v, vec![-1.0, 3.0]);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        assert_eq!(Activation::LeakyRelu.apply_scalar(-2.0), -0.02);
+        assert_eq!(Activation::LeakyRelu.apply_scalar(2.0), 2.0);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_centered() {
+        assert!((Activation::Sigmoid.apply_scalar(0.0) - 0.5).abs() < 1e-7);
+        assert!(Activation::Sigmoid.apply_scalar(100.0) <= 1.0);
+        assert!(Activation::Sigmoid.apply_scalar(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let a = Activation::Tanh.apply_scalar(0.7);
+        let b = Activation::Tanh.apply_scalar(-0.7);
+        assert!((a + b).abs() < 1e-7);
+    }
+
+    #[test]
+    fn scalar_and_slice_agree() {
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::LeakyRelu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ] {
+            let src = [-2.0_f32, -0.5, 0.0, 0.5, 2.0];
+            let mut v = src.to_vec();
+            act.apply(&mut v);
+            for (i, &x) in src.iter().enumerate() {
+                assert_eq!(v[i], act.apply_scalar(x), "{act:?} channel {i}");
+            }
+        }
+    }
+}

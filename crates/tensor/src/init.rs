@@ -1,0 +1,133 @@
+//! Deterministic weight and feature initialisation.
+//!
+//! Inference cost is independent of the weight values, so the performance
+//! experiments use seeded random weights (Glorot-uniform, the PyG default for
+//! the benchmarked layers). Seeding makes every table in EXPERIMENTS.md
+//! reproducible exactly.
+
+use crate::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seeded RNG for experiment reproducibility.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Glorot/Xavier-uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn glorot_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| (rng.random_range(-a..a)) as f32)
+}
+
+/// Uniform matrix in `[lo, hi)`.
+pub fn uniform(rng: &mut StdRng, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(lo..hi))
+}
+
+/// Standard-normal matrix (Box–Muller; good enough for feature synthesis).
+pub fn normal(rng: &mut StdRng, rows: usize, cols: usize, mean: f32, std: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| mean + std * sample_standard_normal(rng))
+}
+
+/// Sparse, heavy-tailed synthetic node features.
+///
+/// Real graph datasets (bag-of-words citations, review embeddings) have two
+/// properties uniform noise lacks, and both matter to InkStream's evaluation:
+/// sparsity, and a heavy-tailed per-node magnitude — a few "strong" nodes
+/// dominate max-aggregation in most channels, which is precisely what makes
+/// most nodes *resilient* to a random edge change (paper Fig. 1b). Each row
+/// gets a Pareto(α)-distributed scale (capped at 100×) times a
+/// `density`-sparse uniform direction.
+pub fn sparse_power_law(
+    rng: &mut StdRng,
+    rows: usize,
+    cols: usize,
+    density: f64,
+    alpha: f64,
+) -> Matrix {
+    assert!(alpha > 0.0 && (0.0..=1.0).contains(&density));
+    let mut scale = 1.0f64;
+    Matrix::from_fn(rows, cols, |_, c| {
+        if c == 0 {
+            let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            scale = u.powf(-1.0 / alpha).min(100.0);
+        }
+        if rng.random_range(0.0..1.0) < density {
+            (rng.random_range(-1.0..1.0) * scale) as f32
+        } else {
+            0.0
+        }
+    })
+}
+
+/// One standard-normal sample via Box–Muller.
+pub fn sample_standard_normal(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = glorot_uniform(&mut seeded_rng(7), 8, 4);
+        let b = glorot_uniform(&mut seeded_rng(7), 8, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = glorot_uniform(&mut seeded_rng(1), 8, 4);
+        let b = glorot_uniform(&mut seeded_rng(2), 8, 4);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn glorot_respects_bound() {
+        let m = glorot_uniform(&mut seeded_rng(3), 10, 10);
+        let a = (6.0_f32 / 20.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= a));
+    }
+
+    #[test]
+    fn uniform_respects_range() {
+        let m = uniform(&mut seeded_rng(4), 20, 5, -1.5, 2.5);
+        assert!(m.as_slice().iter().all(|&x| (-1.5..2.5).contains(&x)));
+    }
+
+    #[test]
+    fn sparse_power_law_density_and_tail() {
+        let m = sparse_power_law(&mut seeded_rng(8), 500, 40, 0.25, 1.3);
+        let nonzero = m.as_slice().iter().filter(|&&x| x != 0.0).count();
+        let frac = nonzero as f64 / (500.0 * 40.0);
+        assert!((frac - 0.25).abs() < 0.03, "density {frac}");
+        // Heavy tail: the strongest row should dwarf the median row.
+        let mut norms: Vec<f32> = (0..500)
+            .map(|r| m.row(r).iter().map(|x| x * x).sum::<f32>().sqrt())
+            .collect();
+        norms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(norms[499] > 10.0 * norms[250], "tail {} vs median {}", norms[499], norms[250]);
+    }
+
+    #[test]
+    fn sparse_power_law_is_deterministic() {
+        let a = sparse_power_law(&mut seeded_rng(9), 20, 5, 0.5, 2.0);
+        let b = sparse_power_law(&mut seeded_rng(9), 20, 5, 0.5, 2.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let m = normal(&mut seeded_rng(5), 200, 50, 1.0, 2.0);
+        let n = m.as_slice().len() as f32;
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / n;
+        let var: f32 = m.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.4, "var {var}");
+    }
+}

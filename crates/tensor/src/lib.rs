@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # ink-tensor
+//!
+//! A small, dependency-light dense tensor and neural-network substrate used by
+//! the InkStream reproduction. There is no mature GNN stack in Rust, so the
+//! pieces a GNN needs from a tensor library are implemented here from scratch:
+//!
+//! * [`Matrix`] — a row-major `f32` matrix with rayon-parallel matmul, built
+//!   for the "many short rows" access pattern of node embedding tables.
+//! * [`ops`] — the vector kernels the aggregation phase is made of
+//!   (`axpy`, element-wise max/min, comparisons with bit-exact semantics).
+//! * [`Linear`] / [`Mlp`] — the combination-phase building blocks
+//!   (`T()` in the paper's notation).
+//! * [`Activation`] — element-wise activation functions (`act()`).
+//! * [`train`] — a softmax-regression trainer used by the GraphNorm accuracy
+//!   study (Fig. 9), where model accuracy matters and random weights won't do.
+//!
+//! Determinism: all random initialisation goes through seeded [`rand::rngs::StdRng`]
+//! so every experiment in the repo is reproducible bit-for-bit run to run.
+
+pub mod activation;
+pub mod init;
+pub mod linear;
+pub mod matrix;
+pub mod mlp;
+pub mod ops;
+pub mod reduce;
+pub mod train;
+
+pub use activation::Activation;
+pub use linear::Linear;
+pub use matrix::Matrix;
+pub use mlp::Mlp;

@@ -1,0 +1,121 @@
+//! Affine transformation `x ↦ xW + b` — the combination function `T()`.
+
+use crate::{init, Matrix};
+use rand::rngs::StdRng;
+
+/// A dense affine layer with weight `W (in×out)` and bias `b (out)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Linear {
+    weight: Matrix,
+    bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Glorot-initialised layer.
+    pub fn new(rng: &mut StdRng, in_dim: usize, out_dim: usize) -> Self {
+        Self { weight: init::glorot_uniform(rng, in_dim, out_dim), bias: vec![0.0; out_dim] }
+    }
+
+    /// Layer from explicit parameters. Panics on shape mismatch.
+    pub fn from_parts(weight: Matrix, bias: Vec<f32>) -> Self {
+        assert_eq!(weight.cols(), bias.len(), "bias length must equal output dim");
+        Self { weight, bias }
+    }
+
+    /// An identity layer (square, `W = I`, `b = 0`) — handy in tests.
+    pub fn identity(dim: usize) -> Self {
+        Self {
+            weight: Matrix::from_fn(dim, dim, |r, c| if r == c { 1.0 } else { 0.0 }),
+            bias: vec![0.0; dim],
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// The weight matrix.
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// `out = x·W + b` for a single row. `out` must have length `out_dim`.
+    pub fn forward_vec(&self, x: &[f32], out: &mut [f32]) {
+        self.weight.vecmul(x, out);
+        crate::ops::add_assign(out, &self.bias);
+    }
+
+    /// Convenience allocating variant of [`Linear::forward_vec`].
+    pub fn forward_vec_alloc(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; self.out_dim()];
+        self.forward_vec(x, &mut out);
+        out
+    }
+
+    /// Batched forward over a matrix of rows.
+    pub fn forward_matrix(&self, x: &Matrix) -> Matrix {
+        let mut out = x.matmul(&self.weight);
+        for r in 0..out.rows() {
+            crate::ops::add_assign(out.row_mut(r), &self.bias);
+        }
+        out
+    }
+
+    /// Parameter count (for the memory-cost model).
+    pub fn param_count(&self) -> usize {
+        self.weight.rows() * self.weight.cols() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn identity_layer_passes_through() {
+        let l = Linear::identity(3);
+        assert_eq!(l.forward_vec_alloc(&[1.0, -2.0, 3.0]), vec![1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let l = Linear::from_parts(Matrix::zeros(2, 2), vec![0.5, -0.5]);
+        assert_eq!(l.forward_vec_alloc(&[9.0, 9.0]), vec![0.5, -0.5]);
+    }
+
+    #[test]
+    fn vec_and_matrix_paths_agree() {
+        let mut rng = seeded_rng(11);
+        let l = Linear::new(&mut rng, 4, 3);
+        let x = init::uniform(&mut rng, 5, 4, -1.0, 1.0);
+        let batched = l.forward_matrix(&x);
+        for r in 0..5 {
+            let single = l.forward_vec_alloc(x.row(r));
+            assert_eq!(single.as_slice(), batched.row(r), "row {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length")]
+    fn from_parts_rejects_mismatch() {
+        let _ = Linear::from_parts(Matrix::zeros(2, 3), vec![0.0; 2]);
+    }
+
+    #[test]
+    fn param_count_counts_weights_and_bias() {
+        let l = Linear::from_parts(Matrix::zeros(4, 3), vec![0.0; 3]);
+        assert_eq!(l.param_count(), 15);
+    }
+}

@@ -1,0 +1,286 @@
+//! Row-major dense `f32` matrix.
+//!
+//! Node embedding tables are matrices with many rows (one per vertex) and few
+//! columns (the hidden dimension, 16–256). The layout is row-major so a single
+//! node's embedding is one contiguous slice — the unit the event system moves
+//! around.
+
+use rayon::prelude::*;
+
+/// A row-major dense matrix of `f32`.
+///
+/// ```
+/// use ink_tensor::Matrix;
+///
+/// let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let id = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+/// assert_eq!(a.matmul(&id), a);
+/// assert_eq!(a.row(1), &[3.0, 4.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// An all-zeros matrix with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// A matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { data: vec![value; rows * cols], rows, cols }
+    }
+
+    /// Builds a matrix by calling `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { data, rows, cols }
+    }
+
+    /// Wraps an existing buffer. Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape {rows}x{cols}");
+        Self { data, rows, cols }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The whole backing buffer, row-major.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the backing buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `r` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies `src` into row `r`.
+    #[inline]
+    pub fn set_row(&mut self, r: usize, src: &[f32]) {
+        self.row_mut(r).copy_from_slice(src);
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Iterator over rows as slices.
+    pub fn rows_iter(&self) -> impl ExactSizeIterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Appends a row. Panics on column mismatch.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "row length mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Dense matmul: `self (n×k) · rhs (k×m) → (n×m)`, parallel over row blocks.
+    ///
+    /// The inner loops are written in the i-k-j order so the innermost loop
+    /// streams both the `rhs` row and the output row, which lets LLVM
+    /// auto-vectorise the multiply-accumulate.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch {:?}x{:?}", self.shape(), rhs.shape());
+        let (n, k, m) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(n, m);
+        // Parallelise over output rows; each task owns a disjoint output slice.
+        out.data
+            .par_chunks_mut(m.max(1))
+            .enumerate()
+            .for_each(|(i, orow)| {
+                let arow = &self.data[i * k..(i + 1) * k];
+                for (kk, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &rhs.data[kk * m..(kk + 1) * m];
+                    for (o, &b) in orow.iter_mut().zip(brow) {
+                        *o += a * b;
+                    }
+                }
+            });
+        out
+    }
+
+    /// `vec (1×k) · self (k×m) → (1×m)`, sequential; the hot path for
+    /// single-node incremental updates.
+    pub fn vecmul(&self, vec: &[f32], out: &mut [f32]) {
+        assert_eq!(vec.len(), self.rows, "vecmul shape mismatch");
+        assert_eq!(out.len(), self.cols, "vecmul output shape mismatch");
+        out.fill(0.0);
+        for (kk, &a) in vec.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let brow = &self.data[kk * self.cols..(kk + 1) * self.cols];
+            for (o, &b) in out.iter_mut().zip(brow) {
+                *o += a * b;
+            }
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f32, f32::max)
+    }
+
+    /// True when every element differs by at most `tol`.
+    pub fn allclose(&self, other: &Matrix, tol: f32) -> bool {
+        self.shape() == other.shape() && self.max_abs_diff(other) <= tol
+    }
+
+    /// Bytes occupied by the backing buffer (capacity ignored).
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_contents() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_fn_layout_is_row_major() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+        assert_eq!(m.get(1, 2), 12.0);
+    }
+
+    #[test]
+    fn set_row_and_push_row() {
+        let mut m = Matrix::zeros(1, 2);
+        m.set_row(0, &[1.0, 2.0]);
+        m.push_row(&[3.0, 4.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn push_row_rejects_wrong_width() {
+        let mut m = Matrix::zeros(1, 2);
+        m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_roundtrip() {
+        let a = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let id = Matrix::from_fn(4, 4, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&id).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn vecmul_agrees_with_matmul() {
+        let w = Matrix::from_fn(3, 2, |r, c| (r + c) as f32 * 0.5);
+        let v = [1.0, -2.0, 0.5];
+        let mut out = [0.0; 2];
+        w.vecmul(&v, &mut out);
+        let m = Matrix::from_vec(1, 3, v.to_vec()).matmul(&w);
+        assert_eq!(out.as_slice(), m.as_slice());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(2, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn allclose_respects_tolerance() {
+        let a = Matrix::full(2, 2, 1.0);
+        let mut b = a.clone();
+        b.set(0, 0, 1.05);
+        assert!(a.allclose(&b, 0.1));
+        assert!(!a.allclose(&b, 0.01));
+    }
+
+    #[test]
+    fn max_abs_diff_zero_for_identical() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r + c) as f32);
+        assert_eq!(a.max_abs_diff(&a.clone()), 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Multi-layer perceptron — the combination function of GIN layers.
+
+use crate::{Activation, Linear, Matrix};
+use rand::rngs::StdRng;
+
+/// A stack of [`Linear`] layers with an activation between layers (not after
+/// the last one; the owning GNN layer decides the final activation).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_act: Activation,
+}
+
+impl Mlp {
+    /// MLP with the given `dims` (e.g. `[64, 64, 64]` = two Linear layers).
+    pub fn new(rng: &mut StdRng, dims: &[usize], hidden_act: Activation) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        let layers = dims.windows(2).map(|w| Linear::new(rng, w[0], w[1])).collect();
+        Self { layers, hidden_act }
+    }
+
+    /// Builds from explicit layers.
+    pub fn from_layers(layers: Vec<Linear>, hidden_act: Activation) -> Self {
+        assert!(!layers.is_empty());
+        for w in layers.windows(2) {
+            assert_eq!(w[0].out_dim(), w[1].in_dim(), "MLP layer dims must chain");
+        }
+        Self { layers, hidden_act }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().unwrap().out_dim()
+    }
+
+    /// Forward pass for a single row.
+    pub fn forward_vec(&self, x: &[f32]) -> Vec<f32> {
+        let mut cur = self.layers[0].forward_vec_alloc(x);
+        for layer in &self.layers[1..] {
+            self.hidden_act.apply(&mut cur);
+            cur = layer.forward_vec_alloc(&cur);
+        }
+        cur
+    }
+
+    /// Batched forward pass.
+    pub fn forward_matrix(&self, x: &Matrix) -> Matrix {
+        let mut cur = self.layers[0].forward_matrix(x);
+        for layer in &self.layers[1..] {
+            self.hidden_act.apply(cur.as_mut_slice());
+            cur = layer.forward_matrix(&cur);
+        }
+        cur
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Linear::param_count).sum()
+    }
+
+    /// Number of Linear layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn single_layer_mlp_equals_linear() {
+        let mut rng = seeded_rng(1);
+        let lin = Linear::new(&mut rng, 3, 2);
+        let mlp = Mlp::from_layers(vec![lin.clone()], Activation::Relu);
+        let x = [0.3, -0.7, 1.1];
+        assert_eq!(mlp.forward_vec(&x), lin.forward_vec_alloc(&x));
+    }
+
+    #[test]
+    fn two_layer_applies_hidden_activation() {
+        // First layer outputs a negative value that ReLU must clamp.
+        let l1 = Linear::from_parts(Matrix::from_vec(1, 1, vec![1.0]), vec![-5.0]);
+        let l2 = Linear::from_parts(Matrix::from_vec(1, 1, vec![1.0]), vec![0.0]);
+        let mlp = Mlp::from_layers(vec![l1, l2], Activation::Relu);
+        assert_eq!(mlp.forward_vec(&[1.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn vec_and_matrix_paths_agree() {
+        let mut rng = seeded_rng(9);
+        let mlp = Mlp::new(&mut rng, &[4, 8, 3], Activation::Relu);
+        let x = crate::init::uniform(&mut rng, 6, 4, -1.0, 1.0);
+        let batched = mlp.forward_matrix(&x);
+        for r in 0..6 {
+            assert_eq!(mlp.forward_vec(x.row(r)).as_slice(), batched.row(r));
+        }
+    }
+
+    #[test]
+    fn dims_and_depth() {
+        let mut rng = seeded_rng(2);
+        let mlp = Mlp::new(&mut rng, &[5, 7, 7, 2], Activation::Relu);
+        assert_eq!((mlp.in_dim(), mlp.out_dim(), mlp.depth()), (5, 2, 3));
+        assert_eq!(mlp.param_count(), 5 * 7 + 7 + 7 * 7 + 7 + 7 * 2 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain")]
+    fn from_layers_rejects_bad_chain() {
+        let mut rng = seeded_rng(3);
+        let l1 = Linear::new(&mut rng, 3, 4);
+        let l2 = Linear::new(&mut rng, 5, 2);
+        let _ = Mlp::from_layers(vec![l1, l2], Activation::Relu);
+    }
+}

@@ -1,0 +1,160 @@
+//! Element-wise vector kernels.
+//!
+//! These are the primitives the aggregation phase is built from. The
+//! monotonic-aggregation rules in InkStream reason channel-by-channel about
+//! equality between an old aggregate and a deleted message, so the comparison
+//! kernels here are deliberately *bit-exact* (`==` on `f32`), matching the
+//! paper's claim of bit-level identical results for max/min aggregation.
+
+/// `dst += src`.
+#[inline]
+pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// `dst -= src`.
+#[inline]
+pub fn sub_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d -= s;
+    }
+}
+
+/// `dst += a * src` (fused multiply-add over the slice).
+#[inline]
+pub fn axpy(dst: &mut [f32], a: f32, src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += a * s;
+    }
+}
+
+/// `dst *= a`.
+#[inline]
+pub fn scale(dst: &mut [f32], a: f32) {
+    for d in dst.iter_mut() {
+        *d *= a;
+    }
+}
+
+/// Element-wise maximum into `dst`.
+#[inline]
+pub fn max_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s > *d {
+            *d = *s;
+        }
+    }
+}
+
+/// Element-wise minimum into `dst`.
+#[inline]
+pub fn min_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s < *d {
+            *d = *s;
+        }
+    }
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Bit-exact slice equality (`f32 ==` per channel; NaN never equal).
+#[inline]
+pub fn eq_exact(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x == y)
+}
+
+/// True when every channel differs by at most `tol`.
+#[inline]
+pub fn allclose(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+/// Maximum absolute difference between two slices.
+#[inline]
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        let b = vec![0.5, -1.0, 2.0];
+        add_assign(&mut a, &b);
+        assert_eq!(a, vec![1.5, 1.0, 5.0]);
+        sub_assign(&mut a, &b);
+        assert_eq!(a, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let mut a = vec![1.0, 1.0];
+        axpy(&mut a, 2.0, &[3.0, -4.0]);
+        assert_eq!(a, vec![7.0, -7.0]);
+    }
+
+    #[test]
+    fn scale_by_zero_clears() {
+        let mut a = vec![5.0, -3.0];
+        scale(&mut a, 0.0);
+        assert_eq!(a, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_min_assign_select_per_channel() {
+        let mut mx = vec![1.0, 5.0, -2.0];
+        max_assign(&mut mx, &[3.0, 4.0, -2.0]);
+        assert_eq!(mx, vec![3.0, 5.0, -2.0]);
+        let mut mn = vec![1.0, 5.0, -2.0];
+        min_assign(&mut mn, &[3.0, 4.0, -2.0]);
+        assert_eq!(mn, vec![1.0, 4.0, -2.0]);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn eq_exact_is_bitwise() {
+        assert!(eq_exact(&[1.0, 2.0], &[1.0, 2.0]));
+        assert!(!eq_exact(&[1.0], &[1.0 + f32::EPSILON]));
+        assert!(!eq_exact(&[f32::NAN], &[f32::NAN]));
+        assert!(!eq_exact(&[1.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    fn allclose_tolerance_boundary() {
+        assert!(allclose(&[1.0], &[1.1], 0.100001));
+        assert!(!allclose(&[1.0], &[1.2], 0.1));
+    }
+
+    #[test]
+    fn max_abs_diff_picks_worst_channel() {
+        assert_eq!(max_abs_diff(&[0.0, 1.0, 2.0], &[0.0, 3.0, 2.5]), 2.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Column-wise reductions over row sets.
+//!
+//! GraphNorm needs per-channel mean and variance across the whole vertex set;
+//! the aggregation baselines need row-set reductions with each aggregator.
+
+use crate::Matrix;
+
+/// Per-column mean of all rows. Returns zeros for an empty matrix.
+pub fn col_mean(m: &Matrix) -> Vec<f32> {
+    let mut mean = vec![0.0f64; m.cols()];
+    if m.rows() == 0 {
+        return vec![0.0; m.cols()];
+    }
+    for row in m.rows_iter() {
+        for (acc, &x) in mean.iter_mut().zip(row) {
+            *acc += x as f64;
+        }
+    }
+    let n = m.rows() as f64;
+    mean.into_iter().map(|x| (x / n) as f32).collect()
+}
+
+/// Per-column (population) variance of all rows.
+pub fn col_var(m: &Matrix, mean: &[f32]) -> Vec<f32> {
+    assert_eq!(mean.len(), m.cols());
+    let mut var = vec![0.0f64; m.cols()];
+    if m.rows() == 0 {
+        return vec![0.0; m.cols()];
+    }
+    for row in m.rows_iter() {
+        for ((acc, &x), &mu) in var.iter_mut().zip(row).zip(mean) {
+            let d = (x - mu) as f64;
+            *acc += d * d;
+        }
+    }
+    let n = m.rows() as f64;
+    var.into_iter().map(|x| (x / n) as f32).collect()
+}
+
+/// Per-column mean/variance restricted to a subset of row indices.
+pub fn col_mean_var_subset(m: &Matrix, rows: &[usize]) -> (Vec<f32>, Vec<f32>) {
+    let c = m.cols();
+    if rows.is_empty() {
+        return (vec![0.0; c], vec![0.0; c]);
+    }
+    let mut mean = vec![0.0f64; c];
+    for &r in rows {
+        for (acc, &x) in mean.iter_mut().zip(m.row(r)) {
+            *acc += x as f64;
+        }
+    }
+    let n = rows.len() as f64;
+    for x in mean.iter_mut() {
+        *x /= n;
+    }
+    let mut var = vec![0.0f64; c];
+    for &r in rows {
+        for ((acc, &x), &mu) in var.iter_mut().zip(m.row(r)).zip(&mean) {
+            let d = x as f64 - mu;
+            *acc += d * d;
+        }
+    }
+    (
+        mean.into_iter().map(|x| x as f32).collect(),
+        var.into_iter().map(|x| (x / n) as f32).collect(),
+    )
+}
+
+/// Row index of the maximum value in a slice (ties → first).
+pub fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_var_of_constant_rows() {
+        let m = Matrix::full(5, 3, 2.0);
+        let mean = col_mean(&m);
+        assert_eq!(mean, vec![2.0, 2.0, 2.0]);
+        assert_eq!(col_var(&m, &mean), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_and_var_hand_checked() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 0.0, 3.0, 4.0]);
+        let mean = col_mean(&m);
+        assert_eq!(mean, vec![2.0, 2.0]);
+        assert_eq!(col_var(&m, &mean), vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_matrix_yields_zeros() {
+        let m = Matrix::zeros(0, 4);
+        assert_eq!(col_mean(&m), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn subset_matches_full_when_all_rows() {
+        let m = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
+        let rows: Vec<usize> = (0..4).collect();
+        let (mean_s, var_s) = col_mean_var_subset(&m, &rows);
+        let mean = col_mean(&m);
+        let var = col_var(&m, &mean);
+        for i in 0..3 {
+            assert!((mean_s[i] - mean[i]).abs() < 1e-6);
+            assert!((var_s[i] - var[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn subset_selects_only_given_rows() {
+        let m = Matrix::from_vec(3, 1, vec![1.0, 100.0, 3.0]);
+        let (mean, var) = col_mean_var_subset(&m, &[0, 2]);
+        assert_eq!(mean, vec![2.0]);
+        assert_eq!(var, vec![1.0]);
+    }
+
+    #[test]
+    fn argmax_prefers_first_on_tie() {
+        assert_eq!(argmax(&[1.0, 5.0, 5.0, 2.0]), 1);
+        assert_eq!(argmax(&[-3.0]), 0);
+    }
+}

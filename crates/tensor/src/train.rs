@@ -1,0 +1,186 @@
+//! Softmax-regression trainer.
+//!
+//! The Fig. 9 study (GraphNorm approximation) is the one experiment where
+//! model *accuracy* matters, so random conv weights are not enough: a
+//! classifier head is trained on frozen GNN embeddings with plain batch
+//! gradient descent. This is the substitution documented in DESIGN.md — the
+//! GraphNorm statistics path being studied is identical to the paper's; only
+//! the upstream feature extractor is lighter.
+
+use crate::reduce::argmax;
+use crate::Matrix;
+
+/// A trained softmax (multinomial logistic regression) classifier.
+#[derive(Clone, Debug)]
+pub struct SoftmaxClassifier {
+    /// `(in_dim × classes)` weights.
+    pub weight: Matrix,
+    /// Per-class bias.
+    pub bias: Vec<f32>,
+}
+
+/// Training hyper-parameters for [`fit_softmax`].
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Full-batch gradient steps.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 regularisation strength.
+    pub l2: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 200, lr: 0.5, l2: 1e-4 }
+    }
+}
+
+/// Row-wise softmax in place.
+fn softmax_rows(logits: &mut Matrix) {
+    for r in 0..logits.rows() {
+        let row = logits.row_mut(r);
+        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - mx).exp();
+            sum += *x;
+        }
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// Trains a softmax classifier on rows `x[train_idx]` with labels
+/// `labels[train_idx]` by full-batch gradient descent.
+pub fn fit_softmax(
+    x: &Matrix,
+    labels: &[usize],
+    train_idx: &[usize],
+    classes: usize,
+    cfg: TrainConfig,
+) -> SoftmaxClassifier {
+    assert_eq!(x.rows(), labels.len(), "one label per row");
+    assert!(classes >= 2);
+    let d = x.cols();
+    let mut w = Matrix::zeros(d, classes);
+    let mut b = vec![0.0f32; classes];
+    let n = train_idx.len().max(1) as f32;
+
+    // Gather the training submatrix once.
+    let mut xt = Matrix::zeros(train_idx.len(), d);
+    for (i, &r) in train_idx.iter().enumerate() {
+        xt.set_row(i, x.row(r));
+    }
+
+    for _ in 0..cfg.epochs {
+        // Forward: probabilities for the training rows.
+        let mut probs = xt.matmul(&w);
+        for r in 0..probs.rows() {
+            crate::ops::add_assign(probs.row_mut(r), &b);
+        }
+        softmax_rows(&mut probs);
+        // Gradient of cross-entropy: X^T (p - y) / n.
+        for (i, &r) in train_idx.iter().enumerate() {
+            probs.row_mut(i)[labels[r]] -= 1.0;
+        }
+        let grad_w = xt.transpose().matmul(&probs);
+        let mut grad_b = vec![0.0f32; classes];
+        for i in 0..probs.rows() {
+            crate::ops::add_assign(&mut grad_b, probs.row(i));
+        }
+        // Step.
+        for (wv, gv) in w.as_mut_slice().iter_mut().zip(grad_w.as_slice()) {
+            *wv -= cfg.lr * (gv / n + cfg.l2 * *wv);
+        }
+        for (bv, gv) in b.iter_mut().zip(&grad_b) {
+            *bv -= cfg.lr * gv / n;
+        }
+    }
+    SoftmaxClassifier { weight: w, bias: b }
+}
+
+impl SoftmaxClassifier {
+    /// Predicted class for a single embedding.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        let mut logits = vec![0.0; self.bias.len()];
+        self.weight.vecmul(x, &mut logits);
+        crate::ops::add_assign(&mut logits, &self.bias);
+        argmax(&logits)
+    }
+
+    /// Accuracy over the rows in `idx`.
+    pub fn accuracy(&self, x: &Matrix, labels: &[usize], idx: &[usize]) -> f64 {
+        if idx.is_empty() {
+            return 0.0;
+        }
+        let correct = idx.iter().filter(|&&r| self.predict(x.row(r)) == labels[r]).count();
+        correct as f64 / idx.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{normal, seeded_rng};
+
+    /// Two well-separated Gaussian blobs must be perfectly classified.
+    #[test]
+    fn separable_blobs_reach_high_accuracy() {
+        let mut rng = seeded_rng(42);
+        let a = normal(&mut rng, 50, 4, -2.0, 0.3);
+        let b = normal(&mut rng, 50, 4, 2.0, 0.3);
+        let mut x = Matrix::zeros(100, 4);
+        let mut labels = vec![0usize; 100];
+        for i in 0..50 {
+            x.set_row(i, a.row(i));
+            x.set_row(50 + i, b.row(i));
+            labels[50 + i] = 1;
+        }
+        let idx: Vec<usize> = (0..100).collect();
+        let clf = fit_softmax(&x, &labels, &idx, 2, TrainConfig::default());
+        assert!(clf.accuracy(&x, &labels, &idx) > 0.98);
+    }
+
+    #[test]
+    fn three_class_problem_beats_chance() {
+        let mut rng = seeded_rng(7);
+        let mut x = Matrix::zeros(150, 3);
+        let mut labels = vec![0usize; 150];
+        for c in 0..3 {
+            let blob = normal(&mut rng, 50, 3, 0.0, 0.5);
+            for i in 0..50 {
+                let mut row = blob.row(i).to_vec();
+                row[c] += 3.0;
+                x.set_row(c * 50 + i, &row);
+                labels[c * 50 + i] = c;
+            }
+        }
+        let idx: Vec<usize> = (0..150).collect();
+        let clf = fit_softmax(&x, &labels, &idx, 3, TrainConfig::default());
+        assert!(clf.accuracy(&x, &labels, &idx) > 0.9);
+    }
+
+    #[test]
+    fn accuracy_on_empty_index_is_zero() {
+        let clf = SoftmaxClassifier { weight: Matrix::zeros(2, 2), bias: vec![0.0; 2] };
+        let x = Matrix::zeros(3, 2);
+        assert_eq!(clf.accuracy(&x, &[0, 0, 0], &[]), 0.0);
+    }
+
+    #[test]
+    fn training_only_uses_train_rows() {
+        // Identical features, contradictory labels outside the train set must
+        // not affect the fit.
+        let mut x = Matrix::zeros(4, 1);
+        x.set(0, 0, -1.0);
+        x.set(1, 0, 1.0);
+        x.set(2, 0, -1.0);
+        x.set(3, 0, 1.0);
+        let labels = vec![0, 1, 1, 0]; // rows 2,3 are mislabeled but unused
+        let clf = fit_softmax(&x, &labels, &[0, 1], 2, TrainConfig::default());
+        assert_eq!(clf.predict(x.row(0)), 0);
+        assert_eq!(clf.predict(x.row(1)), 1);
+    }
+}

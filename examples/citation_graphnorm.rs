@@ -1,0 +1,106 @@
+//! Node classification on an evolving citation-style graph with GraphNorm:
+//! train a classifier head on frozen GCN embeddings, cache the GraphNorm
+//! statistics at "training time", then keep classifying as papers are added
+//! and features revised — using the paper's cached-statistics approximation
+//! (§II-E) so every update stays incremental.
+//!
+//! Run with: `cargo run --release --example citation_graphnorm`
+
+use ink_graph::generators::planted_partition;
+use ink_gnn::{full_inference, Aggregator, Model};
+use ink_tensor::init::{normal, seeded_rng};
+use ink_tensor::train::{fit_softmax, TrainConfig};
+use ink_tensor::Matrix;
+use inkstream::{InkStream, UpdateConfig};
+use rand::RngExt;
+
+fn main() {
+    let mut rng = seeded_rng(7);
+    let n = 3_000;
+    let classes = 4;
+
+    // Citation communities with ground-truth fields of study.
+    let planted = planted_partition(&mut rng, n, classes, 10.0, 1.0);
+    // Features: a noisy class-indicative block plus noise dims.
+    let feat_dim = 24;
+    let mut features = normal(&mut rng, n, feat_dim, 0.0, 1.0);
+    for v in 0..n {
+        let c = planted.labels[v];
+        features.row_mut(v)[c] += 3.0;
+    }
+
+    // A 2-layer GCN with GraphNorm after layer 1 (the Fig. 9 architecture).
+    // Model weights come from their own seed so the comparison model below
+    // can be rebuilt identically.
+    let mut mrng = seeded_rng(7070);
+    let exact =
+        Model::gcn(&mut mrng, &[feat_dim, 16, 16], Aggregator::Mean).with_exact_graphnorm();
+
+    // "Training": one exact inference captures the GraphNorm statistics;
+    // a softmax head is fit on the embeddings.
+    let st = full_inference(&exact, &planted.graph, &features, None);
+    // Split in blocks of `classes` so both sides stay class-balanced
+    // (labels cycle through the classes by construction).
+    let train_idx: Vec<usize> = (0..n).filter(|v| (v / classes) % 2 == 0).collect();
+    let test_idx: Vec<usize> = (0..n).filter(|v| (v / classes) % 2 == 1).collect();
+    let clf = fit_softmax(&st.h, &planted.labels, &train_idx, classes, TrainConfig::default());
+    println!(
+        "train acc {:.3} | test acc {:.3} (chance = {:.3})",
+        clf.accuracy(&st.h, &planted.labels, &train_idx),
+        clf.accuracy(&st.h, &planted.labels, &test_idx),
+        1.0 / classes as f64
+    );
+
+    // Deployment: freeze the statistics and go incremental.
+    let frozen = exact.freeze_graphnorm_stats(&st.norm_stats);
+    let mut engine = InkStream::new(frozen, planted.graph.clone(), features, UpdateConfig::default())
+        .expect("cached GraphNorm is incremental-compatible");
+
+    // The graph evolves: new papers appear, abstracts get revised.
+    let mut labels = planted.labels.clone();
+    let mut new_papers = 0;
+    for step in 1..=5 {
+        // A new paper citing three members of one community.
+        let c = step % classes;
+        let cites: Vec<u32> = (0..n as u32).filter(|&v| labels[v as usize] == c).take(3).collect();
+        let mut feat = vec![0.0f32; feat_dim];
+        for f in feat.iter_mut() {
+            *f = rng.random_range(-1.0..1.0);
+        }
+        feat[c] += 3.0;
+        let (v, report) = engine.add_vertex(&feat, &cites).unwrap();
+        labels.push(c);
+        new_papers += 1;
+
+        // One existing paper's features get revised.
+        let target = (step * 37) as u32 % n as u32;
+        let mut revised = engine.features().row(target as usize).to_vec();
+        revised[labels[target as usize]] += 1.0;
+        engine.update_vertex_feature(target, &revised).unwrap();
+
+        let pred = clf.predict(engine.output().row(v as usize));
+        println!(
+            "step {step}: paper {v} inserted (affected {:3} nodes, {:?}) — predicted field {pred}, true {c}",
+            report.real_affected, report.elapsed
+        );
+    }
+
+    // Accuracy on the evolved graph, classified from the incrementally
+    // maintained embeddings with frozen statistics.
+    let all_test: Vec<usize> = test_idx.iter().copied().chain(n..n + new_papers).collect();
+    let acc_frozen = clf.accuracy(engine.output(), &labels, &all_test);
+
+    // Compare against exact-statistics inference on the same evolved graph
+    // (same weights: rebuilt from the same model seed).
+    let mut rng2 = seeded_rng(7070);
+    let exact2 =
+        Model::gcn(&mut rng2, &[feat_dim, 16, 16], Aggregator::Mean).with_exact_graphnorm();
+    let exact_h = full_inference(&exact2, engine.graph(), engine.features(), None).h;
+    let acc_exact = clf.accuracy(&exact_h, &labels, &all_test);
+    let _ = Matrix::zeros(0, 0);
+
+    println!("\ntest accuracy after evolution:");
+    println!("  frozen GraphNorm statistics (incremental): {acc_frozen:.4}");
+    println!("  exact GraphNorm statistics (full recompute): {acc_exact:.4}");
+    println!("  gap: {:.4} (paper reports <0.001 for small changes)", (acc_exact - acc_frozen).abs());
+}

@@ -1,0 +1,7 @@
+//! Workspace root crate: re-exports the public API of the InkStream
+//! reproduction so integration tests and examples have a single entry point.
+
+pub use ink_gnn as gnn;
+pub use ink_graph as graph;
+pub use ink_tensor as tensor;
+pub use inkstream as core;

@@ -1,0 +1,143 @@
+//! GraphNorm approximation (paper §II-E) and sampled-neighborhood support:
+//! the two "support for other operators" features, wired through the whole
+//! stack.
+
+use ink_graph::generators::{erdos_renyi, planted_partition};
+use ink_graph::{DeltaBatch, DynGraph};
+use ink_gnn::{full_inference, Aggregator, Model, SampledGraph};
+use ink_tensor::init::{seeded_rng, uniform};
+use inkstream::{InkError, InkStream, UpdateConfig};
+use rand::SeedableRng;
+
+#[test]
+fn exact_graphnorm_is_rejected_by_the_engine() {
+    let mut rng = seeded_rng(1);
+    let g = erdos_renyi(&mut rng, 20, 50);
+    let x = uniform(&mut rng, 20, 4, -1.0, 1.0);
+    let model = Model::gcn(&mut rng, &[4, 5, 3], Aggregator::Mean).with_exact_graphnorm();
+    let err = match InkStream::new(model, g, x, UpdateConfig::default()) {
+        Err(e) => e,
+        Ok(_) => panic!("exact GraphNorm must be rejected"),
+    };
+    assert_eq!(err, InkError::ExactGraphNorm);
+}
+
+#[test]
+fn frozen_graphnorm_engine_matches_its_reference() {
+    let mut rng = seeded_rng(2);
+    let g = erdos_renyi(&mut rng, 30, 80);
+    let x = uniform(&mut rng, 30, 4, -1.0, 1.0);
+    let exact = Model::gcn(&mut rng, &[4, 5, 3], Aggregator::Max).with_exact_graphnorm();
+    // Capture training-time statistics with one exact full inference …
+    let st = full_inference(&exact, &g, &x, None);
+    let frozen = exact.freeze_graphnorm_stats(&st.norm_stats);
+    // … then run incrementally with the cached statistics.
+    let mut engine = InkStream::new(frozen, g, x, UpdateConfig::default()).unwrap();
+    let mut rng2 = rand::rngs::StdRng::seed_from_u64(3);
+    for _ in 0..3 {
+        let delta = DeltaBatch::random_scenario(engine.graph(), &mut rng2, 6);
+        engine.apply_delta(&delta);
+        assert_eq!(engine.output(), &engine.recompute_reference());
+    }
+}
+
+#[test]
+fn cached_stats_approximation_error_is_small_for_small_changes() {
+    // The Fig. 9 claim in miniature: after a small ΔG, inference with frozen
+    // statistics stays close to inference with exact statistics.
+    let mut rng = seeded_rng(4);
+    let p = planted_partition(&mut rng, 120, 3, 8.0, 1.0);
+    let x = uniform(&mut rng, 120, 6, -1.0, 1.0);
+    let exact = Model::gcn(&mut rng, &[6, 8, 3], Aggregator::Mean).with_exact_graphnorm();
+    let st = full_inference(&exact, &p.graph, &x, None);
+
+    // Perturb 1% of edges.
+    let mut g2 = p.graph.clone();
+    let mut rng2 = rand::rngs::StdRng::seed_from_u64(5);
+    let delta = DeltaBatch::random_scenario(&g2, &mut rng2, p.graph.num_edges() / 100);
+    delta.apply(&mut g2);
+
+    let exact_out = full_inference(&exact, &g2, &x, None).h;
+    let frozen = exact.freeze_graphnorm_stats(&st.norm_stats);
+    let approx_out = full_inference(&frozen, &g2, &x, None).h;
+
+    // Relative deviation should be small (the statistics barely moved).
+    let scale = exact_out
+        .as_slice()
+        .iter()
+        .map(|v| v.abs())
+        .fold(0.0f32, f32::max)
+        .max(1e-6);
+    let diff = exact_out.max_abs_diff(&approx_out);
+    assert!(
+        diff / scale < 0.05,
+        "frozen-stats deviation too large: {diff} (scale {scale})"
+    );
+}
+
+#[test]
+fn sampled_view_runs_through_full_inference() {
+    let mut rng = seeded_rng(6);
+    let g = erdos_renyi(&mut rng, 50, 400);
+    let x = uniform(&mut rng, 50, 4, -1.0, 1.0);
+    let model = Model::sage(&mut rng, &[4, 5, 3], Aggregator::Mean);
+    let sampled = SampledGraph::sample(&g, 5, &mut rng);
+    let h_sampled = full_inference(&model, &sampled, &x, None).h;
+    let h_full = full_inference(&model, &g, &x, None).h;
+    assert_eq!(h_sampled.shape(), h_full.shape());
+    // Sampling changes results (that's the point), but not catastrophically
+    // for mean aggregation.
+    assert!(h_sampled.max_abs_diff(&h_full) > 0.0);
+}
+
+#[test]
+fn engine_supports_sampled_neighborhoods_via_diff() {
+    // Paper §II-E: cache the sampled structure, diff against the current
+    // sample, and feed the difference to the engine as edge changes.
+    let mut rng = seeded_rng(7);
+    let g = erdos_renyi(&mut rng, 40, 300);
+    let x = uniform(&mut rng, 40, 4, -1.0, 1.0);
+    let model = Model::gcn(&mut rng, &[4, 5, 3], Aggregator::Max);
+
+    let sample_t0 = SampledGraph::sample(&g, 4, &mut rng);
+    let sample_t1 = SampledGraph::sample(&g, 4, &mut rng);
+    let delta = SampledGraph::diff(&sample_t0, &sample_t1);
+    assert!(!delta.is_empty(), "independent samples should differ");
+
+    let mut engine = InkStream::new(
+        model,
+        sample_t0.to_dyn_graph(),
+        x,
+        UpdateConfig::default(),
+    )
+    .unwrap();
+    let report = engine.apply_delta(&delta);
+    assert_eq!(report.skipped_changes, 0);
+    // The evolved engine must now match the t1 sample exactly.
+    assert_eq!(engine.graph(), &sample_t1.to_dyn_graph());
+    assert_eq!(engine.output(), &engine.recompute_reference());
+}
+
+#[test]
+fn resample_walk_over_changing_graph() {
+    // Full pipeline: graph evolves AND the sampler re-samples each step.
+    let mut rng = seeded_rng(8);
+    let mut g = erdos_renyi(&mut rng, 30, 200);
+    let x = uniform(&mut rng, 30, 4, -1.0, 1.0);
+    let model = Model::gcn(&mut rng, &[4, 4], Aggregator::Max);
+    let mut sample = SampledGraph::sample(&g, 3, &mut rng);
+    let mut engine =
+        InkStream::new(model, sample.to_dyn_graph(), x, UpdateConfig::default()).unwrap();
+    let mut drng = rand::rngs::StdRng::seed_from_u64(9);
+    for _ in 0..3 {
+        let graph_delta = DeltaBatch::random_scenario(&g, &mut drng, 6);
+        graph_delta.apply(&mut g);
+        let new_sample = SampledGraph::sample(&g, 3, &mut drng);
+        let sample_delta = SampledGraph::diff(&sample, &new_sample);
+        engine.apply_delta(&sample_delta);
+        assert_eq!(engine.graph(), &new_sample.to_dyn_graph());
+        assert_eq!(engine.output(), &engine.recompute_reference());
+        sample = new_sample;
+    }
+    let _ = DynGraph::new(0, false); // silence unused-import lint paths
+}

@@ -1,0 +1,164 @@
+//! LightGCN-style degree-normalised propagation — the topology-only
+//! weighted sum the paper's §II names as supportable. Verifies the
+//! symmetric `1/√(d_v·d_u)` weighting against a hand-rolled dense
+//! implementation, and the incremental engine against recomputation under
+//! edge churn (where every degree change silently rescales messages).
+
+use ink_graph::generators::erdos_renyi;
+use ink_graph::{DeltaBatch, DynGraph, EdgeChange, VertexId};
+use ink_gnn::{full_inference, fused_inference, khop_update, Model};
+use ink_tensor::init::{seeded_rng, uniform};
+use ink_tensor::Matrix;
+use inkstream::{InkStream, UpdateConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Dense reference: one propagation round `h'_u = Σ_v h_v/√(d_v·d_u)`.
+fn dense_round(g: &DynGraph, h: &Matrix) -> Matrix {
+    let n = g.num_vertices();
+    let mut out = Matrix::zeros(n, h.cols());
+    for u in 0..n as VertexId {
+        let du = g.in_degree(u);
+        if du == 0 {
+            continue;
+        }
+        let su = 1.0 / (du as f32).sqrt();
+        for &v in g.in_neighbors(u) {
+            let dv = g.in_degree(v);
+            let sv = if dv == 0 { 0.0 } else { 1.0 / (dv as f32).sqrt() };
+            for c in 0..h.cols() {
+                let cur = out.get(u as usize, c);
+                out.set(u as usize, c, cur + h.get(v as usize, c) * sv * su);
+            }
+        }
+    }
+    out
+}
+
+fn setup(seed: u64, n: usize, m: usize, dim: usize, layers: usize) -> (DynGraph, Matrix, Model) {
+    let mut rng = seeded_rng(seed);
+    let g = erdos_renyi(&mut rng, n, m);
+    let x = uniform(&mut rng, n, dim, -1.0, 1.0);
+    (g, x, Model::lightgcn(dim, layers))
+}
+
+#[test]
+fn one_layer_matches_dense_reference() {
+    let (g, x, model) = setup(1, 25, 60, 4, 1);
+    let ours = full_inference(&model, &g, &x, None).h;
+    let reference = dense_round(&g, &x);
+    assert!(
+        ours.allclose(&reference, 1e-5),
+        "max diff {}",
+        ours.max_abs_diff(&reference)
+    );
+}
+
+#[test]
+fn stacked_layers_compose() {
+    let (g, x, model) = setup(2, 20, 45, 3, 3);
+    let ours = full_inference(&model, &g, &x, None).h;
+    let reference = dense_round(&g, &dense_round(&g, &dense_round(&g, &x)));
+    assert!(ours.allclose(&reference, 1e-4));
+}
+
+#[test]
+fn fused_engine_agrees_with_reference_engine() {
+    let (g, x, model) = setup(3, 30, 80, 4, 2);
+    let csr = ink_graph::Csr::from_graph(&g);
+    let fused = fused_inference(&model, &csr, &x, usize::MAX).unwrap();
+    let full = full_inference(&model, &g, &x, None).h;
+    assert_eq!(fused, full, "both static engines share the scaling code path");
+}
+
+#[test]
+fn khop_baseline_handles_degree_scaling() {
+    let (mut g, x, model) = setup(4, 30, 70, 4, 2);
+    let delta = DeltaBatch::new(vec![EdgeChange::insert(0, 15), EdgeChange::remove(2, 3)]);
+    // The delta must be valid for this seed's graph.
+    let delta = if g.has_edge(2, 3) && !g.has_edge(0, 15) {
+        delta
+    } else {
+        let mut rng = StdRng::seed_from_u64(40);
+        DeltaBatch::random_scenario(&g, &mut rng, 2)
+    };
+    delta.apply(&mut g);
+    let reference = full_inference(&model, &g, &x, None);
+    let out = khop_update(&model, &g, &x, &delta, None);
+    // Degree scaling extends the real affected set beyond the BFS cone for the
+    // *neighbors* of changed endpoints, but within the recomputed area the
+    // values must match the reference exactly.
+    for (&u, h) in &out.updated_h {
+        assert!(
+            ink_tensor::ops::allclose(h, reference.h.row(u as usize), 1e-5),
+            "vertex {u}"
+        );
+    }
+}
+
+#[test]
+fn incremental_engine_tracks_reference_through_churn() {
+    let (g, x, model) = setup(5, 40, 100, 4, 2);
+    let mut engine = InkStream::new(model, g, x, UpdateConfig::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(50);
+    for round in 0..6 {
+        let delta = DeltaBatch::random_scenario(engine.graph(), &mut rng, 8);
+        engine.apply_delta(&delta);
+        let reference = engine.recompute_reference();
+        let diff = engine.output().max_abs_diff(&reference);
+        assert!(diff < 1e-4, "round {round}: drift {diff}");
+    }
+}
+
+#[test]
+fn degree_change_ripples_to_unchanged_neighbors() {
+    // v gains an edge to w; x (an untouched neighbor of v) must still see a
+    // changed aggregate, because v's weight 1/√d_v shrank. This is the case
+    // the per-layer rescale step exists for.
+    let g = DynGraph::undirected_from_edges(4, &[(0, 1), (1, 2)]);
+    let x = Matrix::from_fn(4, 2, |r, c| (r * 2 + c + 1) as f32);
+    let model = Model::lightgcn(2, 1);
+    let mut engine = InkStream::new(model, g, x, UpdateConfig::default()).unwrap();
+    let h0_before = engine.output().row(0).to_vec();
+    // Vertex 1's degree goes 2 → 3; vertex 0's own edges are untouched.
+    engine.apply_delta(&DeltaBatch::new(vec![EdgeChange::insert(1, 3)]));
+    let reference = engine.recompute_reference();
+    assert!(engine.output().allclose(&reference, 1e-5));
+    assert_ne!(
+        engine.output().row(0),
+        h0_before.as_slice(),
+        "neighbor 0 must feel 1's new normalisation"
+    );
+}
+
+#[test]
+fn isolated_vertex_connection_rebuilds_message() {
+    // Old degree 0 → the cached scaled message is the zero convention and
+    // must be rebuilt from features, not rescaled.
+    let g = DynGraph::undirected_from_edges(3, &[(0, 1)]);
+    let x = Matrix::from_fn(3, 2, |r, c| (r + c) as f32 + 1.0);
+    let model = Model::lightgcn(2, 2);
+    let mut engine = InkStream::new(model, g, x, UpdateConfig::default()).unwrap();
+    engine.apply_delta(&DeltaBatch::new(vec![EdgeChange::insert(2, 0)]));
+    let reference = engine.recompute_reference();
+    assert!(
+        engine.output().allclose(&reference, 1e-5),
+        "max diff {}",
+        engine.output().max_abs_diff(&reference)
+    );
+    // And disconnecting again returns to a consistent state.
+    engine.apply_delta(&DeltaBatch::new(vec![EdgeChange::remove(0, 2)]));
+    assert!(engine.output().allclose(&engine.recompute_reference(), 1e-5));
+}
+
+#[test]
+fn vertex_ops_work_with_degree_scaling() {
+    let (g, x, model) = setup(6, 25, 60, 3, 2);
+    let mut engine = InkStream::new(model, g, x, UpdateConfig::default()).unwrap();
+    let (v, _) = engine.add_vertex(&[0.5, -0.5, 1.0], &[0, 1]).unwrap();
+    assert!(engine.output().allclose(&engine.recompute_reference(), 1e-4));
+    engine.update_vertex_feature(v, &[1.0, 1.0, 1.0]).unwrap();
+    assert!(engine.output().allclose(&engine.recompute_reference(), 1e-4));
+    engine.remove_vertex(v).unwrap();
+    assert!(engine.output().allclose(&engine.recompute_reference(), 1e-4));
+}
