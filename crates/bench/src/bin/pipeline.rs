@@ -1,0 +1,133 @@
+//! Pipeline microbenchmark: per-phase latency of the sharded update pipeline.
+//!
+//! Sweeps ΔG = 1 … 10 000 on a synthetic Erdős–Rényi graph and records, for
+//! each delta size, the p50 wall latency of every pipeline phase (generate /
+//! group / apply / write / next-messages) under the default parallel
+//! configuration, plus the p50 latency of a `sequential()` engine fed the
+//! identical batches, giving the parallel speedup. Output is machine-readable
+//! JSON written to `results/BENCH_pipeline.json` and echoed to stdout.
+//!
+//! The two engines consume the same batch sequence, so the run doubles as an
+//! end-to-end bitwise check: with max aggregation their outputs must match
+//! exactly after every round.
+
+use ink_bench::{scenario_count, scenarios, BenchOpts, ModelKind};
+use ink_graph::generators::erdos_renyi;
+use ink_gnn::Aggregator;
+use ink_tensor::init::{seeded_rng, sparse_power_law};
+use inkstream::{InkStream, UpdateConfig};
+use std::time::{Duration, Instant};
+
+const DELTA_SIZES: [usize; 5] = [1, 10, 100, 1_000, 10_000];
+const FEAT_DIM: usize = 16;
+const SEED: u64 = 0x1A7E57;
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn p50(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[(xs.len() - 1) / 2]
+}
+
+fn build_engine(n: usize, edges: usize, opts: &BenchOpts, cfg: UpdateConfig) -> InkStream {
+    let mut rng = seeded_rng(SEED);
+    let graph = erdos_renyi(&mut rng, n, edges);
+    let features = sparse_power_law(&mut rng, n, FEAT_DIM, 0.2, 0.9);
+    let model = ModelKind::Gcn.build(FEAT_DIM, opts, Aggregator::Max, SEED);
+    InkStream::new(model, graph, features, cfg).unwrap()
+}
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    // Large enough that ΔG = 10k finds both 5k edges to remove and 5k absent
+    // pairs to insert, small enough for laptop-class bootstraps.
+    let n = ((40_000.0 * opts.scale) as usize).max(2_000);
+    let edges = 3 * n;
+    let hidden = opts.hidden;
+
+    let par_cfg = UpdateConfig::default();
+    let seq_cfg = UpdateConfig::default().sequential();
+    eprintln!(
+        "pipeline bench: |V|={n} |E|={edges} dims=[{FEAT_DIM},{hidden},{hidden}] \
+         threads={} workers={} shards={}",
+        rayon::current_num_threads(),
+        par_cfg.worker_count(),
+        par_cfg.shard_count(),
+    );
+    let mut par = build_engine(n, edges, &opts, par_cfg);
+    let mut seq = build_engine(n, edges, &opts, seq_cfg);
+    assert_eq!(par.output(), seq.output(), "bootstrap must agree");
+
+    let mut series = Vec::new();
+    for (si, &dg) in DELTA_SIZES.iter().enumerate() {
+        if dg / 2 > par.graph().num_edges() {
+            eprintln!("  ΔG={dg}: skipped (graph too small)");
+            continue;
+        }
+        let rounds = opts.scenarios.unwrap_or_else(|| scenario_count(dg, opts.quick)).max(1);
+        // One extra scenario warms the scratch pools before timing starts.
+        let batches = scenarios(par.graph(), dg, rounds + 1, SEED ^ (si as u64 + 1));
+
+        let mut par_wall = Vec::new();
+        let mut seq_wall = Vec::new();
+        let mut phases: [Vec<f64>; 5] = Default::default();
+        for (round, batch) in batches.iter().enumerate() {
+            let t = Instant::now();
+            let report = par.apply_delta(batch);
+            let pw = us(t.elapsed());
+            let t = Instant::now();
+            seq.apply_delta(batch);
+            let sw = us(t.elapsed());
+            assert_eq!(par.output(), seq.output(), "parallel and sequential outputs diverged");
+            if round == 0 {
+                continue; // warm-up
+            }
+            par_wall.push(pw);
+            seq_wall.push(sw);
+            let pt = report.phase_times();
+            for (slot, d) in phases.iter_mut().zip([pt.generate, pt.group, pt.apply, pt.write, pt.next_messages]) {
+                slot.push(us(d));
+            }
+        }
+
+        let p50_par = p50(par_wall);
+        let p50_seq = p50(seq_wall);
+        let speedup = if p50_par > 0.0 { p50_seq / p50_par } else { 0.0 };
+        eprintln!(
+            "  ΔG={dg}: rounds={rounds} p50 parallel={p50_par:.1}µs sequential={p50_seq:.1}µs speedup={speedup:.2}x"
+        );
+        let [gen, group, apply, write, next] = phases;
+        series.push(format!(
+            "    {{\n      \"delta_size\": {dg},\n      \"rounds\": {rounds},\n      \
+             \"p50_parallel_us\": {p50_par:.3},\n      \"p50_sequential_us\": {p50_seq:.3},\n      \
+             \"speedup\": {speedup:.4},\n      \"p50_phases_us\": {{\n        \
+             \"generate\": {:.3},\n        \"group\": {:.3},\n        \"apply\": {:.3},\n        \
+             \"write\": {:.3},\n        \"next_messages\": {:.3}\n      }}\n    }}",
+            p50(gen),
+            p50(group),
+            p50(apply),
+            p50(write),
+            p50(next),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline\",\n  \"model\": \"GCN\",\n  \"aggregator\": \"max\",\n  \
+         \"graph\": {{ \"vertices\": {n}, \"edges\": {edges} }},\n  \
+         \"dims\": [{FEAT_DIM}, {hidden}, {hidden}],\n  \
+         \"threads\": {},\n  \"workers\": {},\n  \"shards\": {},\n  \"series\": [\n{}\n  ]\n}}\n",
+        rayon::current_num_threads(),
+        par_cfg.worker_count(),
+        par_cfg.shard_count(),
+        series.join(",\n"),
+    );
+    print!("{json}");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_pipeline.json", &json).expect("write results/BENCH_pipeline.json");
+    eprintln!("wrote results/BENCH_pipeline.json");
+}

@@ -16,13 +16,29 @@ pub struct UpdateConfig {
     /// Process independent targets of a layer with rayon once a layer has at
     /// least [`UpdateConfig::parallel_threshold`] of them.
     pub parallel: bool,
-    /// Minimum per-layer target count before going parallel.
+    /// Minimum per-layer work-item count before going parallel.
     pub parallel_threshold: usize,
+    /// Worker count for the event-generation phase (`0` = one per rayon
+    /// thread). The partitioning — and therefore the result, bit for bit —
+    /// is identical for every worker count; this knob only tunes load
+    /// balance.
+    pub num_workers: usize,
+    /// Target-shard count for the group-reduce phase (`0` = auto: the next
+    /// power of two of 4 × workers). Like `num_workers`, this never changes
+    /// results, only how reduction work is distributed.
+    pub num_shards: usize,
 }
 
 impl Default for UpdateConfig {
     fn default() -> Self {
-        Self { incremental: true, pruning: true, parallel: true, parallel_threshold: 512 }
+        Self {
+            incremental: true,
+            pruning: true,
+            parallel: true,
+            parallel_threshold: 512,
+            num_workers: 0,
+            num_shards: 0,
+        }
     }
 }
 
@@ -49,6 +65,28 @@ impl UpdateConfig {
         self.parallel = false;
         self
     }
+
+    /// The worker count the pipeline will partition generation work into.
+    pub fn worker_count(&self) -> usize {
+        if !self.parallel {
+            1
+        } else if self.num_workers > 0 {
+            self.num_workers
+        } else {
+            rayon::current_num_threads().max(1)
+        }
+    }
+
+    /// The shard count the pipeline will split group-reduce targets into.
+    pub fn shard_count(&self) -> usize {
+        if !self.parallel {
+            1
+        } else if self.num_shards > 0 {
+            self.num_shards
+        } else {
+            (self.worker_count() * 4).next_power_of_two()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -72,5 +110,27 @@ mod tests {
     #[test]
     fn sequential_turns_off_rayon() {
         assert!(!UpdateConfig::full().sequential().parallel);
+    }
+
+    #[test]
+    fn sequential_runs_one_worker_one_shard() {
+        let c = UpdateConfig { num_workers: 8, num_shards: 64, ..UpdateConfig::default() };
+        assert_eq!(c.sequential().worker_count(), 1);
+        assert_eq!(c.sequential().shard_count(), 1);
+    }
+
+    #[test]
+    fn explicit_worker_and_shard_counts_win() {
+        let c = UpdateConfig { num_workers: 3, num_shards: 5, ..UpdateConfig::default() };
+        assert_eq!(c.worker_count(), 3);
+        assert_eq!(c.shard_count(), 5);
+    }
+
+    #[test]
+    fn auto_shard_count_is_a_power_of_two() {
+        let c = UpdateConfig { num_workers: 3, ..UpdateConfig::default() };
+        let s = c.shard_count();
+        assert!(s.is_power_of_two());
+        assert!(s >= 4 * 3);
     }
 }

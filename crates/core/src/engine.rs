@@ -2,18 +2,29 @@
 //!
 //! [`InkStream`] owns the model, the current graph, the features, and the
 //! cached per-layer state (`m`, `α`, output `h`) from the previous
-//! timestamp. Each update round processes layers in order:
+//! timestamp. Each update round processes layers in order through a five
+//! phase pipeline (see DESIGN.md, "Update pipeline"):
 //!
-//! 1. seed events for ΔG (edge changes hit *every* layer's aggregation);
-//! 2. merge effect-propagation events from the previous layer, skipping
-//!    edges already covered by ΔG events (the duplicate-event rule);
-//! 3. group + reduce events per target;
-//! 4. apply: monotonic targets go through the evolvability check
-//!    (no reset / covered reset / exposed reset → recompute), accumulative
-//!    targets always update incrementally;
-//! 5. rebuild next-layer messages for every node whose `α` changed — plus,
-//!    for self-dependent models, every node whose own message changed — and
-//!    emit events for the next layer unless pruned.
+//! 1. **generate** — degree rescaling, ΔG event seeding, and effect
+//!    propagation, fanned out across workers that write into private
+//!    payload arenas and per-shard event buckets;
+//! 2. **group** — target-sharded reduction of each shard's events to at
+//!    most one deletion/addition payload (monotonic) or one signed sum
+//!    (accumulative) per target, payloads living in flat per-shard buffers;
+//! 3. **apply** — per-target evolvability check (no reset / covered reset /
+//!    exposed reset → recompute) or accumulative update, α values written
+//!    into flat per-shard output buffers;
+//! 4. **write** — sequential commit of changed α rows, condition stats,
+//!    user events, and the merged next-layer target list;
+//! 5. **next-messages** — rebuild of next-layer messages (or final outputs)
+//!    for every target, emitting the next layer's effect seeds unless
+//!    pruned.
+//!
+//! Workers process contiguous ordered chunks and every target belongs to
+//! exactly one shard, so the pipeline's result is bitwise identical for
+//! every worker/shard count — including the sequential 1×1 configuration.
+//! All scratch storage is pooled in the engine and reused across rounds, so
+//! steady-state updates allocate nothing in the generate and group phases.
 //!
 //! Monotonic updates are bitwise identical to full recomputation; the
 //! integration suite asserts that per aggregation function.
@@ -21,32 +32,20 @@
 use crate::accumulative::apply_accumulative;
 use crate::config::UpdateConfig;
 use crate::error::InkError;
-use crate::event::{Event, EventOp, PayloadArena};
-use crate::grouping::{group_events, Group};
+use crate::event::{Event, EventOp};
 use crate::hooks::{UserEvent, UserHooks};
 use crate::monotonic::{apply_monotonic, Condition, MonoOutcome};
+use crate::pipeline::{
+    shard_of, slot_in, worker_chunk, ApplyOutcome, CondKind, ScratchPool, ShardScratch,
+    WorkerScratch,
+};
 use crate::stats::{LayerStats, UpdateReport};
-use ink_graph::{DeltaBatch, DynGraph, EdgeChange, EdgeOp, FxHashMap, FxHashSet, VertexId};
+use ink_graph::{DeltaBatch, DynGraph, EdgeChange, EdgeOp, FxHashMap, VertexId};
 use ink_gnn::full::{batch_aggregate, batch_message};
 use ink_gnn::{FullState, Model};
 use ink_tensor::Matrix;
 use rayon::prelude::*;
 use std::time::Instant;
-
-/// Per-target outcome of the apply phase.
-enum CondKind {
-    Mono(Condition),
-    Acc,
-    Forced,
-}
-
-struct ApplyResult {
-    target: VertexId,
-    alpha_new: Vec<f32>,
-    cond: CondKind,
-    reads: u64,
-    changed: bool,
-}
 
 /// The incremental GNN inference engine.
 pub struct InkStream {
@@ -57,6 +56,7 @@ pub struct InkStream {
     config: UpdateConfig,
     hooks: Option<Box<dyn UserHooks>>,
     user_cache: Vec<Option<Matrix>>,
+    scratch: ScratchPool,
 }
 
 impl InkStream {
@@ -101,7 +101,16 @@ impl InkStream {
             });
         }
         let (state, user_cache) = bootstrap(&model, &graph, &features, hooks.as_deref());
-        Ok(Self { model, graph, features, state, config, hooks, user_cache })
+        Ok(Self {
+            model,
+            graph,
+            features,
+            state,
+            config,
+            hooks,
+            user_cache,
+            scratch: ScratchPool::default(),
+        })
     }
 
     /// Reassembles an engine from previously cached state *without* a full
@@ -153,7 +162,16 @@ impl InkStream {
         let user_cache = (0..k)
             .map(|l| hooks.as_deref().and_then(|h| h.init_cache(l, &state.m[l])))
             .collect();
-        Ok(Self { model, graph, features, state, config, hooks, user_cache })
+        Ok(Self {
+            model,
+            graph,
+            features,
+            state,
+            config,
+            hooks,
+            user_cache,
+            scratch: ScratchPool::default(),
+        })
     }
 
     /// The current output embeddings.
@@ -186,6 +204,13 @@ impl InkStream {
         self.config = config;
     }
 
+    /// Heap bytes reserved by the engine's reusable scratch pool. Stable
+    /// across steady-state rounds of similar shape — the zero-allocation
+    /// guarantee of the generate/group phases.
+    pub fn scratch_bytes(&self) -> usize {
+        self.scratch.bytes()
+    }
+
     /// Recomputes the output from scratch (fresh bootstrap) — the reference
     /// the incremental state must match. Intended for verification.
     pub fn recompute_reference(&self) -> Matrix {
@@ -208,7 +233,7 @@ impl InkStream {
                 skipped += 1;
             }
         }
-        let mut report = self.run_layers(directed, FxHashMap::default(), Vec::new());
+        let mut report = self.run_layers(directed, Vec::new(), Vec::new());
         report.skipped_changes = skipped;
         report
     }
@@ -235,14 +260,14 @@ impl InkStream {
             ink_tensor::ops::scale(&mut new_m, conv0.degree_scale(self.graph.in_degree(v)));
         }
         let old = self.state.m[0].row(v as usize).to_vec();
-        let mut seeds = FxHashMap::default();
+        let mut seeds = Vec::new();
         let mut user0 = Vec::new();
         if new_m != old {
             self.state.m[0].set_row(v as usize, &new_m);
             if let Some(hooks) = self.hooks.as_deref() {
                 user0 = hooks.user_propagate(0, v, &old, &new_m);
             }
-            seeds.insert(v, old);
+            seeds.push((v, old));
         }
         Ok(self.run_layers(Vec::new(), seeds, user0))
     }
@@ -326,43 +351,43 @@ impl InkStream {
         Ok(self.apply_delta(&DeltaBatch::new(changes)))
     }
 
-    /// The engine's main loop over layers (Algorithm 1).
+    /// The engine's main loop over layers (Algorithm 1), as the sharded
+    /// five-phase pipeline described in the module docs.
     fn run_layers(
         &mut self,
         directed: Vec<(VertexId, VertexId, EdgeOp)>,
-        seeds0: FxHashMap<VertexId, Vec<f32>>,
+        seeds0: Vec<(VertexId, Vec<f32>)>,
         user0: Vec<UserEvent>,
     ) -> UpdateReport {
         let t0 = Instant::now();
         let k = self.model.num_layers();
+        let cfg = self.config;
+        let nw = cfg.worker_count();
+        let ns = cfg.shard_count();
         let mut report = UpdateReport::default();
-        let mut real_affected: FxHashSet<VertexId> = FxHashSet::default();
 
-        // Old values of messages that changed this round, per layer.
-        let mut old_msgs: Vec<FxHashMap<VertexId, Vec<f32>>> =
-            (0..k).map(|_| FxHashMap::default()).collect();
-        old_msgs[0] = seeds0;
-        for u in old_msgs[0].keys() {
-            real_affected.insert(*u);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.begin_round(k, nw, ns);
+        for l in 0..k {
+            scratch.old.reset_layer(l, self.model.msg_dim(l));
         }
-        let mut pending_user: Vec<Vec<UserEvent>> = (0..k).map(|_| Vec::new()).collect();
-        pending_user[0] = user0;
+        for (v, old) in &seeds0 {
+            scratch.old.insert(0, *v, old);
+            scratch.affected.insert(*v);
+        }
+        scratch.pending_user[0].extend(user0);
 
-        // Edges covered by ΔG events, to skip duplicate effect propagation.
-        let mut inserted_out: FxHashMap<VertexId, FxHashSet<VertexId>> = FxHashMap::default();
+        // Edges covered by ΔG insert events (the duplicate-event rule) and
+        // the net in-degree change per vertex (degree-scaled layers must
+        // rescale the cached messages of these vertices).
         for &(s, t, op) in &directed {
             if op == EdgeOp::Insert {
-                inserted_out.entry(s).or_default().insert(t);
+                scratch.covered.insert((s, t));
             }
+            *scratch.degree_net.entry(t).or_insert(0) += if op == EdgeOp::Insert { 1 } else { -1 };
         }
-
-        // Net in-degree change per vertex — degree-scaled layers must rescale
-        // the cached messages of these vertices (topology-only weights).
-        let mut degree_net: FxHashMap<VertexId, i64> = FxHashMap::default();
-        for &(_, t, op) in &directed {
-            *degree_net.entry(t).or_insert(0) +=
-                if op == EdgeOp::Insert { 1 } else { -1 };
-        }
+        scratch.degree_order.extend(scratch.degree_net.iter().map(|(&v, &net)| (v, net)));
+        scratch.degree_order.sort_unstable();
 
         let mut f32_read: u64 = 0;
         let mut f32_written: u64 = 0;
@@ -371,227 +396,366 @@ impl InkStream {
             let agg = self.model.layer(l).conv.aggregator();
             let mono = agg.is_monotonic();
             let dim = self.model.msg_dim(l);
-            let mut arena = PayloadArena::new(dim);
-            let mut events: Vec<Event> = Vec::new();
+            let degree_scaled = self.model.layer(l).conv.degree_scaled();
+            let self_dependent = self.model.layer(l).conv.self_dependent();
+            let out_dim = self.model.layer(l).conv.out_dim();
+            let is_last = l + 1 == k;
+            let prod_dim = if is_last { out_dim } else { self.model.msg_dim(l + 1) };
+            let mut layer_stats = LayerStats::default();
 
-            // 0) Degree-scaled layers (LightGCN-style): a vertex whose degree
-            // changed has a changed message at this layer even if nothing
-            // else touched it. Rescale the cached message by the weight
-            // ratio, or rebuild it from upstream state when the old degree
-            // was 0 (the cached message is then the zero convention, not a
-            // scaled value). Vertices already refreshed by upstream
-            // propagation are skipped — their new message already carries
-            // the new weight.
-            if self.model.layer(l).conv.degree_scaled() {
-                for (&v, &net) in &degree_net {
-                    if net == 0 || old_msgs[l].contains_key(&v) {
-                        continue;
-                    }
-                    let d_new = self.graph.in_degree(v);
-                    let d_old = (d_new as i64 - net).max(0) as usize;
-                    let conv = &self.model.layer(l).conv;
-                    let old = self.state.m[l].row(v as usize).to_vec();
-                    let new = if d_old == 0 {
-                        let base_h = if l == 0 {
-                            self.features.row(v as usize).to_vec()
-                        } else {
-                            compute_next_hidden(
-                                &self.model,
-                                &self.state,
-                                self.hooks.as_deref(),
-                                &self.user_cache,
-                                l - 1,
-                                v,
-                                d_new,
-                            )
-                        };
-                        let mut msg = conv.message(&base_h);
-                        ink_tensor::ops::scale(&mut msg, conv.degree_scale(d_new));
-                        msg
-                    } else {
-                        let ratio = conv.degree_scale(d_new) / conv.degree_scale(d_old);
-                        let mut msg = old.clone();
-                        ink_tensor::ops::scale(&mut msg, ratio);
-                        msg
-                    };
-                    if new != old {
-                        self.state.m[l].set_row(v as usize, &new);
-                        if let Some(hooks) = self.hooks.as_deref() {
-                            pending_user[l].extend(hooks.user_propagate(l, v, &old, &new));
-                        }
-                        old_msgs[l].insert(v, old);
-                    }
-                }
+            // ── Phase 1: generate ─────────────────────────────────────────
+            // Degree rescaling, ΔG seeding, and effect propagation, fanned
+            // out over workers. Each worker owns a contiguous ordered chunk
+            // of the work lists and writes into its private arena/buckets.
+            let t_generate = Instant::now();
+            for ws in &mut scratch.workers {
+                ws.begin(ns, dim);
             }
 
-            // 1) ΔG events for this layer.
-            for &(s, t, op) in &directed {
-                match op {
-                    EdgeOp::Remove => {
-                        let old: &[f32] = old_msgs[l]
-                            .get(&s)
-                            .map(Vec::as_slice)
-                            .unwrap_or_else(|| self.state.m[l].row(s as usize));
-                        let (ev_op, payload) = if mono {
-                            (EventOp::Del, arena.push(old))
-                        } else {
-                            (EventOp::Update, arena.push_negated(old))
-                        };
-                        events.push(Event { op: ev_op, target: t, payload, degree_delta: -1 });
-                    }
-                    EdgeOp::Insert => {
-                        let cur = self.state.m[l].row(s as usize);
-                        let ev_op = if mono { EventOp::Add } else { EventOp::Update };
-                        let payload = arena.push(cur);
-                        events.push(Event { op: ev_op, target: t, payload, degree_delta: 1 });
-                    }
-                }
-            }
-
-            // 2) Effect propagation from messages changed at this layer.
-            for (v, old) in &old_msgs[l] {
-                let new = self.state.m[l].row(*v as usize);
-                let skip = inserted_out.get(v);
-                if mono {
-                    let del_id = arena.push(old);
-                    let add_id = arena.push(new);
-                    for &x in self.graph.out_neighbors(*v) {
-                        if skip.is_some_and(|s| s.contains(&x)) {
-                            continue;
-                        }
-                        events.push(Event { op: EventOp::Del, target: x, payload: del_id, degree_delta: 0 });
-                        events.push(Event { op: EventOp::Add, target: x, payload: add_id, degree_delta: 0 });
-                    }
-                } else {
-                    let diff_id = arena.push_diff(new, old);
-                    for &x in self.graph.out_neighbors(*v) {
-                        if skip.is_some_and(|s| s.contains(&x)) {
-                            continue;
-                        }
-                        events.push(Event { op: EventOp::Update, target: x, payload: diff_id, degree_delta: 0 });
-                    }
-                }
-            }
-
-            // 3) Group and reduce.
-            let grouped = group_events(&events, &arena, agg);
-            f32_read += grouped.payload_values_read as u64;
-            f32_written += (arena.len() * dim) as u64;
-            let mut layer_stats = LayerStats {
-                events_created: events.len(),
-                targets: grouped.groups.len(),
-                ..LayerStats::default()
-            };
-
-            // 4) Apply per target (parallel when the layer is wide enough).
-            let targets: Vec<(VertexId, Group)> = grouped.groups.into_iter().collect();
-            let this = &*self;
-            let cfg = self.config;
-            let process = |(u, group): &(VertexId, Group)| -> ApplyResult {
-                let uu = *u as usize;
-                let alpha_old = this.state.alpha[l].row(uu);
-                let mut reads = dim as u64;
-                let recompute = |reads: &mut u64| -> Vec<f32> {
-                    let mut out = vec![0.0; dim];
-                    agg.aggregate_into(
-                        this.graph.in_neighbors(*u).iter().map(|&v| this.state.m[l].row(v as usize)),
-                        &mut out,
+            if degree_scaled {
+                // Degree-scaled layers (LightGCN-style): a vertex whose
+                // degree changed has a changed message at this layer even if
+                // nothing else touched it. Candidates iterate in sorted
+                // vertex order so the recorded changes are deterministic.
+                {
+                    let ScratchPool { rescale_list, degree_order, old, .. } = &mut scratch;
+                    rescale_list.clear();
+                    rescale_list.extend(
+                        degree_order
+                            .iter()
+                            .filter(|&&(v, net)| net != 0 && !old.contains(l, v))
+                            .copied(),
                     );
-                    *reads += (this.graph.in_degree(*u) * dim) as u64;
-                    out
+                }
+                let par = cfg.parallel && scratch.rescale_list.len() >= cfg.parallel_threshold;
+                {
+                    let ScratchPool { workers, rescale_list, .. } = &mut scratch;
+                    let rescale_list = &*rescale_list;
+                    let this = &*self;
+                    // Stage the new message (old scaled by the weight ratio,
+                    // or rebuilt from upstream state when the old degree was
+                    // 0 and the cached message is the zero convention).
+                    let run = |(w, ws): (usize, &mut WorkerScratch)| {
+                        let conv = &this.model.layer(l).conv;
+                        for &(v, net) in
+                            &rescale_list[worker_chunk(rescale_list.len(), w, nw)]
+                        {
+                            let d_new = this.graph.in_degree(v);
+                            let d_old = (d_new as i64 - net).max(0) as usize;
+                            let pid = if d_old == 0 {
+                                let base_h = if l == 0 {
+                                    this.features.row(v as usize).to_vec()
+                                } else {
+                                    compute_next_hidden(
+                                        &this.model,
+                                        &this.state,
+                                        this.hooks.as_deref(),
+                                        &this.user_cache,
+                                        l - 1,
+                                        v,
+                                        d_new,
+                                    )
+                                };
+                                let msg = conv.message(&base_h);
+                                ws.arena.push_scaled(&msg, conv.degree_scale(d_new))
+                            } else {
+                                let ratio =
+                                    conv.degree_scale(d_new) / conv.degree_scale(d_old);
+                                ws.arena.push_scaled(this.state.m[l].row(v as usize), ratio)
+                            };
+                            ws.rescaled.push((v, pid));
+                        }
+                    };
+                    if par {
+                        workers.par_iter_mut().enumerate().for_each(run);
+                    } else {
+                        workers.iter_mut().enumerate().for_each(run);
+                    }
+                }
+                // Commit in worker order (= candidate order): vertices whose
+                // message really changed record their old value and hooks.
+                {
+                    let ScratchPool { workers, old, pending_user, .. } = &mut scratch;
+                    for ws in workers.iter() {
+                        for &(v, pid) in &ws.rescaled {
+                            let new = ws.arena.get(pid);
+                            if new != self.state.m[l].row(v as usize) {
+                                old.insert(l, v, self.state.m[l].row(v as usize));
+                                if let Some(hooks) = self.hooks.as_deref() {
+                                    pending_user[l].extend(hooks.user_propagate(
+                                        l,
+                                        v,
+                                        old.get(l, v).expect("just inserted"),
+                                        new,
+                                    ));
+                                }
+                                self.state.m[l].set_row(v as usize, new);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Changed messages propagate in sorted vertex order — the
+            // canonical event order every worker/shard split reproduces.
+            {
+                let ScratchPool { old, changed_order, .. } = &mut scratch;
+                old.keys_sorted_into(l, changed_order);
+            }
+
+            let gen_work = directed.len() + scratch.changed_order.len();
+            let par_generate = cfg.parallel && gen_work >= cfg.parallel_threshold;
+            {
+                let ScratchPool { workers, old, changed_order, covered, .. } = &mut scratch;
+                let old = &*old;
+                let changed_order = &*changed_order;
+                let covered = &*covered;
+                let directed = &directed[..];
+                let this = &*self;
+                let run = |(w, ws): (usize, &mut WorkerScratch)| {
+                    // ΔG events for this layer.
+                    for &(s, t, op) in &directed[worker_chunk(directed.len(), w, nw)] {
+                        match op {
+                            EdgeOp::Remove => {
+                                let old_row = old
+                                    .get(l, s)
+                                    .unwrap_or_else(|| this.state.m[l].row(s as usize));
+                                let (ev_op, payload) = if mono {
+                                    (EventOp::Del, ws.arena.push(old_row))
+                                } else {
+                                    (EventOp::Update, ws.arena.push_negated(old_row))
+                                };
+                                ws.dg[shard_of(t, ns)].push(Event {
+                                    op: ev_op,
+                                    target: t,
+                                    payload,
+                                    degree_delta: -1,
+                                });
+                            }
+                            EdgeOp::Insert => {
+                                let payload = ws.arena.push(this.state.m[l].row(s as usize));
+                                let ev_op = if mono { EventOp::Add } else { EventOp::Update };
+                                ws.dg[shard_of(t, ns)].push(Event {
+                                    op: ev_op,
+                                    target: t,
+                                    payload,
+                                    degree_delta: 1,
+                                });
+                            }
+                        }
+                    }
+                    // Effect propagation from messages changed at this
+                    // layer, skipping edges already covered by ΔG events.
+                    for &v in &changed_order[worker_chunk(changed_order.len(), w, nw)] {
+                        let old_row = old.get(l, v).expect("changed_order lists recorded rows");
+                        let new = this.state.m[l].row(v as usize);
+                        if mono {
+                            let del_id = ws.arena.push(old_row);
+                            let add_id = ws.arena.push(new);
+                            for &x in this.graph.out_neighbors(v) {
+                                if covered.contains(&(v, x)) {
+                                    continue;
+                                }
+                                let sh = shard_of(x, ns);
+                                ws.fx[sh].push(Event {
+                                    op: EventOp::Del,
+                                    target: x,
+                                    payload: del_id,
+                                    degree_delta: 0,
+                                });
+                                ws.fx[sh].push(Event {
+                                    op: EventOp::Add,
+                                    target: x,
+                                    payload: add_id,
+                                    degree_delta: 0,
+                                });
+                            }
+                        } else {
+                            let diff_id = ws.arena.push_diff(new, old_row);
+                            for &x in this.graph.out_neighbors(v) {
+                                if covered.contains(&(v, x)) {
+                                    continue;
+                                }
+                                ws.fx[shard_of(x, ns)].push(Event {
+                                    op: EventOp::Update,
+                                    target: x,
+                                    payload: diff_id,
+                                    degree_delta: 0,
+                                });
+                            }
+                        }
+                    }
                 };
-                let (alpha_new, cond) = if !cfg.incremental {
-                    (recompute(&mut reads), CondKind::Forced)
+                if par_generate {
+                    workers.par_iter_mut().enumerate().for_each(run);
                 } else {
-                    match group {
-                        Group::Mono { del, add, degree_delta } => {
+                    workers.iter_mut().enumerate().for_each(run);
+                }
+            }
+            layer_stats.events_created =
+                scratch.workers.iter().map(WorkerScratch::events_emitted).sum();
+            f32_written +=
+                scratch.workers.iter().map(|ws| ws.arena.len() * dim).sum::<usize>() as u64;
+            layer_stats.phases.generate = t_generate.elapsed();
+
+            // ── Phase 2: group ────────────────────────────────────────────
+            // Each shard reduces its buckets phase-major then worker-major —
+            // exactly the sequential emission order restricted to the shard.
+            let t_group = Instant::now();
+            let par_group = cfg.parallel && layer_stats.events_created >= cfg.parallel_threshold;
+            {
+                let ScratchPool { workers, shards, .. } = &mut scratch;
+                let workers = &*workers;
+                let run = |(s, shard): (usize, &mut ShardScratch)| {
+                    shard.begin();
+                    for ws in workers {
+                        shard.reduce_bucket(&ws.dg[s], &ws.arena, agg, dim);
+                    }
+                    for ws in workers {
+                        shard.reduce_bucket(&ws.fx[s], &ws.arena, agg, dim);
+                    }
+                };
+                if par_group {
+                    shards.par_iter_mut().enumerate().for_each(run);
+                } else {
+                    shards.iter_mut().enumerate().for_each(run);
+                }
+            }
+            let total_targets: usize = scratch.shards.iter().map(|s| s.entries.len()).sum();
+            layer_stats.targets = total_targets;
+            f32_read += scratch.shards.iter().map(|s| s.payload_reads).sum::<usize>() as u64;
+            layer_stats.phases.group = t_group.elapsed();
+
+            // ── Phase 3: apply ────────────────────────────────────────────
+            // Per-target incremental update / recomputation, α written into
+            // each shard's flat output buffer.
+            let t_apply = Instant::now();
+            let par_apply = cfg.parallel && total_targets >= cfg.parallel_threshold;
+            {
+                let this = &*self;
+                let ScratchPool { shards, .. } = &mut scratch;
+                let run = |(_, shard): (usize, &mut ShardScratch)| {
+                    let (entries, buf, alpha_buf, outcomes) = shard.apply_parts();
+                    alpha_buf.resize(entries.len() * dim, 0.0);
+                    for (i, e) in entries.iter().enumerate() {
+                        let out = &mut alpha_buf[i * dim..(i + 1) * dim];
+                        let u = e.target;
+                        let alpha_old = this.state.alpha[l].row(u as usize);
+                        let mut reads = dim as u64;
+                        let recompute = |out: &mut [f32], reads: &mut u64| {
+                            agg.aggregate_into(
+                                this.graph
+                                    .in_neighbors(u)
+                                    .iter()
+                                    .map(|&v| this.state.m[l].row(v as usize)),
+                                out,
+                            );
+                            *reads += (this.graph.in_degree(u) * dim) as u64;
+                        };
+                        let cond = if !cfg.incremental {
+                            recompute(out, &mut reads);
+                            CondKind::Forced
+                        } else if mono {
                             // A target whose *old* neighborhood was empty has
                             // α⁻ = 0 by convention, not as a real aggregate:
                             // the incremental rules don't apply there.
-                            let old_deg =
-                                this.graph.in_degree(*u) as i64 - *degree_delta as i64;
+                            let old_deg = this.graph.in_degree(u) as i64 - e.degree_delta as i64;
                             if old_deg <= 0 {
-                                (recompute(&mut reads), CondKind::Mono(Condition::ExposedReset))
+                                recompute(out, &mut reads);
+                                CondKind::Mono(Condition::ExposedReset)
                             } else {
                                 match apply_monotonic(
                                     agg,
                                     alpha_old,
-                                    del.as_deref(),
-                                    add.as_deref(),
+                                    slot_in(buf, e.del, dim),
+                                    slot_in(buf, e.add, dim),
                                 ) {
                                     MonoOutcome::Updated { condition, alpha } => {
-                                        (alpha, CondKind::Mono(condition))
+                                        out.copy_from_slice(&alpha);
+                                        CondKind::Mono(condition)
                                     }
-                                    MonoOutcome::Recompute => (
-                                        recompute(&mut reads),
-                                        CondKind::Mono(Condition::ExposedReset),
-                                    ),
+                                    MonoOutcome::Recompute => {
+                                        recompute(out, &mut reads);
+                                        CondKind::Mono(Condition::ExposedReset)
+                                    }
                                 }
                             }
-                        }
-                        Group::Acc { sum, degree_delta } => (
-                            apply_accumulative(
+                        } else {
+                            let sum =
+                                slot_in(buf, e.add, dim).expect("acc group always has a sum");
+                            let alpha = apply_accumulative(
                                 agg,
                                 alpha_old,
                                 sum,
-                                this.graph.in_degree(*u),
-                                *degree_delta,
-                            ),
-                            CondKind::Acc,
-                        ),
+                                this.graph.in_degree(u),
+                                e.degree_delta,
+                            );
+                            out.copy_from_slice(&alpha);
+                            CondKind::Acc
+                        };
+                        outcomes.push(ApplyOutcome { cond, reads, changed: &*out != alpha_old });
                     }
                 };
-                let changed = alpha_new.as_slice() != alpha_old;
-                ApplyResult { target: *u, alpha_new, cond, reads, changed }
-            };
-            let use_par = cfg.parallel && targets.len() >= cfg.parallel_threshold;
-            let results: Vec<ApplyResult> = if use_par {
-                targets.par_iter().map(process).collect()
-            } else {
-                targets.iter().map(process).collect()
-            };
+                if par_apply {
+                    shards.par_iter_mut().enumerate().for_each(run);
+                } else {
+                    shards.iter_mut().enumerate().for_each(run);
+                }
+            }
+            layer_stats.phases.apply = t_apply.elapsed();
 
-            // Write phase + stats.
-            let mut next_targets: Vec<VertexId> = Vec::new();
-            for r in results {
-                f32_read += r.reads;
-                match r.cond {
-                    CondKind::Mono(c) => {
-                        layer_stats.conditions.record(c);
-                        report
-                            .per_node_condition
-                            .entry(r.target)
-                            .and_modify(|worst| {
-                                if c.severity() > worst.severity() {
-                                    *worst = c;
-                                }
-                            })
-                            .or_insert(c);
+            // ── Phase 4: write ────────────────────────────────────────────
+            // Sequential commit: changed α rows, condition stats, user
+            // events, and the merged + sorted next-layer target list.
+            let t_write = Instant::now();
+            {
+                let ScratchPool { shards, affected, next_targets, .. } = &mut scratch;
+                next_targets.clear();
+                for shard in shards.iter() {
+                    for (i, (e, o)) in shard.entries.iter().zip(&shard.outcomes).enumerate() {
+                        f32_read += o.reads;
+                        match o.cond {
+                            CondKind::Mono(c) => {
+                                layer_stats.conditions.record(c);
+                                report
+                                    .per_node_condition
+                                    .entry(e.target)
+                                    .and_modify(|worst| {
+                                        if c.severity() > worst.severity() {
+                                            *worst = c;
+                                        }
+                                    })
+                                    .or_insert(c);
+                            }
+                            CondKind::Acc => layer_stats.conditions.accumulative += 1,
+                            CondKind::Forced => {
+                                layer_stats.conditions.forced_recompute += 1;
+                                report
+                                    .per_node_condition
+                                    .insert(e.target, Condition::ExposedReset);
+                            }
+                        }
+                        // Accumulative targets always propagate (Algorithm 1
+                        // l.18-21).
+                        let propagates = matches!(o.cond, CondKind::Acc) || o.changed;
+                        if o.changed {
+                            self.state.alpha[l].set_row(
+                                e.target as usize,
+                                &shard.alpha_buf[i * dim..(i + 1) * dim],
+                            );
+                            f32_written += dim as u64;
+                            layer_stats.alpha_changed += 1;
+                            affected.insert(e.target);
+                        }
+                        if propagates || !cfg.pruning {
+                            next_targets.push(e.target);
+                        }
                     }
-                    CondKind::Acc => layer_stats.conditions.accumulative += 1,
-                    CondKind::Forced => {
-                        layer_stats.conditions.forced_recompute += 1;
-                        report.per_node_condition.insert(r.target, Condition::ExposedReset);
-                    }
-                }
-                // Accumulative targets always propagate (Algorithm 1 l.18-21).
-                let propagates = match r.cond {
-                    CondKind::Acc => true,
-                    _ => r.changed,
-                };
-                if r.changed {
-                    self.state.alpha[l].set_row(r.target as usize, &r.alpha_new);
-                    f32_written += dim as u64;
-                    layer_stats.alpha_changed += 1;
-                    real_affected.insert(r.target);
-                }
-                if propagates || !cfg.pruning {
-                    next_targets.push(r.target);
                 }
             }
 
-            // 5) User events targeting this layer's update phase.
-            let user_events = std::mem::take(&mut pending_user[l]);
+            // User events targeting this layer's update phase.
+            let user_events = std::mem::take(&mut scratch.pending_user[l]);
             if !user_events.is_empty() {
                 let hooks = self.hooks.as_deref().expect("user events require hooks");
                 let cache =
@@ -603,89 +767,104 @@ impl InkStream {
                 for (target, evs) in by_target {
                     let reduced = hooks.user_grouping(l, evs);
                     hooks.user_apply(l, target, cache.row_mut(target as usize), &reduced);
-                    real_affected.insert(target);
-                    next_targets.push(target);
+                    scratch.affected.insert(target);
+                    scratch.next_targets.push(target);
                 }
             }
 
-            // 6) Self-dependence: nodes whose own message changed re-enter.
-            if self.model.layer(l).conv.self_dependent() {
-                next_targets.extend(old_msgs[l].keys().copied());
+            // Self-dependence: nodes whose own message changed re-enter.
+            if self_dependent {
+                scratch.next_targets.extend(scratch.changed_order.iter().copied());
             }
-            next_targets.sort_unstable();
-            next_targets.dedup();
-            layer_stats.targets = layer_stats.targets.max(next_targets.len());
-            report.nodes_visited += next_targets.len() as u64;
+            scratch.next_targets.sort_unstable();
+            scratch.next_targets.dedup();
+            layer_stats.targets = layer_stats.targets.max(scratch.next_targets.len());
+            report.nodes_visited += scratch.next_targets.len() as u64;
+            layer_stats.phases.write = t_write.elapsed();
 
-            // 7) Rebuild next-layer messages / final outputs.
-            let is_last = l + 1 == k;
-            let out_dim = self.model.layer(l).conv.out_dim();
-            let this = &*self;
-            let produce = |u: &VertexId| -> (VertexId, Vec<f32>) {
-                let h_new = compute_next_hidden(
-                    &this.model,
-                    &this.state,
-                    this.hooks.as_deref(),
-                    &this.user_cache,
-                    l,
-                    *u,
-                    this.graph.in_degree(*u),
-                );
-                if is_last {
-                    (*u, h_new)
-                } else {
-                    let next_conv = &this.model.layer(l + 1).conv;
-                    let mut msg = next_conv.message(&h_new);
-                    if next_conv.degree_scaled() {
-                        let scale = next_conv.degree_scale(this.graph.in_degree(*u));
-                        ink_tensor::ops::scale(&mut msg, scale);
-                    }
-                    (*u, msg)
-                }
-            };
-            let use_par = cfg.parallel && next_targets.len() >= cfg.parallel_threshold;
-            let produced: Vec<(VertexId, Vec<f32>)> = if use_par {
-                next_targets.par_iter().map(produce).collect()
-            } else {
-                next_targets.iter().map(produce).collect()
-            };
-            f32_read += (next_targets.len() * 2 * dim) as u64;
-            f32_written += (next_targets.len() * out_dim) as u64;
-
-            for (u, vec_new) in produced {
-                if is_last {
-                    if vec_new.as_slice() != self.state.h.row(u as usize) {
-                        self.state.h.set_row(u as usize, &vec_new);
-                        report.output_changed += 1;
-                    }
-                } else {
-                    let old = self.state.m[l + 1].row(u as usize);
-                    let changed = vec_new.as_slice() != old;
-                    if changed || !cfg.pruning {
-                        let old_vec = old.to_vec();
-                        if changed {
-                            if let Some(hooks) = self.hooks.as_deref() {
-                                pending_user[l + 1].extend(hooks.user_propagate(
-                                    l + 1,
-                                    u,
-                                    &old_vec,
-                                    &vec_new,
-                                ));
-                            }
-                            self.state.m[l + 1].set_row(u as usize, &vec_new);
+            // ── Phase 5: next-messages ────────────────────────────────────
+            // Rebuild next-layer messages / final outputs into the flat
+            // production buffer, then commit sequentially.
+            let t_next = Instant::now();
+            let nt = scratch.next_targets.len();
+            let par_next = cfg.parallel && nt >= cfg.parallel_threshold;
+            {
+                let ScratchPool { next_targets, next_buf, .. } = &mut scratch;
+                next_buf.clear();
+                next_buf.resize(nt * prod_dim, 0.0);
+                let next_targets = &*next_targets;
+                let this = &*self;
+                let run = |(i, chunk): (usize, &mut [f32])| {
+                    let u = next_targets[i];
+                    let h_new = compute_next_hidden(
+                        &this.model,
+                        &this.state,
+                        this.hooks.as_deref(),
+                        &this.user_cache,
+                        l,
+                        u,
+                        this.graph.in_degree(u),
+                    );
+                    if is_last {
+                        chunk.copy_from_slice(&h_new);
+                    } else {
+                        let next_conv = &this.model.layer(l + 1).conv;
+                        let mut msg = next_conv.message(&h_new);
+                        if next_conv.degree_scaled() {
+                            ink_tensor::ops::scale(
+                                &mut msg,
+                                next_conv.degree_scale(this.graph.in_degree(u)),
+                            );
                         }
-                        old_msgs[l + 1].insert(u, old_vec);
+                        chunk.copy_from_slice(&msg);
+                    }
+                };
+                if par_next {
+                    next_buf.par_chunks_mut(prod_dim.max(1)).enumerate().for_each(run);
+                } else {
+                    next_buf.chunks_mut(prod_dim.max(1)).enumerate().for_each(run);
+                }
+            }
+            f32_read += (nt * 2 * dim) as u64;
+            f32_written += (nt * out_dim) as u64;
+
+            {
+                let ScratchPool { next_targets, next_buf, old, pending_user, .. } = &mut scratch;
+                for (&u, chunk) in next_targets.iter().zip(next_buf.chunks(prod_dim.max(1))) {
+                    if is_last {
+                        if chunk != self.state.h.row(u as usize) {
+                            self.state.h.set_row(u as usize, chunk);
+                            report.output_changed += 1;
+                        }
+                    } else {
+                        let changed = chunk != self.state.m[l + 1].row(u as usize);
+                        if changed || !cfg.pruning {
+                            old.insert(l + 1, u, self.state.m[l + 1].row(u as usize));
+                            if changed {
+                                if let Some(hooks) = self.hooks.as_deref() {
+                                    pending_user[l + 1].extend(hooks.user_propagate(
+                                        l + 1,
+                                        u,
+                                        old.get(l + 1, u).expect("just inserted"),
+                                        chunk,
+                                    ));
+                                }
+                                self.state.m[l + 1].set_row(u as usize, chunk);
+                            }
+                        }
                     }
                 }
             }
+            layer_stats.phases.next_messages = t_next.elapsed();
 
             report.per_layer.push(layer_stats);
         }
 
-        report.real_affected = real_affected.len() as u64;
+        report.real_affected = scratch.affected.len() as u64;
         report.f32_read = f32_read;
         report.f32_written = f32_written;
         report.elapsed = t0.elapsed();
+        self.scratch = scratch;
         report
     }
 }
@@ -878,5 +1057,67 @@ mod tests {
         assert!(report.conditions().total() > 0);
         assert!(report.traffic() > 0);
         assert_eq!(report.per_layer.len(), 2);
+        assert!(report.phase_times().total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn worker_and_shard_counts_do_not_change_results() {
+        for agg in [Aggregator::Max, Aggregator::Min, Aggregator::Sum, Aggregator::Mean] {
+            let make = |cfg: UpdateConfig| {
+                let mut rng = seeded_rng(7);
+                let model = Model::gcn(&mut rng, &[4, 6, 3], agg);
+                InkStream::new(model, ring(20), feats(20, 4), cfg).unwrap()
+            };
+            let delta = DeltaBatch::new(vec![
+                EdgeChange::insert(0, 10),
+                EdgeChange::insert(3, 17),
+                EdgeChange::remove(5, 6),
+                EdgeChange::insert(2, 8),
+                EdgeChange::remove(12, 13),
+            ]);
+            let mut reference = make(UpdateConfig::default().sequential());
+            reference.apply_delta(&delta);
+            for (w, s) in [(1, 1), (2, 3), (4, 8), (3, 16)] {
+                let mut engine = make(UpdateConfig {
+                    num_workers: w,
+                    num_shards: s,
+                    parallel_threshold: 0,
+                    ..UpdateConfig::default()
+                });
+                engine.apply_delta(&delta);
+                assert_eq!(
+                    engine.output(),
+                    reference.output(),
+                    "{agg:?} must be bitwise stable under {w} workers / {s} shards"
+                );
+                assert_eq!(engine.state().alpha[1], reference.state().alpha[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_pool_stops_growing_after_warmup() {
+        let mut rng = seeded_rng(8);
+        let model = Model::gcn(&mut rng, &[4, 6, 3], Aggregator::Max);
+        let mut engine =
+            InkStream::new(model, ring(64), feats(64, 4), UpdateConfig::default()).unwrap();
+        let insert = DeltaBatch::new(vec![EdgeChange::insert(0, 32), EdgeChange::insert(5, 40)]);
+        let remove = DeltaBatch::new(vec![EdgeChange::remove(0, 32), EdgeChange::remove(5, 40)]);
+        // Warm up: the first rounds grow the pool to the workload's size.
+        for _ in 0..2 {
+            engine.apply_delta(&insert);
+            engine.apply_delta(&remove);
+        }
+        let warm = engine.scratch_bytes();
+        assert!(warm > 0, "the pool must retain capacity between rounds");
+        for _ in 0..4 {
+            engine.apply_delta(&insert);
+            engine.apply_delta(&remove);
+        }
+        assert_eq!(
+            engine.scratch_bytes(),
+            warm,
+            "steady-state rounds must not allocate in the pooled phases"
+        );
     }
 }

@@ -97,6 +97,15 @@ impl PayloadArena {
         PayloadId(id)
     }
 
+    /// Stores `payload · factor` (degree-rescaled messages carry the old
+    /// vector scaled by the weight ratio).
+    pub fn push_scaled(&mut self, payload: &[f32], factor: f32) -> PayloadId {
+        assert_eq!(payload.len(), self.dim, "payload dim mismatch");
+        let id = self.len() as u32;
+        self.data.extend(payload.iter().map(|x| x * factor));
+        PayloadId(id)
+    }
+
     /// The payload for `id`.
     #[inline]
     pub fn get(&self, id: PayloadId) -> &[f32] {
@@ -106,6 +115,25 @@ impl PayloadArena {
     /// Bytes held by the arena.
     pub fn nbytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Drops every payload but keeps the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Clears the arena and switches it to `dim`-channel payloads, keeping
+    /// the allocation (the scratch-pool path between layers of different
+    /// widths).
+    pub fn reset(&mut self, dim: usize) {
+        self.data.clear();
+        self.dim = dim;
+    }
+
+    /// Reserved `f32` capacity — the scratch-reuse tests watch this to prove
+    /// steady-state rounds stop allocating.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
     }
 }
 
@@ -153,6 +181,31 @@ mod tests {
     fn wrong_dim_rejected() {
         let mut a = PayloadArena::new(3);
         let _ = a.push(&[1.0]);
+    }
+
+    #[test]
+    fn scaled_payload() {
+        let mut a = PayloadArena::new(2);
+        let p = a.push_scaled(&[2.0, -4.0], 0.5);
+        assert_eq!(a.get(p), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn clear_and_reset_keep_capacity() {
+        let mut a = PayloadArena::new(4);
+        for _ in 0..16 {
+            a.push(&[1.0; 4]);
+        }
+        let cap = a.capacity();
+        assert!(cap >= 64);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.capacity(), cap, "clear must keep the allocation");
+        a.reset(8);
+        assert_eq!(a.dim(), 8);
+        assert_eq!(a.capacity(), cap, "reset must keep the allocation");
+        let p = a.push(&[2.0; 8]);
+        assert_eq!(a.get(p), &[2.0; 8]);
     }
 
     #[test]

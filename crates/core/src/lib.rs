@@ -44,6 +44,7 @@ pub mod event;
 pub mod grouping;
 pub mod hooks;
 pub mod monotonic;
+mod pipeline;
 pub mod session;
 pub mod stats;
 
@@ -55,4 +56,4 @@ pub use grouping::{group_events, Group};
 pub use hooks::{LinearSelfTerm, UserEvent, UserHooks};
 pub use monotonic::Condition;
 pub use session::{DriftError, IngestReport, SessionConfig, SessionSummary, StreamSession};
-pub use stats::{ConditionCounts, LayerStats, UpdateReport};
+pub use stats::{ConditionCounts, LayerStats, PhaseTimes, UpdateReport};

@@ -1,0 +1,535 @@
+//! Sharded, arena-backed scratch machinery for the engine's event pipeline.
+//!
+//! One update round runs each layer through five phases (see DESIGN.md,
+//! "Update pipeline"): *generate* → *group* → *apply* → *write* →
+//! *next-messages*. This module owns the reusable storage those phases work
+//! in, sized once during warm-up and then recycled round after round so the
+//! steady-state hot path performs no heap allocation:
+//!
+//! * [`WorkerScratch`] — one per generation worker: a private
+//!   [`PayloadArena`] plus per-shard event buckets. Workers process
+//!   *contiguous, ordered* chunks of the work list, and buckets are drained
+//!   phase-major then worker-major, so the per-target event order is exactly
+//!   the sequential emission order no matter how many workers run.
+//! * [`ShardScratch`] — one per target shard (`shard_of(target)`): the
+//!   reduced [`GroupEntry`] per target with payloads as slots in a flat
+//!   `f32` buffer (no per-group `Vec` allocations), plus the apply phase's
+//!   outputs (`alpha_buf`, [`ApplyOutcome`]).
+//! * [`OldMsgs`] — the per-layer "old value of every changed message" map,
+//!   values stored in per-layer arenas instead of one `Vec<f32>` per entry.
+//! * [`ScratchPool`] — the whole bundle, owned by
+//!   [`crate::InkStream`] across rounds.
+//!
+//! Because every target lands in exactly one shard and reduction follows the
+//! canonical bucket order, the grouped result — and therefore the whole
+//! update — is bitwise identical for *every* worker/shard count, including
+//! the sequential 1×1 configuration. `tests/properties.rs` asserts this per
+//! aggregator.
+
+use crate::event::{Event, EventOp, PayloadArena, PayloadId};
+use crate::hooks::UserEvent;
+use crate::monotonic::Condition;
+use ink_graph::{FxHashMap, FxHashSet, VertexId};
+use ink_gnn::Aggregator;
+
+/// Sentinel for "no payload slot assigned yet" in a [`GroupEntry`].
+pub(crate) const NO_SLOT: u32 = u32::MAX;
+
+/// The shard a target's events are reduced in. Multiply-shift hash so that
+/// consecutive vertex ids spread across shards instead of striping.
+#[inline]
+pub(crate) fn shard_of(target: VertexId, num_shards: usize) -> usize {
+    (((target as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % num_shards
+}
+
+/// The contiguous chunk of `n` work items assigned to worker `w` of `total`.
+#[inline]
+pub(crate) fn worker_chunk(n: usize, w: usize, total: usize) -> std::ops::Range<usize> {
+    let per = n.div_ceil(total.max(1));
+    let start = (w * per).min(n);
+    start..((w + 1) * per).min(n)
+}
+
+/// The payload at `slot` of a flat shard buffer, or `None` for [`NO_SLOT`].
+#[inline]
+pub(crate) fn slot_in(buf: &[f32], slot: u32, dim: usize) -> Option<&[f32]> {
+    if slot == NO_SLOT {
+        None
+    } else {
+        Some(&buf[slot as usize * dim..(slot as usize + 1) * dim])
+    }
+}
+
+/// Per-target outcome classification of the apply phase.
+pub(crate) enum CondKind {
+    /// Monotonic target, classified by the evolvability check.
+    Mono(Condition),
+    /// Accumulative target (always incrementally updated).
+    Acc,
+    /// Recomputed because incremental updates are disabled (ablation).
+    Forced,
+}
+
+/// What the apply phase decided for one group entry. The new α lives in the
+/// owning shard's `alpha_buf` at the entry's index.
+pub(crate) struct ApplyOutcome {
+    pub cond: CondKind,
+    pub reads: u64,
+    pub changed: bool,
+}
+
+/// The reduced events heading to one target: payload slots into the owning
+/// shard's flat buffer. Monotonic groups use `del`/`add`; accumulative
+/// groups keep their running sum in `add`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct GroupEntry {
+    pub target: VertexId,
+    pub del: u32,
+    pub add: u32,
+    pub degree_delta: i32,
+}
+
+/// One target shard of the group-reduce phase, plus the apply phase's
+/// per-entry outputs. All storage is recycled between rounds.
+#[derive(Default)]
+pub(crate) struct ShardScratch {
+    index: FxHashMap<VertexId, u32>,
+    pub entries: Vec<GroupEntry>,
+    buf: Vec<f32>,
+    pub outcomes: Vec<ApplyOutcome>,
+    pub alpha_buf: Vec<f32>,
+    pub payload_reads: usize,
+}
+
+impl ShardScratch {
+    /// Clears the shard for a new layer, keeping every allocation.
+    pub fn begin(&mut self) {
+        self.index.clear();
+        self.entries.clear();
+        self.buf.clear();
+        self.outcomes.clear();
+        self.alpha_buf.clear();
+        self.payload_reads = 0;
+    }
+
+    /// The payload stored in `slot`, or `None` for [`NO_SLOT`].
+    #[cfg(test)]
+    pub fn slot(&self, slot: u32, dim: usize) -> Option<&[f32]> {
+        slot_in(&self.buf, slot, dim)
+    }
+
+    /// Splits the shard into `(entries, payload buffer, alpha buffer,
+    /// outcomes)` so the apply phase can read groups while writing α values
+    /// and outcomes.
+    pub fn apply_parts(&mut self) -> (&[GroupEntry], &[f32], &mut Vec<f32>, &mut Vec<ApplyOutcome>) {
+        (&self.entries, &self.buf, &mut self.alpha_buf, &mut self.outcomes)
+    }
+
+    /// Reduces one bucket of events (all targeting this shard) into the
+    /// group entries, in bucket order.
+    pub fn reduce_bucket(
+        &mut self,
+        events: &[Event],
+        arena: &PayloadArena,
+        agg: Aggregator,
+        dim: usize,
+    ) {
+        let mono = agg.is_monotonic();
+        for ev in events {
+            let payload = arena.get(ev.payload);
+            self.payload_reads += dim;
+            let idx = match self.index.get(&ev.target) {
+                Some(&i) => i as usize,
+                None => {
+                    let i = self.entries.len() as u32;
+                    self.index.insert(ev.target, i);
+                    self.entries.push(GroupEntry {
+                        target: ev.target,
+                        del: NO_SLOT,
+                        add: NO_SLOT,
+                        degree_delta: 0,
+                    });
+                    i as usize
+                }
+            };
+            let entry = &mut self.entries[idx];
+            entry.degree_delta += ev.degree_delta as i32;
+            let slot = if mono {
+                match ev.op {
+                    EventOp::Del => &mut entry.del,
+                    EventOp::Add => &mut entry.add,
+                    EventOp::Update => {
+                        panic!("Update events are only valid with accumulative aggregation")
+                    }
+                }
+            } else {
+                match ev.op {
+                    EventOp::Update => &mut entry.add,
+                    EventOp::Add | EventOp::Del => {
+                        panic!("Add/Del events are only valid with monotonic aggregation")
+                    }
+                }
+            };
+            if *slot == NO_SLOT {
+                *slot = (self.buf.len() / dim.max(1)) as u32;
+                self.buf.extend_from_slice(payload);
+            } else {
+                let acc = &mut self.buf[*slot as usize * dim..(*slot as usize + 1) * dim];
+                if mono {
+                    agg.combine_into(acc, payload);
+                } else {
+                    ink_tensor::ops::add_assign(acc, payload);
+                }
+            }
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.index.capacity() * std::mem::size_of::<(VertexId, u32)>()
+            + self.entries.capacity() * std::mem::size_of::<GroupEntry>()
+            + (self.buf.capacity() + self.alpha_buf.capacity()) * std::mem::size_of::<f32>()
+            + self.outcomes.capacity() * std::mem::size_of::<ApplyOutcome>()
+    }
+}
+
+/// One generation worker's private output: a payload arena and per-shard
+/// event buckets, split by emission phase (ΔG seeding vs effect
+/// propagation) so buckets can be concatenated back into canonical order.
+#[derive(Default)]
+pub(crate) struct WorkerScratch {
+    pub arena: PayloadArena,
+    /// Degree-rescaled messages staged by this worker: `(vertex, new msg)`.
+    pub rescaled: Vec<(VertexId, PayloadId)>,
+    /// ΔG-seeding buckets, one per shard.
+    pub dg: Vec<Vec<Event>>,
+    /// Effect-propagation buckets, one per shard.
+    pub fx: Vec<Vec<Event>>,
+}
+
+impl WorkerScratch {
+    /// Clears the worker for a new layer of `dim`-channel payloads and
+    /// `shards` buckets, keeping allocations.
+    pub fn begin(&mut self, shards: usize, dim: usize) {
+        self.arena.reset(dim);
+        self.rescaled.clear();
+        for b in [&mut self.dg, &mut self.fx] {
+            if b.len() != shards {
+                b.resize_with(shards, Vec::new);
+            }
+            for bucket in b.iter_mut() {
+                bucket.clear();
+            }
+        }
+    }
+
+    /// Events emitted by this worker this layer.
+    pub fn events_emitted(&self) -> usize {
+        self.dg.iter().chain(&self.fx).map(Vec::len).sum()
+    }
+
+    fn bytes(&self) -> usize {
+        self.arena.capacity() * std::mem::size_of::<f32>()
+            + self.rescaled.capacity() * std::mem::size_of::<(VertexId, PayloadId)>()
+            + self
+                .dg
+                .iter()
+                .chain(&self.fx)
+                .map(|b| b.capacity() * std::mem::size_of::<Event>())
+                .sum::<usize>()
+    }
+}
+
+/// Old values of the messages that changed this round, per layer. Values are
+/// arena slots instead of owned `Vec<f32>`s so steady-state rounds reuse one
+/// allocation per layer.
+#[derive(Default)]
+pub(crate) struct OldMsgs {
+    idx: Vec<FxHashMap<VertexId, PayloadId>>,
+    vals: Vec<PayloadArena>,
+}
+
+impl OldMsgs {
+    /// Prepares layer `l` for a new round with `dim`-channel messages.
+    pub fn reset_layer(&mut self, l: usize, dim: usize) {
+        if self.idx.len() <= l {
+            self.idx.resize_with(l + 1, FxHashMap::default);
+            self.vals.resize_with(l + 1, PayloadArena::default);
+        }
+        self.idx[l].clear();
+        self.vals[l].reset(dim);
+    }
+
+    /// Records the old value of `v`'s layer-`l` message. Each vertex may be
+    /// recorded at most once per round.
+    pub fn insert(&mut self, l: usize, v: VertexId, old: &[f32]) {
+        let id = self.vals[l].push(old);
+        let prev = self.idx[l].insert(v, id);
+        debug_assert!(prev.is_none(), "message {v} recorded twice in layer {l}");
+    }
+
+    /// The recorded old message of `v` at layer `l`, if it changed.
+    #[inline]
+    pub fn get(&self, l: usize, v: VertexId) -> Option<&[f32]> {
+        self.idx[l].get(&v).map(|&id| self.vals[l].get(id))
+    }
+
+    /// True when `v`'s layer-`l` message already changed this round.
+    #[inline]
+    pub fn contains(&self, l: usize, v: VertexId) -> bool {
+        self.idx[l].contains_key(&v)
+    }
+
+    /// Writes the changed vertices of layer `l` into `out`, ascending — the
+    /// canonical effect-propagation order.
+    pub fn keys_sorted_into(&self, l: usize, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend(self.idx[l].keys().copied());
+        out.sort_unstable();
+    }
+
+    fn bytes(&self) -> usize {
+        self.idx
+            .iter()
+            .map(|m| m.capacity() * std::mem::size_of::<(VertexId, PayloadId)>())
+            .sum::<usize>()
+            + self.vals.iter().map(|a| a.capacity() * std::mem::size_of::<f32>()).sum::<usize>()
+    }
+}
+
+/// Every reusable buffer of the update pipeline, owned by the engine across
+/// rounds. `bytes()` exposes the reserved footprint; the scratch-reuse test
+/// asserts it stops growing once the pool is warm.
+#[derive(Default)]
+pub(crate) struct ScratchPool {
+    pub workers: Vec<WorkerScratch>,
+    pub shards: Vec<ShardScratch>,
+    pub old: OldMsgs,
+    /// Sorted changed-message vertices of the current layer.
+    pub changed_order: Vec<VertexId>,
+    /// Net in-degree change per vertex.
+    pub degree_net: FxHashMap<VertexId, i64>,
+    /// `degree_net` as sorted `(vertex, net)` pairs.
+    pub degree_order: Vec<(VertexId, i64)>,
+    /// Degree-rescale candidates of the current layer (subset of
+    /// `degree_order`).
+    pub rescale_list: Vec<(VertexId, i64)>,
+    /// Directed edges covered by ΔG insert events (duplicate-event rule).
+    pub covered: FxHashSet<(VertexId, VertexId)>,
+    /// User events pending per layer.
+    pub pending_user: Vec<Vec<UserEvent>>,
+    /// Vertices whose α changed in any layer (the *real affected* set).
+    pub affected: FxHashSet<VertexId>,
+    /// Targets entering the next-messages phase.
+    pub next_targets: Vec<VertexId>,
+    /// Flat row-major output of the next-messages phase.
+    pub next_buf: Vec<f32>,
+}
+
+impl ScratchPool {
+    /// Prepares the pool for a round of `layers` layers with `workers`
+    /// generation workers and `shards` target shards.
+    pub fn begin_round(&mut self, layers: usize, workers: usize, shards: usize) {
+        if self.workers.len() != workers {
+            self.workers.resize_with(workers, WorkerScratch::default);
+        }
+        if self.shards.len() != shards {
+            self.shards.resize_with(shards, ShardScratch::default);
+        }
+        if self.pending_user.len() < layers {
+            self.pending_user.resize_with(layers, Vec::new);
+        }
+        for p in &mut self.pending_user {
+            p.clear();
+        }
+        self.degree_net.clear();
+        self.degree_order.clear();
+        self.covered.clear();
+        self.affected.clear();
+    }
+
+    /// Reserved heap footprint of the pool, in bytes. Capacities only —
+    /// the value is stable across steady-state rounds.
+    pub fn bytes(&self) -> usize {
+        self.workers.iter().map(WorkerScratch::bytes).sum::<usize>()
+            + self.shards.iter().map(ShardScratch::bytes).sum::<usize>()
+            + self.old.bytes()
+            + self.changed_order.capacity() * std::mem::size_of::<VertexId>()
+            + self.degree_net.capacity() * std::mem::size_of::<(VertexId, i64)>()
+            + (self.degree_order.capacity() + self.rescale_list.capacity())
+                * std::mem::size_of::<(VertexId, i64)>()
+            + self.covered.capacity() * std::mem::size_of::<(VertexId, VertexId)>()
+            + self.affected.capacity() * std::mem::size_of::<VertexId>()
+            + self.next_targets.capacity() * std::mem::size_of::<VertexId>()
+            + self.next_buf.capacity() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::{group_events, Group};
+
+    fn ev(op: EventOp, target: VertexId, payload: PayloadId, dd: i8) -> Event {
+        Event { op, target, payload, degree_delta: dd }
+    }
+
+    /// Random-ish event stream reduced by the sharded path must equal the
+    /// reference `group_events` map, for any worker/shard split.
+    #[test]
+    fn sharded_reduce_matches_reference_grouping() {
+        for (agg, num_shards, num_workers) in [
+            (Aggregator::Max, 1usize, 1usize),
+            (Aggregator::Max, 4, 3),
+            (Aggregator::Min, 8, 2),
+            (Aggregator::Sum, 4, 4),
+            (Aggregator::Mean, 3, 2),
+        ] {
+            let dim = 3;
+            let mono = agg.is_monotonic();
+            // Deterministic pseudo-random event stream over 10 targets.
+            let mut arena = PayloadArena::new(dim);
+            let mut events = Vec::new();
+            let mut x = 12345u64;
+            for i in 0..200u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let target = (x >> 33) % 10;
+                let val = ((x >> 17) % 1000) as f32 * 0.01 - 5.0;
+                let payload = arena.push(&[val, -val, val * 0.5]);
+                let (op, dd) = if mono {
+                    if i % 3 == 0 {
+                        (EventOp::Del, -1)
+                    } else {
+                        (EventOp::Add, if i % 2 == 0 { 1 } else { 0 })
+                    }
+                } else {
+                    (EventOp::Update, [(-1i8), 0, 1][(i % 3) as usize])
+                };
+                events.push(ev(op, target as VertexId, payload, dd));
+            }
+
+            let reference = group_events(&events, &arena, agg);
+
+            // Sharded path: workers get contiguous chunks, buckets are
+            // drained worker-major per shard.
+            let mut workers: Vec<WorkerScratch> = (0..num_workers)
+                .map(|_| WorkerScratch::default())
+                .collect();
+            for (w, ws) in workers.iter_mut().enumerate() {
+                ws.begin(num_shards, dim);
+                for e in &events[worker_chunk(events.len(), w, num_workers)] {
+                    let payload = ws.arena.push(arena.get(e.payload));
+                    ws.dg[shard_of(e.target, num_shards)].push(Event { payload, ..*e });
+                }
+            }
+            let mut shards: Vec<ShardScratch> =
+                (0..num_shards).map(|_| ShardScratch::default()).collect();
+            let mut total_entries = 0;
+            for (s, shard) in shards.iter_mut().enumerate() {
+                shard.begin();
+                for ws in &workers {
+                    shard.reduce_bucket(&ws.dg[s], &ws.arena, agg, dim);
+                }
+                total_entries += shard.entries.len();
+                for e in &shard.entries {
+                    let expect = &reference.groups[&e.target];
+                    match expect {
+                        Group::Mono { del, add, degree_delta } => {
+                            assert_eq!(shard.slot(e.del, dim), del.as_deref());
+                            assert_eq!(shard.slot(e.add, dim), add.as_deref());
+                            assert_eq!(e.degree_delta, *degree_delta);
+                        }
+                        Group::Acc { sum, degree_delta } => {
+                            assert_eq!(shard.slot(e.add, dim), Some(sum.as_slice()));
+                            assert_eq!(shard.slot(e.del, dim), None);
+                            assert_eq!(e.degree_delta, *degree_delta);
+                        }
+                    }
+                }
+            }
+            assert_eq!(
+                total_entries,
+                reference.groups.len(),
+                "{agg:?} with {num_shards} shards / {num_workers} workers"
+            );
+            let reads: usize = shards.iter().map(|s| s.payload_reads).sum();
+            assert_eq!(reads, reference.payload_values_read);
+        }
+    }
+
+    #[test]
+    fn shard_of_is_total_and_stable() {
+        for v in 0..1000u32 {
+            let s = shard_of(v, 8);
+            assert!(s < 8);
+            assert_eq!(s, shard_of(v, 8));
+        }
+        // All targets land in shard 0 when there is only one shard.
+        assert!((0..100u32).all(|v| shard_of(v, 1) == 0));
+    }
+
+    #[test]
+    fn worker_chunks_tile_the_range() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for total in [1usize, 2, 3, 8] {
+                let mut covered = Vec::new();
+                for w in 0..total {
+                    covered.extend(worker_chunk(n, w, total));
+                }
+                assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} total={total}");
+            }
+        }
+    }
+
+    #[test]
+    fn old_msgs_roundtrip_and_sorted_keys() {
+        let mut old = OldMsgs::default();
+        old.reset_layer(0, 2);
+        old.insert(0, 9, &[1.0, 2.0]);
+        old.insert(0, 3, &[3.0, 4.0]);
+        old.insert(0, 7, &[5.0, 6.0]);
+        assert_eq!(old.get(0, 3), Some(&[3.0, 4.0][..]));
+        assert_eq!(old.get(0, 4), None);
+        assert!(old.contains(0, 9));
+        let mut keys = Vec::new();
+        old.keys_sorted_into(0, &mut keys);
+        assert_eq!(keys, vec![3, 7, 9]);
+        old.reset_layer(0, 2);
+        assert!(!old.contains(0, 9), "reset clears the layer");
+    }
+
+    #[test]
+    fn scratch_pool_bytes_stable_after_reuse() {
+        let mut pool = ScratchPool::default();
+        let fill = |pool: &mut ScratchPool| {
+            pool.begin_round(2, 2, 4);
+            pool.old.reset_layer(0, 4);
+            for v in 0..50u32 {
+                pool.old.insert(0, v, &[0.5; 4]);
+                pool.degree_net.insert(v, 1);
+                pool.covered.insert((v, v + 1));
+                pool.next_targets.push(v);
+            }
+            pool.old.keys_sorted_into(0, &mut pool.changed_order);
+            for ws in &mut pool.workers {
+                ws.begin(4, 4);
+                let p = ws.arena.push(&[1.0; 4]);
+                for v in 0..50u32 {
+                    ws.dg[shard_of(v, 4)].push(Event {
+                        op: EventOp::Add,
+                        target: v,
+                        payload: p,
+                        degree_delta: 0,
+                    });
+                }
+            }
+            pool.next_targets.clear();
+        };
+        fill(&mut pool);
+        let warm = pool.bytes();
+        assert!(warm > 0);
+        for _ in 0..3 {
+            fill(&mut pool);
+        }
+        assert_eq!(pool.bytes(), warm, "steady-state reuse must not grow the pool");
+    }
+}

@@ -8,7 +8,7 @@
 //! recomputation (cheap insurance for accumulative aggregation, where float
 //! drift is bounded but nonzero).
 
-use crate::{InkStream, UpdateReport};
+use crate::{InkStream, PhaseTimes, UpdateReport};
 use ink_graph::DeltaBatch;
 use std::time::{Duration, Instant};
 
@@ -74,6 +74,9 @@ pub struct SessionSummary {
     pub latency: (Duration, Duration, Duration, Duration),
     /// Mean real-affected nodes per batch.
     pub avg_real_affected: f64,
+    /// Per-phase pipeline wall time accumulated over every batch — shows
+    /// where the session's update budget actually goes.
+    pub phase_times: PhaseTimes,
 }
 
 /// An engine plus operational bookkeeping for long-running streams.
@@ -104,6 +107,7 @@ pub struct StreamSession {
     changes: usize,
     affected_total: u64,
     batch_latencies: Vec<Duration>,
+    phase_times: PhaseTimes,
 }
 
 impl StreamSession {
@@ -122,6 +126,7 @@ impl StreamSession {
             changes: 0,
             affected_total: 0,
             batch_latencies: Vec::new(),
+            phase_times: PhaseTimes::default(),
         }
     }
 
@@ -150,6 +155,7 @@ impl StreamSession {
             report.changes_applied += chunk.len() - r.skipped_changes;
             report.output_changed += r.output_changed;
             self.affected_total += r.real_affected;
+            self.phase_times.merge(&r.phase_times());
         }
         self.ingests += 1;
         self.changes += report.changes_applied;
@@ -192,6 +198,7 @@ impl StreamSession {
             ),
             avg_real_affected: self.affected_total as f64
                 / self.batch_latencies.len().max(1) as f64,
+            phase_times: self.phase_times,
         }
     }
 }
@@ -267,6 +274,17 @@ mod tests {
         assert_eq!(sum.ingests, 3);
         assert!(sum.changes > 0);
         assert!(sum.avg_real_affected > 0.0);
+    }
+
+    #[test]
+    fn summary_accumulates_phase_times() {
+        let mut s = StreamSession::new(engine(11));
+        s.ingest(&delta(&s, 12, 8)).unwrap();
+        let once = s.summary().phase_times;
+        assert!(once.total() > Duration::ZERO, "batches must contribute phase times");
+        s.ingest(&delta(&s, 13, 8)).unwrap();
+        let twice = s.summary().phase_times;
+        assert!(twice.total() > once.total(), "phase times accumulate across ingests");
     }
 
     #[test]

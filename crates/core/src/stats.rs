@@ -4,6 +4,37 @@
 use crate::monotonic::Condition;
 use std::time::Duration;
 
+/// Wall-clock time spent in each phase of the per-layer update pipeline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Event generation: degree rescaling, ΔG seeding, effect propagation.
+    pub generate: Duration,
+    /// Target-sharded group-reduce.
+    pub group: Duration,
+    /// Per-target incremental update / recomputation.
+    pub apply: Duration,
+    /// Sequential write-back: α rows, conditions, user events, target merge.
+    pub write: Duration,
+    /// Next-layer message / final output rebuild.
+    pub next_messages: Duration,
+}
+
+impl PhaseTimes {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.generate + self.group + self.apply + self.write + self.next_messages
+    }
+
+    /// Adds another measurement phase by phase.
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        self.generate += other.generate;
+        self.group += other.group;
+        self.apply += other.apply;
+        self.write += other.write;
+        self.next_messages += other.next_messages;
+    }
+}
+
 /// How many targets fell into each evolvability condition (paper Fig. 8,
 /// plus the accumulative path which is always incrementally updated).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -66,6 +97,8 @@ pub struct LayerStats {
     pub alpha_changed: usize,
     /// Condition distribution for this layer.
     pub conditions: ConditionCounts,
+    /// Per-phase wall times of this layer's pipeline pass.
+    pub phases: PhaseTimes,
 }
 
 /// The report returned by every engine update.
@@ -114,6 +147,15 @@ impl UpdateReport {
     /// Total embedding traffic (reads + writes).
     pub fn traffic(&self) -> u64 {
         self.f32_read + self.f32_written
+    }
+
+    /// Per-phase wall times summed across layers.
+    pub fn phase_times(&self) -> PhaseTimes {
+        let mut total = PhaseTimes::default();
+        for l in &self.per_layer {
+            total.merge(&l.phases);
+        }
+        total
     }
 
     /// Fraction of processed monotonic targets that avoided recomputation
@@ -173,6 +215,35 @@ mod tests {
     #[test]
     fn evolvable_fraction_of_empty_report_is_zero() {
         assert_eq!(UpdateReport::default().evolvable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn phase_times_sum_and_merge() {
+        let a = PhaseTimes {
+            generate: Duration::from_micros(10),
+            group: Duration::from_micros(20),
+            apply: Duration::from_micros(30),
+            write: Duration::from_micros(5),
+            next_messages: Duration::from_micros(35),
+        };
+        assert_eq!(a.total(), Duration::from_micros(100));
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.total(), Duration::from_micros(200));
+        assert_eq!(b.group, Duration::from_micros(40));
+    }
+
+    #[test]
+    fn report_aggregates_phase_times_across_layers() {
+        let mut r = UpdateReport::default();
+        for _ in 0..2 {
+            r.per_layer.push(LayerStats {
+                phases: PhaseTimes { apply: Duration::from_micros(7), ..Default::default() },
+                ..Default::default()
+            });
+        }
+        assert_eq!(r.phase_times().apply, Duration::from_micros(14));
+        assert_eq!(r.phase_times().total(), Duration::from_micros(14));
     }
 
     #[test]

@@ -1,0 +1,246 @@
+#![warn(missing_docs)]
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! minimal drop-in for the benchmark surface the workspace uses:
+//! `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, and `Bencher::iter`. Each bench
+//! runs a short warm-up, then `sample_size` timed samples, and prints the
+//! median / mean / min per-iteration time. No statistical regression
+//! analysis is performed — numbers are for eyeballing trends, not for
+//! criterion-grade comparisons.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so existing `use criterion::black_box` imports keep working.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, name, sample_size }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+}
+
+/// A named benchmark identifier (`function_name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing already happened per bench).
+    pub fn finish(self) {}
+}
+
+/// Hands the measured routine to the harness.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    mode: Mode,
+}
+
+enum Mode {
+    /// Estimating a good iteration count.
+    Calibrate(Duration),
+    /// Collecting timed samples.
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times per sample to be measurable.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Calibrate(ref mut elapsed) => {
+                let t = Instant::now();
+                black_box(routine());
+                *elapsed = t.elapsed();
+            }
+            Mode::Measure => {
+                let t = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(routine());
+                }
+                self.samples.push(t.elapsed() / self.iters_per_sample.max(1) as u32);
+            }
+        }
+    }
+}
+
+fn run_bench<F>(label: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // One calibration pass: pick an iteration count that makes a sample take
+    // roughly a millisecond, so cheap kernels aren't all timer noise.
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        mode: Mode::Calibrate(Duration::ZERO),
+    };
+    f(&mut b);
+    let once = match b.mode {
+        Mode::Calibrate(d) => d,
+        Mode::Measure => unreachable!(),
+    };
+    let iters = if once >= Duration::from_millis(1) {
+        1
+    } else {
+        (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 1 << 20) as u64
+    };
+
+    let mut b = Bencher { samples: Vec::new(), iters_per_sample: iters, mode: Mode::Measure };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let mut samples = b.samples;
+    if samples.is_empty() {
+        println!("{label:<48} (no samples — routine never called iter)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples[0];
+    println!(
+        "{label:<48} median {median:>12?}  mean {mean:>12?}  min {min:>12?}  ({} samples x {iters} iters)",
+        samples.len()
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0, "routine should have been invoked");
+    }
+
+    #[test]
+    fn group_api_roundtrip() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("f", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_path() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+    }
+}

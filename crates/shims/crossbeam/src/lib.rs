@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the bounded-channel surface the examples use is provided, backed by
+//! `std::sync::mpsc::sync_channel` (same blocking-on-full semantics).
+
+/// Multi-producer single-consumer channels.
+pub mod channel {
+    /// A channel disconnection error, mirroring `crossbeam_channel::SendError`.
+    pub use std::sync::mpsc::SendError;
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T>(std::sync::mpsc::SyncSender<T>);
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while the channel is full. Errors when the
+        /// receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking iterator draining the channel until all senders are gone.
+        pub fn iter(&self) -> std::sync::mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+
+        /// Receives one value, blocking until one is available. Errors when
+        /// all senders are gone.
+        pub fn recv(&self) -> Result<T, std::sync::mpsc::RecvError> {
+            self.0.recv()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = std::sync::mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// A bounded channel holding at most `cap` in-flight values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn roundtrip_through_thread() {
+        let (tx, rx) = channel::bounded(2);
+        let producer = std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

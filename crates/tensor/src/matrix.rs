@@ -171,12 +171,22 @@ impl Matrix {
         }
     }
 
-    /// Transposed copy.
+    /// Transposed copy. Walks the matrix in square tiles so both the source
+    /// rows and the destination columns of a tile stay cache-resident —
+    /// a plain row-major sweep strides the destination by `rows` floats per
+    /// element and thrashes once matrices outgrow L1.
     pub fn transpose(&self) -> Matrix {
+        const TILE: usize = 32;
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        for rb in (0..self.rows).step_by(TILE) {
+            let r_end = (rb + TILE).min(self.rows);
+            for cb in (0..self.cols).step_by(TILE) {
+                let c_end = (cb + TILE).min(self.cols);
+                for r in rb..r_end {
+                    for c in cb..c_end {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
             }
         }
         out
@@ -267,6 +277,27 @@ mod tests {
     fn transpose_involution() {
         let a = Matrix::from_fn(2, 5, |r, c| (r * 5 + c) as f32);
         assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn blocked_transpose_matches_naive_on_awkward_shapes() {
+        // Shapes straddling the 32-wide tile: exact multiples, one-off
+        // remainders, degenerate rows/columns.
+        for (rows, cols) in
+            [(1, 1), (1, 97), (97, 1), (31, 33), (32, 32), (33, 31), (64, 96), (65, 97)]
+        {
+            let a = Matrix::from_fn(rows, cols, |r, c| (r * cols + c) as f32 * 0.5 - 3.0);
+            let naive = {
+                let mut out = Matrix::zeros(cols, rows);
+                for r in 0..rows {
+                    for c in 0..cols {
+                        out.set(c, r, a.get(r, c));
+                    }
+                }
+                out
+            };
+            assert_eq!(a.transpose(), naive, "{rows}x{cols}");
+        }
     }
 
     #[test]

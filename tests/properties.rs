@@ -161,6 +161,50 @@ proptest! {
         }
     }
 
+    /// The sharded parallel pipeline is element-identical to the sequential
+    /// one: for every aggregator, random graphs and deltas, an engine with
+    /// `parallel: true` (forced through the parallel code paths with a zero
+    /// threshold and multi-worker/shard splits) must produce bitwise the
+    /// same outputs, α state and messages as `sequential()`.
+    #[test]
+    fn parallel_pipeline_matches_sequential_bitwise(
+        (n, raw_edges) in arb_graph(24),
+        seed in 0u64..1000,
+        delta_size in 1usize..10,
+        agg_pick in 0usize..4,
+        num_workers in 1usize..5,
+        shard_shift in 0u32..5,
+    ) {
+        let agg = [Aggregator::Max, Aggregator::Min, Aggregator::Sum, Aggregator::Mean][agg_pick];
+        let g = DynGraph::undirected_from_edges(n, &raw_edges);
+        prop_assume!(g.num_edges() >= 2);
+        prop_assume!(g.num_edges() + 2 * delta_size <= n * (n - 1) / 2);
+        let make = |cfg: UpdateConfig| {
+            let mut rng = seeded_rng(seed);
+            let x = uniform(&mut rng, n, 4, -1.0, 1.0);
+            let model = Model::gcn(&mut rng, &[4, 5, 3], agg);
+            InkStream::new(model, g.clone(), x, cfg).unwrap()
+        };
+        let mut seq = make(UpdateConfig::default().sequential());
+        let mut par = make(UpdateConfig {
+            parallel_threshold: 0,
+            num_workers,
+            num_shards: 1 << shard_shift,
+            ..UpdateConfig::default()
+        });
+        let mut drng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        for _ in 0..2 {
+            let delta = DeltaBatch::random_scenario(seq.graph(), &mut drng, delta_size);
+            seq.apply_delta(&delta);
+            par.apply_delta(&delta);
+        }
+        prop_assert_eq!(par.output(), seq.output());
+        for l in 0..seq.model().num_layers() {
+            prop_assert_eq!(&par.state().alpha[l], &seq.state().alpha[l]);
+            prop_assert_eq!(&par.state().m[l], &seq.state().m[l]);
+        }
+    }
+
     /// Toggling one random edge back and forth returns to the exact
     /// starting output (monotonic determinism).
     #[test]
