@@ -1,0 +1,186 @@
+//! Drift benchmark: audit cost curves and drift-over-time on long streams.
+//!
+//! Two experiments, both written to `results/BENCH_drift.json`:
+//!
+//! 1. **Audit cost** — mean wall time of a 16-vertex spot audit vs. a full
+//!    audit (NaN scan + fresh bootstrap) across growing graph sizes. The
+//!    spot audit touches `O(samples · deg · dim)` state, so its cost must
+//!    stay flat while the full audit grows with `|V|` — the sublinearity
+//!    that makes per-ingest spot auditing affordable.
+//! 2. **Drift over time** — a sum-aggregation GCN streams ≥ 50 k edge
+//!    changes (100 ingests × 500 changes at full scale) twice over the same
+//!    delta sequence, with plain and with compensated (Neumaier)
+//!    accumulation, recording the authoritative full-audit drift at regular
+//!    checkpoints. Per-ingest spot audits run through the session's
+//!    [`DriftPolicy`], demonstrating audit wall time staying separate from
+//!    ingest latency.
+
+use ink_bench::{scenarios, BenchOpts, ModelKind};
+use ink_graph::generators::erdos_renyi;
+use ink_gnn::Aggregator;
+use ink_tensor::init::{seeded_rng, sparse_power_law};
+use inkstream::{
+    DriftAction, DriftPolicy, InkStream, SessionConfig, StreamSession, UpdateConfig,
+};
+use rand::RngExt;
+use std::time::{Duration, Instant};
+
+const FEAT_DIM: usize = 16;
+const SEED: u64 = 0xD21F7;
+const SPOT_SAMPLES: usize = 16;
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn build_engine(n: usize, edges: usize, opts: &BenchOpts, cfg: UpdateConfig) -> InkStream {
+    let mut rng = seeded_rng(SEED);
+    let graph = erdos_renyi(&mut rng, n, edges);
+    let features = sparse_power_law(&mut rng, n, FEAT_DIM, 0.2, 0.9);
+    let model = ModelKind::Gcn.build(FEAT_DIM, opts, Aggregator::Sum, SEED);
+    InkStream::new(model, graph, features, cfg).unwrap()
+}
+
+/// Experiment 1: spot vs. full audit cost across graph sizes.
+fn audit_cost(opts: &BenchOpts) -> Vec<String> {
+    let base = ((5_000.0 * opts.scale) as usize).max(400);
+    let reps = if opts.quick { 10 } else { 50 };
+    let mut rows = Vec::new();
+    for mult in [1usize, 4, 16] {
+        let n = base * mult;
+        let edges = 3 * n;
+        let engine = build_engine(n, edges, opts, UpdateConfig::default());
+        let mut rng = seeded_rng(SEED ^ mult as u64);
+
+        let mut spot_us = 0.0;
+        for _ in 0..reps {
+            let sample: Vec<u32> =
+                (0..SPOT_SAMPLES).map(|_| rng.random_range(0..n as u32)).collect();
+            let t = Instant::now();
+            let dev = engine.audit_vertices(&sample);
+            spot_us += us(t.elapsed());
+            assert!(!dev.is_nan(), "clean engine must audit finite");
+        }
+        spot_us /= reps as f64;
+
+        let t = Instant::now();
+        let dev = engine.audit_full();
+        let full_us = us(t.elapsed());
+        assert!(!dev.is_nan());
+
+        let ratio = if spot_us > 0.0 { full_us / spot_us } else { 0.0 };
+        eprintln!(
+            "  audit cost |V|={n}: spot({SPOT_SAMPLES})={spot_us:.1}µs full={full_us:.1}µs \
+             (full/spot={ratio:.1}x)"
+        );
+        rows.push(format!(
+            "    {{ \"vertices\": {n}, \"edges\": {edges}, \"spot_samples\": {SPOT_SAMPLES}, \
+             \"spot_us_mean\": {spot_us:.3}, \"full_us\": {full_us:.3}, \
+             \"full_over_spot\": {ratio:.3} }}"
+        ));
+    }
+    rows
+}
+
+/// Experiment 2: drift over a ≥ 50 k-change stream, plain vs. compensated.
+fn drift_stream(opts: &BenchOpts) -> String {
+    let n = ((8_000.0 * opts.scale) as usize).max(600);
+    let edges = 3 * n;
+    let (batch, ingests) = if opts.quick { (100usize, 10usize) } else { (500, 100) };
+    let checkpoints = 10usize.min(ingests);
+
+    let make_session = |compensated: bool| {
+        let cfg = if compensated {
+            UpdateConfig::default().compensated()
+        } else {
+            UpdateConfig::default()
+        };
+        StreamSession::with_config(
+            build_engine(n, edges, opts, cfg),
+            SessionConfig {
+                // Spot audits every ingest; tolerance is wide — this run
+                // *measures* drift, it doesn't police it.
+                drift: DriftPolicy::spot(1, SPOT_SAMPLES, 1.0).with_action(DriftAction::Warn),
+                ..SessionConfig::default()
+            },
+        )
+    };
+    let mut plain = make_session(false);
+    let mut comp = make_session(true);
+    let deltas = scenarios(plain.engine().graph(), batch, ingests, SEED ^ 0xface);
+
+    let mut series = Vec::new();
+    let mut changes_seen = 0usize;
+    let mut changes_streamed = 0usize;
+    for (i, delta) in deltas.iter().enumerate() {
+        let rp = plain.ingest(delta).expect("warn policy never fails");
+        let rc = comp.ingest(delta).expect("warn policy never fails");
+        changes_seen += rp.changes_applied;
+        changes_streamed += rp.changes_applied + rp.skipped;
+        assert_eq!(rp.changes_applied, rc.changes_applied, "same delta stream");
+        if (i + 1) % (ingests / checkpoints).max(1) == 0 {
+            let dp = plain.engine().audit_full();
+            let dc = comp.engine().audit_full();
+            eprintln!(
+                "  stream {changes_seen} changes: drift plain={dp:.3e} compensated={dc:.3e} \
+                 (spot plain={:.3e})",
+                rp.verified_diff.unwrap_or(f32::NAN),
+            );
+            series.push(format!(
+                "      {{ \"changes\": {changes_seen}, \"full_drift_plain\": {dp:e}, \
+                 \"full_drift_compensated\": {dc:e} }}"
+            ));
+        }
+    }
+
+    let sp = plain.summary().drift;
+    let sc = comp.summary().drift;
+    let stats = |s: &inkstream::DriftStats| {
+        format!(
+            "{{ \"spot_audits\": {}, \"max_spot_deviation\": {:e}, \"audit_ms\": {:.3}, \
+             \"breaches\": {} }}",
+            s.spot_audits,
+            s.max_deviation,
+            s.audit_time.as_secs_f64() * 1e3,
+            s.breaches
+        )
+    };
+    format!(
+        "{{\n    \"vertices\": {n},\n    \"edges\": {edges},\n    \"batch\": {batch},\n    \
+         \"ingests\": {ingests},\n    \"changes_streamed\": {changes_streamed},\n    \
+         \"changes_applied\": {changes_seen},\n    \
+         \"spot_policy\": {{ \"every\": 1, \"samples\": {SPOT_SAMPLES} }},\n    \
+         \"audit_stats_plain\": {},\n    \"audit_stats_compensated\": {},\n    \
+         \"series\": [\n{}\n    ]\n  }}",
+        stats(&sp),
+        stats(&sc),
+        series.join(",\n"),
+    )
+}
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    eprintln!(
+        "drift bench: scale={} quick={} threads={}",
+        opts.scale,
+        opts.quick,
+        rayon::current_num_threads()
+    );
+    eprintln!("audit cost sweep:");
+    let cost_rows = audit_cost(&opts);
+    eprintln!("drift stream:");
+    let stream = drift_stream(&opts);
+
+    let json = format!(
+        "{{\n  \"bench\": \"drift\",\n  \"model\": \"GCN\",\n  \"aggregator\": \"sum\",\n  \
+         \"feat_dim\": {FEAT_DIM},\n  \"hidden\": {},\n  \"audit_cost\": [\n{}\n  ],\n  \
+         \"stream\": {}\n}}\n",
+        opts.hidden,
+        cost_rows.join(",\n"),
+        stream,
+    );
+    print!("{json}");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_drift.json", &json).expect("write results/BENCH_drift.json");
+    eprintln!("wrote results/BENCH_drift.json");
+}

@@ -20,12 +20,18 @@ use ink_gnn::Aggregator;
 /// `degree_new` is the target's in-degree in the *current* graph;
 /// `degree_delta` is the net change contributed by ΔG events, so the old
 /// degree is `degree_new − degree_delta`.
+///
+/// With `compensated` the arithmetic widens to `f64` and rounds once per
+/// channel — for mean this replaces three `f32` roundings
+/// (`a·d⁻`, `+s`, `·1/d`) with one, which is the dominant per-round drift
+/// source on long streams (see DESIGN.md, "Drift auditing and resync").
 pub fn apply_accumulative(
     agg: Aggregator,
     alpha_old: &[f32],
     sum: &[f32],
     degree_new: usize,
     degree_delta: i32,
+    compensated: bool,
 ) -> Vec<f32> {
     debug_assert!(agg.is_accumulative());
     match agg {
@@ -40,6 +46,15 @@ pub fn apply_accumulative(
             if degree_new == 0 {
                 // Empty-neighborhood convention: zeros.
                 return vec![0.0; alpha_old.len()];
+            }
+            if compensated {
+                let d_old = degree_old as f64;
+                let inv_new = 1.0 / degree_new as f64;
+                return alpha_old
+                    .iter()
+                    .zip(sum)
+                    .map(|(&a, &s)| ((a as f64 * d_old + s as f64) * inv_new) as f32)
+                    .collect();
             }
             let d_old = degree_old as f32;
             let inv_new = 1.0 / degree_new as f32;
@@ -59,14 +74,14 @@ mod tests {
 
     #[test]
     fn sum_adds_payload() {
-        let alpha = apply_accumulative(Aggregator::Sum, &[1.0, 2.0], &[0.5, -1.0], 3, 0);
+        let alpha = apply_accumulative(Aggregator::Sum, &[1.0, 2.0], &[0.5, -1.0], 3, 0, false);
         assert_eq!(alpha, vec![1.5, 1.0]);
     }
 
     #[test]
     fn sum_ignores_degree() {
-        let a = apply_accumulative(Aggregator::Sum, &[1.0], &[1.0], 5, 2);
-        let b = apply_accumulative(Aggregator::Sum, &[1.0], &[1.0], 9, -3);
+        let a = apply_accumulative(Aggregator::Sum, &[1.0], &[1.0], 5, 2, false);
+        let b = apply_accumulative(Aggregator::Sum, &[1.0], &[1.0], 9, -3, false);
         assert_eq!(a, b);
     }
 
@@ -74,7 +89,7 @@ mod tests {
     fn mean_with_stable_degree() {
         // α⁻ = mean of 2 msgs = 3.0 (total 6.0); one neighbor changed by +2.0
         // (raw), degree unchanged → new mean = 8/2 = 4.0.
-        let alpha = apply_accumulative(Aggregator::Mean, &[3.0], &[2.0], 2, 0);
+        let alpha = apply_accumulative(Aggregator::Mean, &[3.0], &[2.0], 2, 0, false);
         assert_eq!(alpha, vec![4.0]);
     }
 
@@ -82,7 +97,7 @@ mod tests {
     fn mean_with_inserted_edge() {
         // Old: 2 neighbors, mean 3.0 (total 6.0). Insert a neighbor with
         // message 9.0 → new mean = 15/3 = 5.0.
-        let alpha = apply_accumulative(Aggregator::Mean, &[3.0], &[9.0], 3, 1);
+        let alpha = apply_accumulative(Aggregator::Mean, &[3.0], &[9.0], 3, 1, false);
         assert_eq!(alpha, vec![5.0]);
     }
 
@@ -90,20 +105,46 @@ mod tests {
     fn mean_with_removed_edge() {
         // Old: 3 neighbors, mean 5.0 (total 15.0). Remove a neighbor whose
         // message was 9.0 (payload −9) → new mean = 6/2 = 3.0.
-        let alpha = apply_accumulative(Aggregator::Mean, &[5.0], &[-9.0], 2, -1);
+        let alpha = apply_accumulative(Aggregator::Mean, &[5.0], &[-9.0], 2, -1, false);
         assert_eq!(alpha, vec![3.0]);
     }
 
     #[test]
     fn mean_losing_all_neighbors_goes_to_zero() {
-        let alpha = apply_accumulative(Aggregator::Mean, &[5.0, -2.0], &[-5.0, 2.0], 0, -1);
+        let alpha = apply_accumulative(Aggregator::Mean, &[5.0, -2.0], &[-5.0, 2.0], 0, -1, false);
         assert_eq!(alpha, vec![0.0, 0.0]);
     }
 
     #[test]
     fn mean_first_neighbor_from_empty() {
         // Old degree 0 (α⁻ = 0 by convention); insert a neighbor with message 7.
-        let alpha = apply_accumulative(Aggregator::Mean, &[0.0], &[7.0], 1, 1);
+        let alpha = apply_accumulative(Aggregator::Mean, &[0.0], &[7.0], 1, 1, false);
         assert_eq!(alpha, vec![7.0]);
+    }
+
+    #[test]
+    fn compensated_mean_agrees_on_exact_cases() {
+        for (alpha, sum, d, dd, want) in [
+            (vec![3.0f32], vec![2.0f32], 2usize, 0i32, vec![4.0f32]),
+            (vec![3.0], vec![9.0], 3, 1, vec![5.0]),
+            (vec![5.0], vec![-9.0], 2, -1, vec![3.0]),
+        ] {
+            assert_eq!(apply_accumulative(Aggregator::Mean, &alpha, &sum, d, dd, true), want);
+        }
+    }
+
+    #[test]
+    fn compensated_mean_rounds_once() {
+        // Values chosen so the f32 intermediate (a·d⁻ + s) rounds: the
+        // widened path must land at least as close to the exact answer.
+        let a = [0.1f32];
+        let s = [0.3f32];
+        let exact = (0.1f64 * 7.0 + 0.3f32 as f64) / 8.0;
+        let plain = apply_accumulative(Aggregator::Mean, &a, &s, 8, 1, false)[0];
+        let comp = apply_accumulative(Aggregator::Mean, &a, &s, 8, 1, true)[0];
+        assert!(
+            (comp as f64 - exact).abs() <= (plain as f64 - exact).abs(),
+            "compensated ({comp}) must be no further from exact ({exact}) than plain ({plain})"
+        );
     }
 }

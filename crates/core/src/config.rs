@@ -27,6 +27,12 @@ pub struct UpdateConfig {
     /// power of two of 4 × workers). Like `num_workers`, this never changes
     /// results, only how reduction work is distributed.
     pub num_shards: usize,
+    /// Compensated (Neumaier) accumulation for the sum/mean incremental
+    /// path: the group-reduce phase carries a per-slot error channel and the
+    /// α update widens to `f64`, cutting the per-round rounding error that
+    /// drift audits exist to bound. Off by default — it costs extra
+    /// arithmetic and the monotonic path never needs it.
+    pub compensated: bool,
 }
 
 impl Default for UpdateConfig {
@@ -38,6 +44,7 @@ impl Default for UpdateConfig {
             parallel_threshold: 512,
             num_workers: 0,
             num_shards: 0,
+            compensated: false,
         }
     }
 }
@@ -63,6 +70,13 @@ impl UpdateConfig {
     /// Disables rayon (deterministic single-thread profiling runs).
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
+        self
+    }
+
+    /// Enables compensated (Neumaier) accumulation on the sum/mean
+    /// incremental path.
+    pub fn compensated(mut self) -> Self {
+        self.compensated = true;
         self
     }
 
@@ -110,6 +124,12 @@ mod tests {
     #[test]
     fn sequential_turns_off_rayon() {
         assert!(!UpdateConfig::full().sequential().parallel);
+    }
+
+    #[test]
+    fn compensated_is_opt_in() {
+        assert!(!UpdateConfig::default().compensated);
+        assert!(UpdateConfig::default().compensated().compensated);
     }
 
     #[test]

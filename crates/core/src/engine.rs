@@ -47,6 +47,16 @@ use ink_tensor::Matrix;
 use rayon::prelude::*;
 use std::time::Instant;
 
+/// What an [`InkStream::resync`] cost: wall time of the bootstrap and the
+/// number of `f32` values rewritten (the full cached state).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResyncReport {
+    /// Wall-clock time of the in-place rebuild.
+    pub elapsed: std::time::Duration,
+    /// `f32` values written: every cell of every cached `m`/`α`/`h` matrix.
+    pub f32_written: u64,
+}
+
 /// The incremental GNN inference engine.
 pub struct InkStream {
     model: Model,
@@ -215,6 +225,125 @@ impl InkStream {
     /// the incremental state must match. Intended for verification.
     pub fn recompute_reference(&self) -> Matrix {
         bootstrap(&self.model, &self.graph, &self.features, self.hooks.as_deref()).0.h
+    }
+
+    /// Mutable access to the cached state, for fault injection in tests and
+    /// drift experiments (e.g. poisoning one α channel with NaN to exercise
+    /// the audit path). Production code should never need this: the engine
+    /// maintains the state invariants itself, and a hand-edited state is by
+    /// definition out of sync until [`InkStream::resync`] runs.
+    pub fn state_mut(&mut self) -> &mut FullState {
+        &mut self.state
+    }
+
+    /// True when any cached matrix (`m`, `α`, `h`) holds a NaN or infinity.
+    pub fn state_has_nan(&self) -> bool {
+        self.state.m.iter().chain(&self.state.alpha).any(Matrix::has_non_finite)
+            || self.state.h.has_non_finite()
+    }
+
+    /// Spot-audits one vertex: checks its cached rows for non-finite values,
+    /// recomputes `α_l[v]` from the cached neighbor messages, and re-derives
+    /// the downstream message / output row from the cached `α`. Returns the
+    /// worst absolute deviation across all layers — `NaN` when any involved
+    /// value is non-finite (NaN never compares under tolerance, so it always
+    /// reads as a breach).
+    ///
+    /// Cost is `O(deg(v) · dim · layers)` — independent of the graph size,
+    /// which is what makes sampled audits cheap (see DESIGN.md, "Drift
+    /// auditing and resync").
+    pub fn audit_vertex(&self, v: VertexId) -> f32 {
+        use ink_tensor::ops::nan_max;
+        if (v as usize) >= self.graph.num_vertices() {
+            return f32::NAN;
+        }
+        let k = self.model.num_layers();
+        for l in 0..k {
+            let finite = |x: &f32| x.is_finite();
+            if !self.state.m[l].row(v as usize).iter().all(finite)
+                || !self.state.alpha[l].row(v as usize).iter().all(finite)
+            {
+                return f32::NAN;
+            }
+        }
+        if !self.state.h.row(v as usize).iter().all(|x| x.is_finite()) {
+            return f32::NAN;
+        }
+        let degree = self.graph.in_degree(v);
+        let mut dev = 0.0f32;
+        for l in 0..k {
+            // Aggregation consistency: cached α must equal a fresh aggregate
+            // of the cached neighbor messages.
+            let agg = self.model.layer(l).conv.aggregator();
+            let mut fresh = vec![0.0; self.model.msg_dim(l)];
+            agg.aggregate_into(
+                self.graph.in_neighbors(v).iter().map(|&u| self.state.m[l].row(u as usize)),
+                &mut fresh,
+            );
+            for (a, b) in fresh.iter().zip(self.state.alpha[l].row(v as usize)) {
+                dev = nan_max(dev, (a - b).abs());
+            }
+            // Chain consistency: the downstream row derived from cached α
+            // must equal the cached downstream row.
+            let h_next = compute_next_hidden(
+                &self.model,
+                &self.state,
+                self.hooks.as_deref(),
+                &self.user_cache,
+                l,
+                v,
+                degree,
+            );
+            if l + 1 < k {
+                let conv = &self.model.layer(l + 1).conv;
+                let mut msg = conv.message(&h_next);
+                if conv.degree_scaled() {
+                    ink_tensor::ops::scale(&mut msg, conv.degree_scale(degree));
+                }
+                for (a, b) in msg.iter().zip(self.state.m[l + 1].row(v as usize)) {
+                    dev = nan_max(dev, (a - b).abs());
+                }
+            } else {
+                for (a, b) in h_next.iter().zip(self.state.h.row(v as usize)) {
+                    dev = nan_max(dev, (a - b).abs());
+                }
+            }
+        }
+        dev
+    }
+
+    /// [`InkStream::audit_vertex`] over a sample, NaN-propagating fold of the
+    /// worst deviation.
+    pub fn audit_vertices(&self, vs: &[VertexId]) -> f32 {
+        vs.iter().fold(0.0, |acc, &v| ink_tensor::ops::nan_max(acc, self.audit_vertex(v)))
+    }
+
+    /// Full audit: scans the whole cached state for non-finite values
+    /// (returning `NaN` if any), then compares the cached output against a
+    /// fresh [`InkStream::recompute_reference`]. This is the expensive,
+    /// authoritative drift measurement — `O(bootstrap)`.
+    pub fn audit_full(&self) -> f32 {
+        if self.state_has_nan() {
+            return f32::NAN;
+        }
+        self.state.h.max_abs_diff(&self.recompute_reference())
+    }
+
+    /// Rebuilds all cached state (`m`, `α`, `h`, user caches) in place via
+    /// the bootstrap path — the self-healing action of
+    /// [`crate::DriftAction::Resync`]. Afterwards the output is bitwise
+    /// equal to [`InkStream::recompute_reference`] by construction; the
+    /// graph, features, and scratch pool are untouched.
+    pub fn resync(&mut self) -> ResyncReport {
+        let t0 = Instant::now();
+        let (state, user_cache) =
+            bootstrap(&self.model, &self.graph, &self.features, self.hooks.as_deref());
+        let f32_written = state.m.iter().chain(&state.alpha).chain(std::iter::once(&state.h))
+            .map(|m| m.rows() * m.cols())
+            .sum::<usize>() as u64;
+        self.state = state;
+        self.user_cache = user_cache;
+        ResyncReport { elapsed: t0.elapsed(), f32_written }
     }
 
     /// Applies a batch of edge changes and incrementally updates all cached
@@ -609,10 +738,13 @@ impl InkStream {
                 let run = |(s, shard): (usize, &mut ShardScratch)| {
                     shard.begin();
                     for ws in workers {
-                        shard.reduce_bucket(&ws.dg[s], &ws.arena, agg, dim);
+                        shard.reduce_bucket(&ws.dg[s], &ws.arena, agg, dim, cfg.compensated);
                     }
                     for ws in workers {
-                        shard.reduce_bucket(&ws.fx[s], &ws.arena, agg, dim);
+                        shard.reduce_bucket(&ws.fx[s], &ws.arena, agg, dim, cfg.compensated);
+                    }
+                    if cfg.compensated && !mono {
+                        shard.fold_compensation();
                     }
                 };
                 if par_group {
@@ -689,6 +821,7 @@ impl InkStream {
                                 sum,
                                 this.graph.in_degree(u),
                                 e.degree_delta,
+                                cfg.compensated,
                             );
                             out.copy_from_slice(&alpha);
                             CondKind::Acc
@@ -1092,6 +1225,108 @@ mod tests {
                 );
                 assert_eq!(engine.state().alpha[1], reference.state().alpha[1]);
             }
+        }
+    }
+
+    #[test]
+    fn audits_are_zero_on_a_clean_engine() {
+        for agg in [Aggregator::Max, Aggregator::Min, Aggregator::Sum, Aggregator::Mean] {
+            let mut rng = seeded_rng(9);
+            let model = Model::gcn(&mut rng, &[4, 5, 3], agg);
+            let mut engine =
+                InkStream::new(model, ring(12), feats(12, 4), UpdateConfig::default()).unwrap();
+            // Fresh off the bootstrap, every audit is exactly zero.
+            for v in 0..12u32 {
+                assert_eq!(engine.audit_vertex(v), 0.0, "{agg:?}: vertex {v} after bootstrap");
+            }
+            engine.apply_delta(&DeltaBatch::new(vec![EdgeChange::insert(0, 6)]));
+            for v in 0..12u32 {
+                let d = engine.audit_vertex(v);
+                if agg.is_monotonic() {
+                    assert_eq!(d, 0.0, "{agg:?}: vertex {v} deviates by {d} after an update");
+                } else {
+                    // Accumulative updates drift — the audit's job is to
+                    // measure it, and it must stay tiny and finite.
+                    assert!(d.is_finite() && d < 1e-5, "{agg:?}: vertex {v} drift {d}");
+                }
+            }
+            assert!(!engine.state_has_nan());
+            if agg.is_monotonic() {
+                assert_eq!(engine.audit_full(), 0.0, "{agg:?}");
+            } else {
+                let d = engine.audit_full();
+                assert!(d.is_finite() && d < 1e-4, "{agg:?}: full audit drift {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn audit_detects_poisoned_state() {
+        let mut rng = seeded_rng(10);
+        let model = Model::gcn(&mut rng, &[4, 5, 3], Aggregator::Max);
+        let mut engine =
+            InkStream::new(model, ring(12), feats(12, 4), UpdateConfig::default()).unwrap();
+        engine.state_mut().alpha[0].set(5, 1, f32::NAN);
+        assert!(engine.state_has_nan());
+        assert!(engine.audit_vertex(5).is_nan(), "spot audit at the poisoned vertex");
+        assert!(engine.audit_vertices(&[0, 5, 7]).is_nan(), "a NaN sample poisons the fold");
+        assert!(engine.audit_full().is_nan(), "full audit must not report a finite drift");
+        // A silent (finite) corruption is caught too.
+        let mut engine2 = {
+            let mut rng = seeded_rng(10);
+            let model = Model::gcn(&mut rng, &[4, 5, 3], Aggregator::Max);
+            InkStream::new(model, ring(12), feats(12, 4), UpdateConfig::default()).unwrap()
+        };
+        let old = engine2.state().alpha[0].row(5)[1];
+        engine2.state_mut().alpha[0].set(5, 1, old + 0.5);
+        assert!(engine2.audit_vertex(5) >= 0.5, "finite corruption shows as deviation");
+    }
+
+    #[test]
+    fn resync_restores_reference_bitwise() {
+        let mut rng = seeded_rng(11);
+        let model = Model::gcn(&mut rng, &[4, 5, 3], Aggregator::Mean);
+        let mut engine =
+            InkStream::new(model, ring(12), feats(12, 4), UpdateConfig::default()).unwrap();
+        engine.apply_delta(&DeltaBatch::new(vec![EdgeChange::insert(0, 6)]));
+        engine.state_mut().alpha[1].set(3, 0, f32::NAN);
+        engine.state_mut().h.set(3, 0, f32::NAN);
+        let report = engine.resync();
+        assert!(report.f32_written > 0);
+        assert!(!engine.state_has_nan());
+        assert_eq!(engine.output(), &engine.recompute_reference());
+        assert_eq!(engine.audit_full(), 0.0, "resync leaves zero drift by construction");
+    }
+
+    #[test]
+    fn compensated_engine_matches_plain_on_monotonic_bitwise() {
+        let make = |cfg: UpdateConfig| {
+            let mut rng = seeded_rng(12);
+            let model = Model::gcn(&mut rng, &[4, 5, 3], Aggregator::Max);
+            InkStream::new(model, ring(16), feats(16, 4), cfg).unwrap()
+        };
+        let delta = DeltaBatch::new(vec![EdgeChange::insert(0, 8), EdgeChange::remove(3, 4)]);
+        let mut plain = make(UpdateConfig::default());
+        let mut comp = make(UpdateConfig::default().compensated());
+        plain.apply_delta(&delta);
+        comp.apply_delta(&delta);
+        assert_eq!(plain.output(), comp.output(), "compensation must not touch max/min");
+    }
+
+    #[test]
+    fn compensated_engine_stays_within_tolerance_on_accumulative() {
+        for agg in [Aggregator::Sum, Aggregator::Mean] {
+            let mut rng = seeded_rng(13);
+            let model = Model::gcn(&mut rng, &[4, 5, 3], agg);
+            let mut engine =
+                InkStream::new(model, ring(16), feats(16, 4), UpdateConfig::default().compensated())
+                    .unwrap();
+            for i in 0..8u32 {
+                engine.apply_delta(&DeltaBatch::new(vec![EdgeChange::insert(i, i + 8)]));
+                engine.apply_delta(&DeltaBatch::new(vec![EdgeChange::remove(i, i + 8)]));
+            }
+            let d = engine.audit_full();
+            assert!(d.is_finite() && d < 1e-4, "{agg:?}: drift {d} after 16 rounds");
         }
     }
 

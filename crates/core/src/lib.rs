@@ -49,11 +49,14 @@ pub mod session;
 pub mod stats;
 
 pub use config::UpdateConfig;
-pub use engine::InkStream;
+pub use engine::{InkStream, ResyncReport};
 pub use error::InkError;
 pub use event::{Event, EventOp, PayloadArena};
 pub use grouping::{group_events, Group};
 pub use hooks::{LinearSelfTerm, UserEvent, UserHooks};
 pub use monotonic::Condition;
-pub use session::{DriftError, IngestReport, SessionConfig, SessionSummary, StreamSession};
+pub use session::{
+    AuditKind, DriftAction, DriftError, DriftPolicy, DriftStats, IngestReport, SessionConfig,
+    SessionSummary, StreamSession,
+};
 pub use stats::{ConditionCounts, LayerStats, PhaseTimes, UpdateReport};

@@ -4,43 +4,165 @@
 //! paper's evaluation protocol implies but the core algorithm doesn't cover:
 //! splitting oversized deltas into refresh batches (speedup falls with ΔG —
 //! paper Fig. 7 — so bounded batches keep latency predictable), rolling
-//! latency statistics, and optional periodic self-verification against full
-//! recomputation (cheap insurance for accumulative aggregation, where float
-//! drift is bounded but nonzero).
+//! latency statistics, and a drift auditor for accumulative aggregation,
+//! where float drift is bounded but nonzero.
+//!
+//! The auditor is governed by a [`DriftPolicy`]: cheap *spot audits*
+//! recompute a handful of sampled vertices per interval
+//! (`O(samples · deg · dim)` — independent of graph size), *full audits*
+//! compare the whole output against a fresh bootstrap, and a breach triggers
+//! the configured [`DriftAction`] — fail the ingest, log and continue, or
+//! self-heal with [`InkStream::resync`]. NaN anywhere in the audited state
+//! always reads as a breach (audits propagate NaN instead of dropping it).
+//! [`DriftStats`] keeps the audit/resync bookkeeping separate from ingest
+//! latency. See DESIGN.md, "Drift auditing and resync".
 
 use crate::{InkStream, PhaseTimes, UpdateReport};
-use ink_graph::DeltaBatch;
+use ink_graph::{DeltaBatch, VertexId};
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
+
+/// What to do when an audit measures drift beyond tolerance (or NaN).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftAction {
+    /// Return a [`DriftError`] from the ingest (the state stays drifted).
+    Fail,
+    /// Record the breach in [`DriftStats`] and carry on.
+    Warn,
+    /// Self-heal: rebuild all cached state via [`InkStream::resync`], after
+    /// which the output is bitwise equal to full recomputation.
+    Resync,
+}
+
+/// When and how hard to audit the incremental state against recomputation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftPolicy {
+    /// Spot-audit every `n` ingests (None = never): recompute
+    /// [`DriftPolicy::spot_samples`] random vertices from cached inputs.
+    pub spot_every: Option<usize>,
+    /// Vertices sampled per spot audit.
+    pub spot_samples: usize,
+    /// Full-audit every `n` ingests (None = never): NaN-scan the whole
+    /// state, then compare the output against a fresh bootstrap. Takes
+    /// priority over a spot audit due on the same ingest.
+    pub full_every: Option<usize>,
+    /// Maximum per-channel deviation tolerated. NaN breaches regardless.
+    pub tolerance: f32,
+    /// Response to a breach.
+    pub action: DriftAction,
+    /// Seed of the spot-sampling sequence (deterministic per session).
+    pub seed: u64,
+}
+
+impl Default for DriftPolicy {
+    fn default() -> Self {
+        Self {
+            spot_every: None,
+            spot_samples: 8,
+            full_every: None,
+            tolerance: 1e-3,
+            action: DriftAction::Fail,
+            seed: 0x1a5d_93b7_c4e2_f016,
+        }
+    }
+}
+
+impl DriftPolicy {
+    /// Full audit every `every` ingests with the given tolerance.
+    pub fn full(every: usize, tolerance: f32) -> Self {
+        Self { full_every: Some(every), tolerance, ..Self::default() }
+    }
+
+    /// Spot audit of `samples` vertices every `every` ingests.
+    pub fn spot(every: usize, samples: usize, tolerance: f32) -> Self {
+        Self { spot_every: Some(every), spot_samples: samples, tolerance, ..Self::default() }
+    }
+
+    /// Same policy with a different breach action.
+    pub fn with_action(mut self, action: DriftAction) -> Self {
+        self.action = action;
+        self
+    }
+
+    fn enabled(&self) -> bool {
+        self.spot_every.is_some() || self.full_every.is_some()
+    }
+}
 
 /// Session tunables.
 #[derive(Clone, Copy, Debug)]
 pub struct SessionConfig {
     /// Split incoming deltas into batches of at most this many changes.
     pub max_batch: usize,
-    /// Verify against full recomputation every `n` ingests (None = never).
-    pub verify_every: Option<usize>,
-    /// Maximum per-channel deviation tolerated by verification.
-    pub verify_tolerance: f32,
+    /// Drift auditing policy.
+    pub drift: DriftPolicy,
+    /// Number of recent per-batch latencies kept for the percentile summary
+    /// (a ring buffer — unbounded growth on long streams is a leak).
+    pub latency_window: usize,
 }
 
 impl Default for SessionConfig {
     fn default() -> Self {
-        Self { max_batch: 1_000, verify_every: None, verify_tolerance: 1e-3 }
+        Self { max_batch: 1_000, drift: DriftPolicy::default(), latency_window: 4096 }
     }
 }
 
-/// The incremental state drifted past the verification tolerance.
-#[derive(Clone, Copy, Debug, PartialEq)]
+/// The kind of audit an ingest ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuditKind {
+    /// Sampled per-vertex recomputation.
+    Spot,
+    /// Whole-state NaN scan + output vs. fresh bootstrap.
+    Full,
+}
+
+/// Rolling audit/resync bookkeeping, kept apart from ingest latency so audit
+/// cost never pollutes the update-speed numbers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DriftStats {
+    /// Spot audits run.
+    pub spot_audits: u64,
+    /// Full audits run.
+    pub full_audits: u64,
+    /// Audits that breached tolerance (including NaN detections).
+    pub breaches: u64,
+    /// Breaches answered with a resync.
+    pub resyncs: u64,
+    /// Audits that found non-finite state.
+    pub nan_detected: u64,
+    /// Worst *finite* deviation ever measured (NaNs are counted, not folded).
+    pub max_deviation: f32,
+    /// Wall time spent inside audits.
+    pub audit_time: Duration,
+    /// Wall time spent inside resyncs.
+    pub resync_time: Duration,
+}
+
+/// The incremental state drifted past the audit tolerance and the policy
+/// said [`DriftAction::Fail`]. Carries the ingest's report: the batches were
+/// already applied — the error describes state quality, not lost work.
+#[derive(Clone, Debug)]
 pub struct DriftError {
-    /// Observed maximum deviation.
+    /// Observed maximum deviation (NaN when the state held non-finite
+    /// values).
     pub max_diff: f32,
     /// Configured tolerance.
     pub tolerance: f32,
+    /// What the ingest did before failing verification.
+    pub report: IngestReport,
 }
 
 impl std::fmt::Display for DriftError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "incremental state drifted: max diff {} > tolerance {}", self.max_diff, self.tolerance)
+        if self.max_diff.is_nan() {
+            write!(f, "incremental state is poisoned: audit found non-finite values")
+        } else {
+            write!(
+                f,
+                "incremental state drifted: max diff {} > tolerance {}",
+                self.max_diff, self.tolerance
+            )
+        }
     }
 }
 
@@ -57,10 +179,19 @@ pub struct IngestReport {
     pub skipped: usize,
     /// Nodes whose final output changed (summed over batches).
     pub output_changed: u64,
-    /// Wall-clock time of the whole ingest.
+    /// Wall-clock time of the whole ingest (batches + audit + resync).
     pub elapsed: Duration,
-    /// Max deviation measured, when this ingest triggered verification.
+    /// Max deviation measured, when this ingest triggered an audit. NaN
+    /// means the audit found non-finite state.
     pub verified_diff: Option<f32>,
+    /// Which audit ran, if any.
+    pub audit: Option<AuditKind>,
+    /// Wall time of the audit alone.
+    pub audit_time: Duration,
+    /// True when the audit breached tolerance (or found NaN).
+    pub drift_breached: bool,
+    /// True when the breach was answered with a resync.
+    pub resynced: bool,
 }
 
 /// Rolling summary of a session.
@@ -70,13 +201,16 @@ pub struct SessionSummary {
     pub ingests: usize,
     /// Total edge changes applied.
     pub changes: usize,
-    /// Latency percentiles over per-batch updates: (p50, p90, p99, max).
+    /// Latency percentiles over the retained batch window:
+    /// (p50, p90, p99, max).
     pub latency: (Duration, Duration, Duration, Duration),
-    /// Mean real-affected nodes per batch.
+    /// Mean real-affected nodes per batch (over all batches ever run).
     pub avg_real_affected: f64,
     /// Per-phase pipeline wall time accumulated over every batch — shows
     /// where the session's update budget actually goes.
     pub phase_times: PhaseTimes,
+    /// Audit/resync bookkeeping.
+    pub drift: DriftStats,
 }
 
 /// An engine plus operational bookkeeping for long-running streams.
@@ -85,20 +219,28 @@ pub struct SessionSummary {
 /// use ink_graph::{DeltaBatch, DynGraph, EdgeChange};
 /// use ink_gnn::{Aggregator, Model};
 /// use ink_tensor::init;
-/// use inkstream::{InkStream, StreamSession, UpdateConfig};
+/// use inkstream::{DriftAction, DriftPolicy, InkStream, SessionConfig, StreamSession, UpdateConfig};
 ///
 /// let mut rng = init::seeded_rng(1);
 /// let g = DynGraph::undirected_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
 /// let x = init::uniform(&mut rng, 4, 6, -1.0, 1.0);
-/// let model = Model::gcn(&mut rng, &[6, 8, 4], Aggregator::Max);
+/// let model = Model::gcn(&mut rng, &[6, 8, 4], Aggregator::Mean);
 /// let engine = InkStream::new(model, g, x, UpdateConfig::default()).unwrap();
 ///
-/// let mut session = StreamSession::new(engine);
+/// // Spot-audit 4 vertices every ingest; self-heal on a breach.
+/// let mut session = StreamSession::with_config(
+///     engine,
+///     SessionConfig {
+///         drift: DriftPolicy::spot(1, 4, 1e-3).with_action(DriftAction::Resync),
+///         ..SessionConfig::default()
+///     },
+/// );
 /// let report = session
 ///     .ingest(&DeltaBatch::new(vec![EdgeChange::insert(0, 3)]))
 ///     .unwrap();
 /// assert_eq!(report.changes_applied, 1);
-/// assert_eq!(session.summary().ingests, 1);
+/// assert!(report.verified_diff.is_some());
+/// assert_eq!(session.summary().drift.spot_audits, 1);
 /// ```
 pub struct StreamSession {
     engine: InkStream,
@@ -106,8 +248,22 @@ pub struct StreamSession {
     ingests: usize,
     changes: usize,
     affected_total: u64,
-    batch_latencies: Vec<Duration>,
+    batches_total: u64,
+    batch_latencies: VecDeque<Duration>,
     phase_times: PhaseTimes,
+    drift: DriftStats,
+    sample_state: u64,
+}
+
+/// SplitMix64 — the session's spot-sampling stream. Inline so the core crate
+/// stays free of RNG dependencies; statistically fine for picking audit
+/// vertices.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl StreamSession {
@@ -117,16 +273,44 @@ impl StreamSession {
     }
 
     /// Wraps an engine with explicit settings.
+    ///
+    /// # Panics
+    ///
+    /// On a malformed config: `max_batch` or `latency_window` of 0, an audit
+    /// interval of `Some(0)` (ambiguous — use `None` to disable), a spot
+    /// policy sampling 0 vertices, or a non-finite/negative tolerance.
     pub fn with_config(engine: InkStream, config: SessionConfig) -> Self {
-        assert!(config.max_batch >= 1);
+        assert!(config.max_batch >= 1, "SessionConfig: max_batch must be at least 1");
+        assert!(config.latency_window >= 1, "SessionConfig: latency_window must be at least 1");
+        let d = &config.drift;
+        assert!(
+            d.spot_every != Some(0),
+            "DriftPolicy: spot_every must be None (disabled) or at least Some(1)"
+        );
+        assert!(
+            d.full_every != Some(0),
+            "DriftPolicy: full_every must be None (disabled) or at least Some(1)"
+        );
+        assert!(
+            d.spot_every.is_none() || d.spot_samples >= 1,
+            "DriftPolicy: a spot policy must sample at least one vertex"
+        );
+        assert!(
+            d.tolerance.is_finite() && d.tolerance >= 0.0,
+            "DriftPolicy: tolerance must be finite and non-negative"
+        );
+        let sample_state = config.drift.seed;
         Self {
             engine,
             config,
             ingests: 0,
             changes: 0,
             affected_total: 0,
-            batch_latencies: Vec::new(),
+            batches_total: 0,
+            batch_latencies: VecDeque::new(),
             phase_times: PhaseTimes::default(),
+            drift: DriftStats::default(),
+            sample_state,
         }
     }
 
@@ -140,16 +324,33 @@ impl StreamSession {
         &mut self.engine
     }
 
+    /// Audit/resync counters so far.
+    pub fn drift_stats(&self) -> &DriftStats {
+        &self.drift
+    }
+
+    /// Per-batch latencies currently retained (at most
+    /// [`SessionConfig::latency_window`]).
+    pub fn latency_samples(&self) -> usize {
+        self.batch_latencies.len()
+    }
+
     /// Applies a delta, split into batches of at most `max_batch` changes,
-    /// and runs periodic verification when configured.
+    /// then runs whichever audit the [`DriftPolicy`] schedules for this
+    /// ingest. On a breach with [`DriftAction::Fail`] the returned error
+    /// carries the ingest report — the batches were already applied.
     pub fn ingest(&mut self, delta: &DeltaBatch) -> Result<IngestReport, DriftError> {
         let t0 = Instant::now();
         let mut report = IngestReport::default();
-        for chunk in delta.changes().chunks(self.config.max_batch.max(1)) {
+        for chunk in delta.changes().chunks(self.config.max_batch) {
             let batch = DeltaBatch::new(chunk.to_vec());
             let t = Instant::now();
             let r: UpdateReport = self.engine.apply_delta(&batch);
-            self.batch_latencies.push(t.elapsed());
+            if self.batch_latencies.len() == self.config.latency_window {
+                self.batch_latencies.pop_front();
+            }
+            self.batch_latencies.push_back(t.elapsed());
+            self.batches_total += 1;
             report.batches += 1;
             report.skipped += r.skipped_changes;
             report.changes_applied += chunk.len() - r.skipped_changes;
@@ -160,47 +361,106 @@ impl StreamSession {
         self.ingests += 1;
         self.changes += report.changes_applied;
 
-        if let Some(every) = self.config.verify_every {
-            if every > 0 && self.ingests.is_multiple_of(every) {
-                let reference = self.engine.recompute_reference();
-                let diff = self.engine.output().max_abs_diff(&reference);
-                report.verified_diff = Some(diff);
-                if diff > self.config.verify_tolerance {
-                    return Err(DriftError { max_diff: diff, tolerance: self.config.verify_tolerance });
-                }
+        if self.config.drift.enabled() {
+            if let Some(err) = self.run_audit(&mut report) {
+                report.elapsed = t0.elapsed();
+                return Err(DriftError { report, ..err });
             }
         }
         report.elapsed = t0.elapsed();
         Ok(report)
     }
 
-    /// Latency percentile over all batches so far.
-    pub fn latency_percentile(&self, p: f64) -> Duration {
-        if self.batch_latencies.is_empty() {
-            return Duration::ZERO;
+    /// Runs the audit due this ingest, if any, mutating the report and the
+    /// drift stats. Returns the error shell (without report) on a failing
+    /// breach.
+    fn run_audit(&mut self, report: &mut IngestReport) -> Option<DriftError> {
+        let policy = self.config.drift;
+        let due_full = policy.full_every.is_some_and(|e| self.ingests.is_multiple_of(e));
+        let due_spot = !due_full && policy.spot_every.is_some_and(|e| self.ingests.is_multiple_of(e));
+        if !due_full && !due_spot {
+            return None;
         }
-        let mut sorted = self.batch_latencies.clone();
-        sorted.sort_unstable();
-        let idx = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
-        sorted[idx]
+        let t_audit = Instant::now();
+        let diff = if due_full {
+            self.drift.full_audits += 1;
+            report.audit = Some(AuditKind::Full);
+            self.engine.audit_full()
+        } else {
+            self.drift.spot_audits += 1;
+            report.audit = Some(AuditKind::Spot);
+            let n = self.engine.graph().num_vertices() as u64;
+            let sample: Vec<VertexId> = (0..policy.spot_samples)
+                .map(|_| (splitmix64(&mut self.sample_state) % n.max(1)) as VertexId)
+                .collect();
+            self.engine.audit_vertices(&sample)
+        };
+        report.audit_time = t_audit.elapsed();
+        self.drift.audit_time += report.audit_time;
+        report.verified_diff = Some(diff);
+        if diff.is_nan() {
+            self.drift.nan_detected += 1;
+        } else {
+            self.drift.max_deviation = self.drift.max_deviation.max(diff);
+        }
+        // NaN never compares under tolerance: breach explicitly.
+        let breached = diff.is_nan() || diff > policy.tolerance;
+        report.drift_breached = breached;
+        if !breached {
+            return None;
+        }
+        self.drift.breaches += 1;
+        match policy.action {
+            DriftAction::Warn => None,
+            DriftAction::Resync => {
+                let r = self.engine.resync();
+                self.drift.resyncs += 1;
+                self.drift.resync_time += r.elapsed;
+                report.resynced = true;
+                None
+            }
+            DriftAction::Fail => Some(DriftError {
+                max_diff: diff,
+                tolerance: policy.tolerance,
+                report: IngestReport::default(),
+            }),
+        }
     }
 
-    /// Rolling summary.
+    /// Latency percentile over the retained batch window.
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        let mut sorted: Vec<Duration> = self.batch_latencies.iter().copied().collect();
+        sorted.sort_unstable();
+        percentile_of(&sorted, p)
+    }
+
+    /// Rolling summary. Sorts the latency window once for all percentiles.
     pub fn summary(&self) -> SessionSummary {
+        let mut sorted: Vec<Duration> = self.batch_latencies.iter().copied().collect();
+        sorted.sort_unstable();
         SessionSummary {
             ingests: self.ingests,
             changes: self.changes,
             latency: (
-                self.latency_percentile(0.50),
-                self.latency_percentile(0.90),
-                self.latency_percentile(0.99),
-                self.batch_latencies.iter().max().copied().unwrap_or_default(),
+                percentile_of(&sorted, 0.50),
+                percentile_of(&sorted, 0.90),
+                percentile_of(&sorted, 0.99),
+                sorted.last().copied().unwrap_or_default(),
             ),
-            avg_real_affected: self.affected_total as f64
-                / self.batch_latencies.len().max(1) as f64,
+            avg_real_affected: self.affected_total as f64 / self.batches_total.max(1) as f64,
             phase_times: self.phase_times,
+            drift: self.drift,
         }
     }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile_of(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
 }
 
 #[cfg(test)]
@@ -241,26 +501,153 @@ mod tests {
     }
 
     #[test]
-    fn verification_passes_for_monotonic_engine() {
+    fn full_audit_passes_for_monotonic_engine() {
         let mut s = StreamSession::with_config(
             engine(3),
-            SessionConfig { verify_every: Some(1), verify_tolerance: 0.0, max_batch: 100 },
+            SessionConfig { drift: DriftPolicy::full(1, 0.0), ..SessionConfig::default() },
         );
         let d = delta(&s, 4, 8);
         let r = s.ingest(&d).unwrap();
         assert_eq!(r.verified_diff, Some(0.0), "max aggregation is bitwise exact");
+        assert_eq!(r.audit, Some(AuditKind::Full));
+        assert!(!r.drift_breached);
+        assert_eq!(s.summary().drift.full_audits, 1);
     }
 
     #[test]
-    fn verification_interval_is_respected() {
+    fn audit_interval_is_respected() {
         let mut s = StreamSession::with_config(
             engine(5),
-            SessionConfig { verify_every: Some(2), ..SessionConfig::default() },
+            SessionConfig { drift: DriftPolicy::full(2, 1e-3), ..SessionConfig::default() },
         );
         let r1 = s.ingest(&delta(&s, 6, 4)).unwrap();
         assert!(r1.verified_diff.is_none());
+        assert!(r1.audit.is_none());
         let r2 = s.ingest(&delta(&s, 7, 4)).unwrap();
         assert!(r2.verified_diff.is_some());
+    }
+
+    #[test]
+    fn spot_audit_is_clean_and_counted() {
+        let mut s = StreamSession::with_config(
+            engine(14),
+            SessionConfig { drift: DriftPolicy::spot(1, 4, 0.0), ..SessionConfig::default() },
+        );
+        for i in 0..3 {
+            let d = delta(&s, 20 + i, 4);
+            let r = s.ingest(&d).unwrap();
+            assert_eq!(r.audit, Some(AuditKind::Spot));
+            assert_eq!(r.verified_diff, Some(0.0), "monotonic spot audits are exact");
+            assert!(r.audit_time > Duration::ZERO);
+        }
+        let drift = s.summary().drift;
+        assert_eq!(drift.spot_audits, 3);
+        assert_eq!(drift.breaches, 0);
+        assert!(drift.audit_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn full_audit_takes_priority_over_spot() {
+        let mut s = StreamSession::with_config(
+            engine(15),
+            SessionConfig {
+                drift: DriftPolicy {
+                    spot_every: Some(1),
+                    full_every: Some(2),
+                    tolerance: 1e-3,
+                    ..DriftPolicy::default()
+                },
+                ..SessionConfig::default()
+            },
+        );
+        let r1 = s.ingest(&delta(&s, 30, 4)).unwrap();
+        assert_eq!(r1.audit, Some(AuditKind::Spot));
+        let r2 = s.ingest(&delta(&s, 31, 4)).unwrap();
+        assert_eq!(r2.audit, Some(AuditKind::Full));
+    }
+
+    #[test]
+    fn warn_action_records_breach_and_continues() {
+        let mut s = StreamSession::with_config(
+            engine(16),
+            SessionConfig {
+                drift: DriftPolicy::full(1, 0.0).with_action(DriftAction::Warn),
+                ..SessionConfig::default()
+            },
+        );
+        s.engine_mut().state_mut().h.set(0, 0, f32::NAN);
+        let r = s.ingest(&delta(&s, 32, 4)).unwrap();
+        assert!(r.drift_breached);
+        assert!(!r.resynced);
+        let drift = s.summary().drift;
+        assert_eq!(drift.breaches, 1);
+        assert_eq!(drift.nan_detected, 1);
+        assert_eq!(drift.resyncs, 0);
+    }
+
+    #[test]
+    fn fail_action_carries_the_ingest_report() {
+        let mut s = StreamSession::with_config(
+            engine(17),
+            SessionConfig {
+                max_batch: 2,
+                drift: DriftPolicy::full(1, 0.0),
+                ..SessionConfig::default()
+            },
+        );
+        s.engine_mut().state_mut().alpha[0].set(3, 1, f32::NAN);
+        let err = s.ingest(&delta(&s, 33, 5)).unwrap_err();
+        assert!(err.max_diff.is_nan());
+        assert_eq!(err.report.batches, 3, "the applied work survives in the error");
+        assert!(err.report.drift_breached);
+        assert!(err.report.elapsed > Duration::ZERO);
+        assert!(err.to_string().contains("poisoned"));
+    }
+
+    #[test]
+    fn latency_window_caps_retained_samples() {
+        let mut s = StreamSession::with_config(
+            engine(18),
+            SessionConfig { max_batch: 1, latency_window: 5, ..SessionConfig::default() },
+        );
+        for i in 0..4 {
+            let d = delta(&s, 40 + i, 3);
+            s.ingest(&d).unwrap();
+        }
+        assert_eq!(s.latency_samples(), 5, "12 batches, window of 5");
+        let sum = s.summary();
+        assert!(sum.latency.3 >= sum.latency.0);
+        assert!(sum.avg_real_affected > 0.0, "averages still use all batches ever run");
+    }
+
+    #[test]
+    #[should_panic(expected = "spot_every")]
+    fn zero_spot_interval_is_rejected() {
+        let cfg = SessionConfig {
+            drift: DriftPolicy { spot_every: Some(0), ..DriftPolicy::default() },
+            ..SessionConfig::default()
+        };
+        StreamSession::with_config(engine(19), cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "full_every")]
+    fn zero_full_interval_is_rejected() {
+        let cfg = SessionConfig {
+            drift: DriftPolicy { full_every: Some(0), ..DriftPolicy::default() },
+            ..SessionConfig::default()
+        };
+        StreamSession::with_config(engine(20), cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample at least one vertex")]
+    fn zero_spot_samples_is_rejected() {
+        let cfg = SessionConfig {
+            drift: DriftPolicy { spot_every: Some(1), spot_samples: 0, ..DriftPolicy::default() },
+            ..SessionConfig::default()
+        };
+        StreamSession::with_config(engine(21), cfg);
     }
 
     #[test]

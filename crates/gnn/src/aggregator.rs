@@ -97,6 +97,12 @@ impl Aggregator {
 
     /// Aggregates an iterator of messages into `out` (including
     /// [`Aggregator::finalize`]). `out.len()` is the channel count.
+    ///
+    /// Accumulative aggregators (sum/mean) use Neumaier-compensated
+    /// summation so the full-recompute reference — which the incremental
+    /// engine bootstraps from and drift audits compare against — carries
+    /// O(1) rounding error instead of O(degree). Max/min are unaffected
+    /// (bit-exact and order-independent either way).
     pub fn aggregate_into<'a>(
         self,
         msgs: impl Iterator<Item = &'a [f32]>,
@@ -104,9 +110,18 @@ impl Aggregator {
     ) {
         out.fill(self.identity());
         let mut degree = 0usize;
-        for m in msgs {
-            self.combine_into(out, m);
-            degree += 1;
+        if self.is_accumulative() {
+            let mut comp = vec![0.0f32; out.len()];
+            for m in msgs {
+                ink_tensor::ops::neumaier_add_assign(out, &mut comp, m);
+                degree += 1;
+            }
+            ink_tensor::ops::add_assign(out, &comp);
+        } else {
+            for m in msgs {
+                self.combine_into(out, m);
+                degree += 1;
+            }
         }
         self.finalize(out, degree);
     }
@@ -193,5 +208,16 @@ mod tests {
         let mut out = vec![0.0; 1];
         Aggregator::Mean.aggregate_into(msgs.iter().copied(), &mut out);
         assert_eq!(out, vec![6.0]);
+    }
+
+    #[test]
+    fn compensated_sum_beats_naive_on_cancellation() {
+        // A large value, a tiny value, and the large value's negation: plain
+        // left-to-right f32 summation returns 0.0, compensated keeps `tiny`.
+        let tiny = [2.0_f32.powi(-40)];
+        let msgs: Vec<&[f32]> = vec![&[3.0e7], &tiny, &[-3.0e7]];
+        let mut out = vec![0.0; 1];
+        Aggregator::Sum.aggregate_into(msgs.iter().copied(), &mut out);
+        assert_eq!(out, vec![tiny[0]]);
     }
 }

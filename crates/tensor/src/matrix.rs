@@ -192,19 +192,29 @@ impl Matrix {
         out
     }
 
-    /// Maximum absolute element-wise difference to `other`.
+    /// Maximum absolute element-wise difference to `other`. NaN anywhere in
+    /// either matrix propagates to the result — a `f32::max` fold would
+    /// silently drop NaN and report corrupted state as a diff of `0.0`,
+    /// which is exactly the failure mode drift verification exists to catch.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape());
         self.data
             .iter()
             .zip(&other.data)
             .map(|(a, b)| (a - b).abs())
-            .fold(0.0_f32, f32::max)
+            .fold(0.0_f32, crate::ops::nan_max)
     }
 
-    /// True when every element differs by at most `tol`.
+    /// True when every element differs by at most `tol`. NaN in either
+    /// matrix fails the check (NaN is never close to anything).
     pub fn allclose(&self, other: &Matrix, tol: f32) -> bool {
         self.shape() == other.shape() && self.max_abs_diff(other) <= tol
+    }
+
+    /// True when any element is NaN or infinite — the cheap corruption scan
+    /// the drift auditor runs over cached state.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
     }
 
     /// Bytes occupied by the backing buffer (capacity ignored).
@@ -313,5 +323,41 @@ mod tests {
     fn max_abs_diff_zero_for_identical() {
         let a = Matrix::from_fn(3, 3, |r, c| (r + c) as f32);
         assert_eq!(a.max_abs_diff(&a.clone()), 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_propagates_nan() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r + c) as f32);
+        let mut b = a.clone();
+        b.set(0, 1, f32::NAN);
+        // Regression: the old `fold(0.0, f32::max)` dropped NaN and reported
+        // a poisoned matrix as bitwise identical (diff 0.0).
+        assert!(a.max_abs_diff(&b).is_nan());
+        assert!(b.max_abs_diff(&a).is_nan());
+        // NaN in an early element must survive later finite elements.
+        let mut c = a.clone();
+        c.set(0, 0, f32::NAN);
+        assert!(a.max_abs_diff(&c).is_nan());
+    }
+
+    #[test]
+    fn allclose_fails_on_nan() {
+        let a = Matrix::full(2, 2, 1.0);
+        let mut b = a.clone();
+        b.set(1, 1, f32::NAN);
+        assert!(!a.allclose(&b, f32::INFINITY), "NaN must never verify clean");
+        assert!(!b.allclose(&b, 0.0), "even against itself");
+    }
+
+    #[test]
+    fn has_non_finite_detects_nan_and_inf() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(!m.has_non_finite());
+        m.set(0, 1, f32::NAN);
+        assert!(m.has_non_finite());
+        m.set(0, 1, f32::INFINITY);
+        assert!(m.has_non_finite());
+        m.set(0, 1, -1.0);
+        assert!(!m.has_non_finite());
     }
 }

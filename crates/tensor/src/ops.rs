@@ -70,6 +70,43 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
+/// NaN-propagating maximum: any NaN operand makes the result NaN, unlike
+/// `f32::max`, which silently drops NaN. Drift auditing folds deviations
+/// with this so corrupted state can never report a clean diff.
+#[inline]
+pub fn nan_max(a: f32, b: f32) -> f32 {
+    if a.is_nan() || b.is_nan() {
+        f32::NAN
+    } else {
+        a.max(b)
+    }
+}
+
+/// One Neumaier (improved Kahan) step: `sum += v`, tracking the rounding
+/// error of the addition in `comp`. The true running total is `sum + comp`.
+#[inline]
+pub fn neumaier_step(sum: &mut f32, comp: &mut f32, v: f32) {
+    let t = *sum + v;
+    if sum.abs() >= v.abs() {
+        *comp += (*sum - t) + v;
+    } else {
+        *comp += (v - t) + *sum;
+    }
+    *sum = t;
+}
+
+/// Compensated `sum += src` over slices: per-channel Neumaier accumulation
+/// with the running error kept in `comp`. Callers fold `comp` into `sum`
+/// once (e.g. via [`add_assign`]) when the stream of addends ends.
+#[inline]
+pub fn neumaier_add_assign(sum: &mut [f32], comp: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(sum.len(), src.len());
+    debug_assert_eq!(sum.len(), comp.len());
+    for ((s, c), v) in sum.iter_mut().zip(comp.iter_mut()).zip(src) {
+        neumaier_step(s, c, *v);
+    }
+}
+
 /// Bit-exact slice equality (`f32 ==` per channel; NaN never equal).
 #[inline]
 pub fn eq_exact(a: &[f32], b: &[f32]) -> bool {
@@ -82,11 +119,13 @@ pub fn allclose(a: &[f32], b: &[f32], tol: f32) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
 }
 
-/// Maximum absolute difference between two slices.
+/// Maximum absolute difference between two slices. NaN anywhere in either
+/// slice propagates to the result (a `f32::max` fold would drop it and
+/// report corrupted data as identical).
 #[inline]
 pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, nan_max)
 }
 
 /// Euclidean norm.
@@ -156,5 +195,40 @@ mod tests {
     #[test]
     fn max_abs_diff_picks_worst_channel() {
         assert_eq!(max_abs_diff(&[0.0, 1.0, 2.0], &[0.0, 3.0, 2.5]), 2.0);
+    }
+
+    #[test]
+    fn max_abs_diff_propagates_nan() {
+        assert!(max_abs_diff(&[0.0, f32::NAN, 1.0], &[0.0, 0.0, 1.0]).is_nan());
+        assert!(max_abs_diff(&[1.0, 2.0], &[f32::NAN, 2.0]).is_nan());
+        // NaN early in the slice must survive later finite channels.
+        assert!(max_abs_diff(&[f32::NAN, 0.0, 0.0], &[0.0, 0.0, 0.0]).is_nan());
+        assert!(!allclose(&[f32::NAN], &[f32::NAN], 1.0), "NaN never verifies clean");
+    }
+
+    #[test]
+    fn nan_max_never_drops_nan() {
+        assert!(nan_max(f32::NAN, 1.0).is_nan());
+        assert!(nan_max(1.0, f32::NAN).is_nan());
+        assert_eq!(nan_max(1.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn neumaier_recovers_cancellation_error() {
+        // 1.0 + 2^-60 - 1.0 in plain f32 loses the tiny addend entirely;
+        // Neumaier keeps it in the compensation channel.
+        let tiny = 2.0_f32.powi(-60);
+        let mut sum = vec![0.0f32];
+        let mut comp = vec![0.0f32];
+        for v in [1.0, tiny, -1.0] {
+            neumaier_add_assign(&mut sum, &mut comp, &[v]);
+        }
+        add_assign(&mut sum, &comp);
+        assert_eq!(sum[0], tiny);
+        let mut plain = 0.0f32;
+        for v in [1.0f32, tiny, -1.0] {
+            plain += v;
+        }
+        assert_eq!(plain, 0.0, "plain f32 summation loses the tiny addend");
     }
 }

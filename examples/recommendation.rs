@@ -14,7 +14,7 @@ use ink_graph::{DeltaBatch, DynGraph, EdgeChange, VertexId};
 use ink_gnn::Model;
 use ink_tensor::init::{seeded_rng, uniform};
 use ink_tensor::ops::dot;
-use inkstream::{InkStream, SessionConfig, StreamSession, UpdateConfig};
+use inkstream::{DriftAction, DriftPolicy, InkStream, SessionConfig, StreamSession, UpdateConfig};
 use rand::{RngExt, SeedableRng};
 
 const USERS: usize = 4_000;
@@ -61,7 +61,12 @@ fn main() {
     let engine = InkStream::new(model, g, base, UpdateConfig::default()).expect("valid model");
     let mut session = StreamSession::with_config(
         engine,
-        SessionConfig { max_batch: 64, verify_every: Some(10), verify_tolerance: 1e-3 },
+        SessionConfig {
+            max_batch: 64,
+            // Full-audit every 10 ingests; self-heal instead of failing.
+            drift: DriftPolicy::full(10, 1e-3).with_action(DriftAction::Resync),
+            ..SessionConfig::default()
+        },
     );
 
     let probe_user: VertexId = 17;

@@ -7,7 +7,7 @@ use ink_graph::generators::rmat::RmatParams;
 use ink_graph::{DeltaBatch, DynGraph, EdgeChange};
 use ink_gnn::{Aggregator, Model};
 use ink_tensor::init::{seeded_rng, uniform};
-use inkstream::{InkStream, SessionConfig, StreamSession, UpdateConfig};
+use inkstream::{DriftPolicy, InkStream, SessionConfig, StreamSession, UpdateConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -116,7 +116,11 @@ fn session_handles_bulk_rewire() {
     let engine = engine_on(g, 131, Aggregator::Max);
     let mut session = StreamSession::with_config(
         engine,
-        SessionConfig { max_batch: 50, verify_every: Some(1), verify_tolerance: 0.0 },
+        SessionConfig {
+            max_batch: 50,
+            drift: DriftPolicy::full(1, 0.0),
+            ..SessionConfig::default()
+        },
     );
     let mut drng = StdRng::seed_from_u64(132);
     let delta = DeltaBatch::random_scenario(session.engine().graph(), &mut drng, 600);
@@ -133,7 +137,11 @@ fn accumulative_drift_is_bounded_over_long_streams() {
     let engine = engine_on(g, 141, Aggregator::Sum);
     let mut session = StreamSession::with_config(
         engine,
-        SessionConfig { max_batch: 100, verify_every: Some(10), verify_tolerance: 1e-2 },
+        SessionConfig {
+            max_batch: 100,
+            drift: DriftPolicy::full(10, 1e-2),
+            ..SessionConfig::default()
+        },
     );
     let mut drng = StdRng::seed_from_u64(142);
     for _ in 0..50 {
