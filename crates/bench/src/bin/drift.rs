@@ -15,12 +15,13 @@
 //!    [`DriftPolicy`], demonstrating audit wall time staying separate from
 //!    ingest latency.
 
-use ink_bench::{scenarios, BenchOpts, ModelKind};
+use ink_bench::{scenarios, write_results, BenchOpts, ModelKind};
 use ink_graph::generators::erdos_renyi;
 use ink_gnn::Aggregator;
 use ink_tensor::init::{seeded_rng, sparse_power_law};
+use inkstream::json::rounded;
 use inkstream::{
-    DriftAction, DriftPolicy, InkStream, SessionConfig, StreamSession, UpdateConfig,
+    DriftAction, DriftPolicy, InkStream, Json, SessionConfig, StreamSession, UpdateConfig,
 };
 use rand::RngExt;
 use std::time::{Duration, Instant};
@@ -42,7 +43,7 @@ fn build_engine(n: usize, edges: usize, opts: &BenchOpts, cfg: UpdateConfig) -> 
 }
 
 /// Experiment 1: spot vs. full audit cost across graph sizes.
-fn audit_cost(opts: &BenchOpts) -> Vec<String> {
+fn audit_cost(opts: &BenchOpts) -> Vec<Json> {
     let base = ((5_000.0 * opts.scale) as usize).max(400);
     let reps = if opts.quick { 10 } else { 50 };
     let mut rows = Vec::new();
@@ -73,17 +74,20 @@ fn audit_cost(opts: &BenchOpts) -> Vec<String> {
             "  audit cost |V|={n}: spot({SPOT_SAMPLES})={spot_us:.1}µs full={full_us:.1}µs \
              (full/spot={ratio:.1}x)"
         );
-        rows.push(format!(
-            "    {{ \"vertices\": {n}, \"edges\": {edges}, \"spot_samples\": {SPOT_SAMPLES}, \
-             \"spot_us_mean\": {spot_us:.3}, \"full_us\": {full_us:.3}, \
-             \"full_over_spot\": {ratio:.3} }}"
-        ));
+        rows.push(Json::obj([
+            ("vertices", Json::from(n)),
+            ("edges", Json::from(edges)),
+            ("spot_samples", Json::from(SPOT_SAMPLES)),
+            ("spot_us_mean", rounded(spot_us, 3)),
+            ("full_us", rounded(full_us, 3)),
+            ("full_over_spot", rounded(ratio, 3)),
+        ]));
     }
     rows
 }
 
 /// Experiment 2: drift over a ≥ 50 k-change stream, plain vs. compensated.
-fn drift_stream(opts: &BenchOpts) -> String {
+fn drift_stream(opts: &BenchOpts) -> Json {
     let n = ((8_000.0 * opts.scale) as usize).max(600);
     let edges = 3 * n;
     let (batch, ingests) = if opts.quick { (100usize, 10usize) } else { (500, 100) };
@@ -126,36 +130,36 @@ fn drift_stream(opts: &BenchOpts) -> String {
                  (spot plain={:.3e})",
                 rp.verified_diff.unwrap_or(f32::NAN),
             );
-            series.push(format!(
-                "      {{ \"changes\": {changes_seen}, \"full_drift_plain\": {dp:e}, \
-                 \"full_drift_compensated\": {dc:e} }}"
-            ));
+            series.push(Json::obj([
+                ("changes", Json::from(changes_seen)),
+                ("full_drift_plain", Json::from(dp)),
+                ("full_drift_compensated", Json::from(dc)),
+            ]));
         }
     }
 
     let sp = plain.summary().drift;
     let sc = comp.summary().drift;
     let stats = |s: &inkstream::DriftStats| {
-        format!(
-            "{{ \"spot_audits\": {}, \"max_spot_deviation\": {:e}, \"audit_ms\": {:.3}, \
-             \"breaches\": {} }}",
-            s.spot_audits,
-            s.max_deviation,
-            s.audit_time.as_secs_f64() * 1e3,
-            s.breaches
-        )
+        Json::obj([
+            ("spot_audits", Json::from(s.spot_audits)),
+            ("max_spot_deviation", Json::from(s.max_deviation)),
+            ("audit_ms", rounded(s.audit_time.as_secs_f64() * 1e3, 3)),
+            ("breaches", Json::from(s.breaches)),
+        ])
     };
-    format!(
-        "{{\n    \"vertices\": {n},\n    \"edges\": {edges},\n    \"batch\": {batch},\n    \
-         \"ingests\": {ingests},\n    \"changes_streamed\": {changes_streamed},\n    \
-         \"changes_applied\": {changes_seen},\n    \
-         \"spot_policy\": {{ \"every\": 1, \"samples\": {SPOT_SAMPLES} }},\n    \
-         \"audit_stats_plain\": {},\n    \"audit_stats_compensated\": {},\n    \
-         \"series\": [\n{}\n    ]\n  }}",
-        stats(&sp),
-        stats(&sc),
-        series.join(",\n"),
-    )
+    Json::obj([
+        ("vertices", Json::from(n)),
+        ("edges", Json::from(edges)),
+        ("batch", Json::from(batch)),
+        ("ingests", Json::from(ingests)),
+        ("changes_streamed", Json::from(changes_streamed)),
+        ("changes_applied", Json::from(changes_seen)),
+        ("spot_policy", Json::obj([("every", Json::from(1u64)), ("samples", Json::from(SPOT_SAMPLES))])),
+        ("audit_stats_plain", stats(&sp)),
+        ("audit_stats_compensated", stats(&sc)),
+        ("series", Json::Arr(series)),
+    ])
 }
 
 fn main() {
@@ -171,16 +175,14 @@ fn main() {
     eprintln!("drift stream:");
     let stream = drift_stream(&opts);
 
-    let json = format!(
-        "{{\n  \"bench\": \"drift\",\n  \"model\": \"GCN\",\n  \"aggregator\": \"sum\",\n  \
-         \"feat_dim\": {FEAT_DIM},\n  \"hidden\": {},\n  \"audit_cost\": [\n{}\n  ],\n  \
-         \"stream\": {}\n}}\n",
-        opts.hidden,
-        cost_rows.join(",\n"),
-        stream,
-    );
-    print!("{json}");
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write("results/BENCH_drift.json", &json).expect("write results/BENCH_drift.json");
-    eprintln!("wrote results/BENCH_drift.json");
+    let doc = Json::obj([
+        ("bench", Json::from("drift")),
+        ("model", Json::from("GCN")),
+        ("aggregator", Json::from("sum")),
+        ("feat_dim", Json::from(FEAT_DIM)),
+        ("hidden", Json::from(opts.hidden)),
+        ("audit_cost", Json::Arr(cost_rows)),
+        ("stream", stream),
+    ]);
+    write_results("drift", &doc);
 }

@@ -11,11 +11,12 @@
 //! end-to-end bitwise check: with max aggregation their outputs must match
 //! exactly after every round.
 
-use ink_bench::{scenario_count, scenarios, BenchOpts, ModelKind};
+use ink_bench::{scenario_count, scenarios, write_results, BenchOpts, ModelKind};
 use ink_graph::generators::erdos_renyi;
 use ink_gnn::Aggregator;
 use ink_tensor::init::{seeded_rng, sparse_power_law};
-use inkstream::{InkStream, UpdateConfig};
+use inkstream::json::rounded;
+use inkstream::{InkStream, Json, UpdateConfig};
 use std::time::{Duration, Instant};
 
 const DELTA_SIZES: [usize; 5] = [1, 10, 100, 1_000, 10_000];
@@ -102,32 +103,35 @@ fn main() {
             "  ΔG={dg}: rounds={rounds} p50 parallel={p50_par:.1}µs sequential={p50_seq:.1}µs speedup={speedup:.2}x"
         );
         let [gen, group, apply, write, next] = phases;
-        series.push(format!(
-            "    {{\n      \"delta_size\": {dg},\n      \"rounds\": {rounds},\n      \
-             \"p50_parallel_us\": {p50_par:.3},\n      \"p50_sequential_us\": {p50_seq:.3},\n      \
-             \"speedup\": {speedup:.4},\n      \"p50_phases_us\": {{\n        \
-             \"generate\": {:.3},\n        \"group\": {:.3},\n        \"apply\": {:.3},\n        \
-             \"write\": {:.3},\n        \"next_messages\": {:.3}\n      }}\n    }}",
-            p50(gen),
-            p50(group),
-            p50(apply),
-            p50(write),
-            p50(next),
-        ));
+        series.push(Json::obj([
+            ("delta_size", Json::from(dg)),
+            ("rounds", Json::from(rounds)),
+            ("p50_parallel_us", rounded(p50_par, 3)),
+            ("p50_sequential_us", rounded(p50_seq, 3)),
+            ("speedup", rounded(speedup, 4)),
+            (
+                "p50_phases_us",
+                Json::obj([
+                    ("generate", rounded(p50(gen), 3)),
+                    ("group", rounded(p50(group), 3)),
+                    ("apply", rounded(p50(apply), 3)),
+                    ("write", rounded(p50(write), 3)),
+                    ("next_messages", rounded(p50(next), 3)),
+                ]),
+            ),
+        ]));
     }
 
-    let json = format!(
-        "{{\n  \"bench\": \"pipeline\",\n  \"model\": \"GCN\",\n  \"aggregator\": \"max\",\n  \
-         \"graph\": {{ \"vertices\": {n}, \"edges\": {edges} }},\n  \
-         \"dims\": [{FEAT_DIM}, {hidden}, {hidden}],\n  \
-         \"threads\": {},\n  \"workers\": {},\n  \"shards\": {},\n  \"series\": [\n{}\n  ]\n}}\n",
-        rayon::current_num_threads(),
-        par_cfg.worker_count(),
-        par_cfg.shard_count(),
-        series.join(",\n"),
-    );
-    print!("{json}");
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write("results/BENCH_pipeline.json", &json).expect("write results/BENCH_pipeline.json");
-    eprintln!("wrote results/BENCH_pipeline.json");
+    let doc = Json::obj([
+        ("bench", Json::from("pipeline")),
+        ("model", Json::from("GCN")),
+        ("aggregator", Json::from("max")),
+        ("graph", Json::obj([("vertices", Json::from(n)), ("edges", Json::from(edges))])),
+        ("dims", Json::arr([FEAT_DIM, hidden, hidden].map(Json::from))),
+        ("threads", Json::from(rayon::current_num_threads())),
+        ("workers", Json::from(par_cfg.worker_count())),
+        ("shards", Json::from(par_cfg.shard_count())),
+        ("series", Json::Arr(series)),
+    ]);
+    write_results("pipeline", &doc);
 }

@@ -1,0 +1,238 @@
+//! Serving-layer load generator: throughput and latency of the `ink-serve`
+//! TCP front end under concurrent clients.
+//!
+//! Sweeps client counts × all three backpressure modes over one engine
+//! (reused across configurations — [`ServerHandle::shutdown`] hands the
+//! session back). Each configuration splits the clients into updaters
+//! (streaming edge-change batches) and queriers (embedding + top-k reads
+//! running until the updaters finish), and records client-observed latency
+//! percentiles, throughput, and the server's own [`ServeStats`]. Output goes
+//! to `results/BENCH_serve.json` via the shared writer.
+
+use ink_bench::{latency_us, write_results, BenchOpts, ModelKind};
+use ink_graph::generators::erdos_renyi;
+use ink_graph::EdgeChange;
+use ink_gnn::Aggregator;
+use ink_serve::{Backpressure, InkClient, InkServer, ServeConfig, ServerHandle};
+use ink_tensor::init::{seeded_rng, sparse_power_law};
+use inkstream::{InkStream, Json, StreamSession, UpdateConfig};
+use rand::RngExt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const FEAT_DIM: usize = 16;
+const SEED: u64 = 0x5E12E;
+const BATCH: usize = 16;
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn build_session(n: usize, edges: usize, opts: &BenchOpts) -> StreamSession {
+    let mut rng = seeded_rng(SEED);
+    let graph = erdos_renyi(&mut rng, n, edges);
+    let features = sparse_power_law(&mut rng, n, FEAT_DIM, 0.2, 0.9);
+    let model = ModelKind::Gcn.build(FEAT_DIM, opts, Aggregator::Max, SEED);
+    StreamSession::new(InkStream::new(model, graph, features, UpdateConfig::default()).unwrap())
+}
+
+/// A random churn batch: alternating inserts and removes over random pairs.
+fn random_batch(rng: &mut impl RngExt, n: u32) -> Vec<EdgeChange> {
+    (0..BATCH)
+        .map(|i| {
+            let src = rng.random_range(0..n);
+            let mut dst = rng.random_range(0..n);
+            if dst == src {
+                dst = (dst + 1) % n;
+            }
+            if i % 2 == 0 {
+                EdgeChange::insert(src, dst)
+            } else {
+                EdgeChange::remove(src, dst)
+            }
+        })
+        .collect()
+}
+
+struct ConfigResult {
+    update_lat_us: Vec<f64>,
+    query_lat_us: Vec<f64>,
+    updates_sent: u64,
+    queries_sent: u64,
+    rejections_seen: u64,
+    wall: Duration,
+}
+
+/// One configuration: `clients` concurrent connections against `handle`,
+/// ~half updaters sending `updates_each` batches, the rest querying until
+/// the updaters finish.
+fn run_config(
+    handle: &ServerHandle,
+    clients: usize,
+    updates_each: usize,
+    n: u32,
+    seed: u64,
+) -> ConfigResult {
+    let addr = handle.local_addr();
+    let updaters = (clients / 2).max(1);
+    let done = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+
+    let update_threads: Vec<_> = (0..updaters)
+        .map(|c| {
+            std::thread::spawn(move || -> std::io::Result<(Vec<f64>, u64)> {
+                let mut rng = seeded_rng(seed ^ (c as u64 + 1));
+                let mut client = InkClient::connect(addr)?;
+                let mut lat = Vec::with_capacity(updates_each);
+                let mut rejections = 0u64;
+                for _ in 0..updates_each {
+                    let batch = random_batch(&mut rng, n);
+                    let t = Instant::now();
+                    loop {
+                        match client.update(batch.clone())? {
+                            Ok(_) => break,
+                            Err(retry_ms) => {
+                                rejections += 1;
+                                std::thread::sleep(Duration::from_millis(retry_ms.max(1).into()));
+                            }
+                        }
+                    }
+                    lat.push(us(t.elapsed()));
+                }
+                Ok((lat, rejections))
+            })
+        })
+        .collect();
+    let query_threads: Vec<_> = (updaters..clients)
+        .map(|c| {
+            let done = done.clone();
+            std::thread::spawn(move || -> std::io::Result<Vec<f64>> {
+                let mut rng = seeded_rng(seed ^ (0x100 + c as u64));
+                let mut client = InkClient::connect(addr)?;
+                let mut lat = Vec::new();
+                while !done.load(Ordering::Relaxed) {
+                    let v = rng.random_range(0..n);
+                    let t = Instant::now();
+                    if lat.len() % 4 == 0 {
+                        client.top_k(v, 8)?;
+                    } else {
+                        client.embedding(v)?;
+                    }
+                    lat.push(us(t.elapsed()));
+                }
+                Ok(lat)
+            })
+        })
+        .collect();
+
+    let mut update_lat_us = Vec::new();
+    let mut rejections_seen = 0u64;
+    for t in update_threads {
+        let (lat, rej) = t.join().expect("updater panicked").expect("updater I/O failed");
+        update_lat_us.extend(lat);
+        rejections_seen += rej;
+    }
+    done.store(true, Ordering::Relaxed);
+    let mut query_lat_us = Vec::new();
+    for t in query_threads {
+        query_lat_us.extend(t.join().expect("querier panicked").expect("querier I/O failed"));
+    }
+    // Barrier: the config's updates are all applied before the next starts.
+    let mut flusher = InkClient::connect(addr).expect("flush connect");
+    flusher.flush().expect("flush");
+    let wall = t0.elapsed();
+
+    let updates_sent = update_lat_us.len() as u64;
+    let queries_sent = query_lat_us.len() as u64;
+    update_lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    query_lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ConfigResult { update_lat_us, query_lat_us, updates_sent, queries_sent, rejections_seen, wall }
+}
+
+fn mode_name(mode: Backpressure) -> &'static str {
+    match mode {
+        Backpressure::Block => "block",
+        Backpressure::Reject { .. } => "reject",
+        Backpressure::DropOldest => "drop_oldest",
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let n = ((10_000.0 * opts.scale) as usize).max(1_000);
+    let edges = 3 * n;
+    let updates_each = if opts.quick { 40 } else { 150 };
+    let client_counts: &[usize] = &[2, 4, 8];
+    let modes =
+        [Backpressure::Block, Backpressure::Reject { retry_after_ms: 5 }, Backpressure::DropOldest];
+
+    eprintln!(
+        "serve bench: |V|={n} |E|={edges} hidden={} batch={BATCH} updates/client={updates_each}",
+        opts.hidden
+    );
+    let mut session = Some(build_session(n, edges, &opts));
+
+    let mut rows = Vec::new();
+    for &mode in &modes {
+        for (ci, &clients) in client_counts.iter().enumerate() {
+            let config = ServeConfig {
+                // Small queue so the sweep actually exercises admission
+                // control instead of never filling up.
+                queue_capacity: 4,
+                backpressure: mode,
+                ..ServeConfig::default()
+            };
+            let handle = InkServer::bind("127.0.0.1:0", session.take().unwrap(), config)
+                .expect("bind server");
+            let r = run_config(
+                &handle,
+                clients,
+                updates_each,
+                n as u32,
+                SEED ^ ((ci as u64 + 1) << 8),
+            );
+            let (sess, summary) = handle.shutdown().expect("shutdown");
+            session = Some(sess);
+
+            let secs = r.wall.as_secs_f64();
+            let up_tput = r.updates_sent as f64 / secs;
+            let q_tput = r.queries_sent as f64 / secs;
+            eprintln!(
+                "  mode={} clients={clients}: {} updates ({up_tput:.0}/s), {} queries \
+                 ({q_tput:.0}/s), {} rejections, coalesce {} -> {}",
+                mode_name(mode),
+                r.updates_sent,
+                r.queries_sent,
+                r.rejections_seen,
+                summary.serve.events_received,
+                summary.serve.events_applied,
+            );
+            rows.push(Json::obj([
+                ("mode", Json::from(mode_name(mode))),
+                ("clients", Json::from(clients)),
+                ("updates", Json::from(r.updates_sent)),
+                ("queries", Json::from(r.queries_sent)),
+                ("client_rejections", Json::from(r.rejections_seen)),
+                ("wall_s", inkstream::json::rounded(secs, 3)),
+                ("update_throughput_per_s", inkstream::json::rounded(up_tput, 1)),
+                ("query_throughput_per_s", inkstream::json::rounded(q_tput, 1)),
+                ("update_latency_us", latency_us(&r.update_lat_us)),
+                ("query_latency_us", latency_us(&r.query_lat_us)),
+                ("server", summary.serve.to_json()),
+            ]));
+        }
+    }
+
+    let doc = Json::obj([
+        ("bench", Json::from("serve")),
+        ("model", Json::from("GCN")),
+        ("aggregator", Json::from("max")),
+        ("graph", Json::obj([("vertices", Json::from(n)), ("edges", Json::from(edges))])),
+        ("batch", Json::from(BATCH)),
+        ("updates_per_client", Json::from(updates_each)),
+        ("queue_capacity", Json::from(4u64)),
+        ("configs", Json::Arr(rows)),
+    ]);
+    write_results("serve", &doc);
+}

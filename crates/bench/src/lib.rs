@@ -23,6 +23,7 @@
 
 pub mod methods;
 pub mod opts;
+pub mod results;
 pub mod table;
 pub mod workload;
 
@@ -31,5 +32,6 @@ pub use methods::{
     KhopRun, MethodTiming,
 };
 pub use opts::BenchOpts;
+pub use results::{latency_us, write_results};
 pub use table::Table;
 pub use workload::{scenario_count, scenarios, ModelKind, Workload};

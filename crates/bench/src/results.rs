@@ -1,0 +1,41 @@
+//! The shared `results/BENCH_*.json` writer.
+//!
+//! Every bench binary (and the server's `stats`-derived artifacts) funnels
+//! its document through [`write_results`] so the artifacts share one style:
+//! pretty-printed [`Json`], echoed to stdout, written under `results/`.
+
+use inkstream::Json;
+use std::path::PathBuf;
+
+/// Pretty-prints `doc` to stdout and writes it to `results/BENCH_<name>.json`
+/// (creating `results/` as needed). Returns the written path.
+///
+/// # Panics
+///
+/// On I/O failure — a bench run that cannot record its artifact has failed.
+pub fn write_results(name: &str, doc: &Json) -> PathBuf {
+    let rendered = doc.pretty();
+    print!("{rendered}");
+    let path = PathBuf::from("results").join(format!("BENCH_{name}.json"));
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(&path, &rendered).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+    path
+}
+
+/// A `(p50, p90, p99, max)` duration tuple in microseconds — the common
+/// latency shape of the serve bench rows.
+pub fn latency_us(sorted_us: &[f64]) -> Json {
+    let pct = |p: f64| -> f64 {
+        if sorted_us.is_empty() {
+            return 0.0;
+        }
+        sorted_us[((sorted_us.len() - 1) as f64 * p).round() as usize]
+    };
+    Json::obj([
+        ("p50", inkstream::json::rounded(pct(0.50), 3)),
+        ("p90", inkstream::json::rounded(pct(0.90), 3)),
+        ("p99", inkstream::json::rounded(pct(0.99), 3)),
+        ("max", inkstream::json::rounded(sorted_us.last().copied().unwrap_or(0.0), 3)),
+    ])
+}

@@ -43,9 +43,11 @@ pub mod error;
 pub mod event;
 pub mod grouping;
 pub mod hooks;
+pub mod json;
 pub mod monotonic;
 mod pipeline;
 pub mod session;
+pub mod snapshot;
 pub mod stats;
 
 pub use config::UpdateConfig;
@@ -55,8 +57,10 @@ pub use event::{Event, EventOp, PayloadArena};
 pub use grouping::{group_events, Group};
 pub use hooks::{LinearSelfTerm, UserEvent, UserHooks};
 pub use monotonic::Condition;
+pub use json::Json;
 pub use session::{
-    AuditKind, DriftAction, DriftError, DriftPolicy, DriftStats, IngestReport, SessionConfig,
-    SessionSummary, StreamSession,
+    AuditKind, DriftAction, DriftError, DriftPolicy, DriftStats, IngestReport, ServeStats,
+    SessionConfig, SessionSummary, StreamSession,
 };
+pub use snapshot::{EmbeddingSnapshot, SnapshotPublisher, SnapshotReader};
 pub use stats::{ConditionCounts, LayerStats, PhaseTimes, UpdateReport};

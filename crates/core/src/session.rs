@@ -17,10 +17,17 @@
 //! [`DriftStats`] keeps the audit/resync bookkeeping separate from ingest
 //! latency. See DESIGN.md, "Drift auditing and resync".
 
+use crate::json::{rounded, Json};
 use crate::{InkStream, PhaseTimes, UpdateReport};
 use ink_graph::{DeltaBatch, VertexId};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
+
+/// Renders a `(p50, p90, p99, max)` latency tuple as microseconds.
+fn latency_json(l: &(Duration, Duration, Duration, Duration)) -> Json {
+    let us = |d: Duration| rounded(d.as_secs_f64() * 1e6, 3);
+    Json::obj([("p50", us(l.0)), ("p90", us(l.1)), ("p99", us(l.2)), ("max", us(l.3))])
+}
 
 /// What to do when an audit measures drift beyond tolerance (or NaN).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -138,6 +145,23 @@ pub struct DriftStats {
     pub resync_time: Duration,
 }
 
+impl DriftStats {
+    /// JSON rendering shared by the bench artifacts and the server `stats`
+    /// request.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("spot_audits", Json::from(self.spot_audits)),
+            ("full_audits", Json::from(self.full_audits)),
+            ("breaches", Json::from(self.breaches)),
+            ("resyncs", Json::from(self.resyncs)),
+            ("nan_detected", Json::from(self.nan_detected)),
+            ("max_deviation", Json::from(self.max_deviation)),
+            ("audit_ms", rounded(self.audit_time.as_secs_f64() * 1e3, 3)),
+            ("resync_ms", rounded(self.resync_time.as_secs_f64() * 1e3, 3)),
+        ])
+    }
+}
+
 /// The incremental state drifted past the audit tolerance and the policy
 /// said [`DriftAction::Fail`]. Carries the ingest's report: the batches were
 /// already applied — the error describes state quality, not lost work.
@@ -194,6 +218,57 @@ pub struct IngestReport {
     pub resynced: bool,
 }
 
+/// Serving-layer counters folded into [`SessionSummary`] when the session
+/// runs behind an `ink-serve` front end (all-zero otherwise): admission
+/// control outcomes, coalescing effectiveness, snapshot epochs, queue depth
+/// and per-query latency.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Update requests admitted to the ingest queue.
+    pub updates_enqueued: u64,
+    /// Update requests turned away (reject-with-retry-after backpressure).
+    pub updates_rejected: u64,
+    /// Queued update requests evicted (drop-oldest backpressure).
+    pub updates_dropped: u64,
+    /// Edge changes received across admitted updates (pre-coalescing).
+    pub events_received: u64,
+    /// Edge changes actually applied (post-coalescing).
+    pub events_applied: u64,
+    /// Query requests answered from snapshots.
+    pub queries: u64,
+    /// Flush barriers honoured.
+    pub flushes: u64,
+    /// Snapshot epochs published (excluding the bootstrap epoch 0).
+    pub epochs: u64,
+    /// Ingest queue depth at the time the summary was taken.
+    pub queue_depth: u64,
+    /// Deepest the ingest queue ever got.
+    pub max_queue_depth: u64,
+    /// Per-query service latency percentiles over a rolling window:
+    /// (p50, p90, p99, max).
+    pub query_latency: (Duration, Duration, Duration, Duration),
+}
+
+impl ServeStats {
+    /// JSON rendering, used by the server's `stats` request and the serve
+    /// bench artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("updates_enqueued", Json::from(self.updates_enqueued)),
+            ("updates_rejected", Json::from(self.updates_rejected)),
+            ("updates_dropped", Json::from(self.updates_dropped)),
+            ("events_received", Json::from(self.events_received)),
+            ("events_applied", Json::from(self.events_applied)),
+            ("queries", Json::from(self.queries)),
+            ("flushes", Json::from(self.flushes)),
+            ("epochs", Json::from(self.epochs)),
+            ("queue_depth", Json::from(self.queue_depth)),
+            ("max_queue_depth", Json::from(self.max_queue_depth)),
+            ("query_latency_us", latency_json(&self.query_latency)),
+        ])
+    }
+}
+
 /// Rolling summary of a session.
 #[derive(Clone, Debug, Default)]
 pub struct SessionSummary {
@@ -211,6 +286,25 @@ pub struct SessionSummary {
     pub phase_times: PhaseTimes,
     /// Audit/resync bookkeeping.
     pub drift: DriftStats,
+    /// Serving-layer counters (all-zero outside `ink-serve`).
+    pub serve: ServeStats,
+}
+
+impl SessionSummary {
+    /// The canonical JSON rendering of a summary, shared by the bench
+    /// binaries and the server's `stats` response so every consumer sees the
+    /// same field names.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ingests", Json::from(self.ingests)),
+            ("changes", Json::from(self.changes)),
+            ("batch_latency_us", latency_json(&self.latency)),
+            ("avg_real_affected", rounded(self.avg_real_affected, 3)),
+            ("phase_us", self.phase_times.to_json()),
+            ("drift", self.drift.to_json()),
+            ("serve", self.serve.to_json()),
+        ])
+    }
 }
 
 /// An engine plus operational bookkeeping for long-running streams.
@@ -450,6 +544,7 @@ impl StreamSession {
             avg_real_affected: self.affected_total as f64 / self.batches_total.max(1) as f64,
             phase_times: self.phase_times,
             drift: self.drift,
+            serve: ServeStats::default(),
         }
     }
 }

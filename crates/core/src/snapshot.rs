@@ -1,0 +1,209 @@
+//! Epoch-versioned embedding snapshots.
+//!
+//! The serving layer needs readers that never block on an in-flight update:
+//! while the writer thread applies a delta through the pipeline, concurrent
+//! queries must keep seeing a *consistent* output matrix tagged with the
+//! epoch it belongs to. [`SnapshotPublisher`] / [`SnapshotReader`] provide
+//! that with a double-buffered publish: the writer copies the engine output
+//! into a spare buffer, wraps it in an [`EmbeddingSnapshot`], and swaps the
+//! shared pointer under a lock held only for the swap itself. Readers clone
+//! the `Arc` (again, lock held only for the clone) and then read entirely
+//! lock-free; a reader still holding the previous epoch keeps it alive,
+//! and the publisher reclaims the old buffer as its next spare as soon as
+//! the last reader lets go — steady-state publishing allocates nothing.
+
+use ink_tensor::Matrix;
+use std::sync::{Arc, RwLock};
+
+/// One published, immutable view of the output embeddings.
+#[derive(Debug)]
+pub struct EmbeddingSnapshot {
+    /// Publish counter: 0 is the bootstrap output, each applied batch
+    /// increments it. Monotonically non-decreasing across reads.
+    pub epoch: u64,
+    /// The output embedding matrix as of `epoch`.
+    pub embeddings: Matrix,
+}
+
+/// Shared cell between one publisher and any number of readers.
+#[derive(Debug)]
+struct SnapshotCell {
+    current: RwLock<Arc<EmbeddingSnapshot>>,
+}
+
+/// Writer half: owns the spare buffer of the double-buffer pair.
+#[derive(Debug)]
+pub struct SnapshotPublisher {
+    cell: Arc<SnapshotCell>,
+    spare: Option<Matrix>,
+}
+
+/// Reader half: cheap to clone, hand one to every reader thread.
+#[derive(Clone, Debug)]
+pub struct SnapshotReader {
+    cell: Arc<SnapshotCell>,
+}
+
+impl SnapshotPublisher {
+    /// Publishes `bootstrap` as epoch 0 and returns both halves.
+    ///
+    /// ```
+    /// use ink_tensor::Matrix;
+    /// use inkstream::snapshot::SnapshotPublisher;
+    ///
+    /// let (mut publisher, reader) = SnapshotPublisher::new(Matrix::zeros(2, 3));
+    /// assert_eq!(reader.load().epoch, 0);
+    /// publisher.publish(&Matrix::full(2, 3, 1.0), 1);
+    /// let snap = reader.load();
+    /// assert_eq!(snap.epoch, 1);
+    /// assert_eq!(snap.embeddings.get(1, 2), 1.0);
+    /// ```
+    pub fn new(bootstrap: Matrix) -> (Self, SnapshotReader) {
+        let cell = Arc::new(SnapshotCell {
+            current: RwLock::new(Arc::new(EmbeddingSnapshot { epoch: 0, embeddings: bootstrap })),
+        });
+        (Self { cell: cell.clone(), spare: None }, SnapshotReader { cell })
+    }
+
+    /// Publishes a copy of `embeddings` at `epoch`. Readers observe the swap
+    /// atomically; the matrix copy happens outside the lock. The previous
+    /// snapshot's buffer is reclaimed as the next spare if no reader still
+    /// holds it.
+    ///
+    /// # Panics
+    ///
+    /// If `epoch` is not strictly greater than the published one — epochs
+    /// must move forward or readers could not order their observations.
+    pub fn publish(&mut self, embeddings: &Matrix, epoch: u64) {
+        let mut buf = match self.spare.take() {
+            Some(spare) if spare.shape() == embeddings.shape() => spare,
+            _ => Matrix::zeros(embeddings.rows(), embeddings.cols()),
+        };
+        buf.as_mut_slice().copy_from_slice(embeddings.as_slice());
+        let next = Arc::new(EmbeddingSnapshot { epoch, embeddings: buf });
+        let old = {
+            let mut cur = self.cell.current.write().expect("snapshot lock poisoned");
+            assert!(
+                epoch > cur.epoch,
+                "snapshot epochs must be strictly increasing ({} -> {epoch})",
+                cur.epoch
+            );
+            std::mem::replace(&mut *cur, next)
+        };
+        if let Some(snap) = Arc::into_inner(old) {
+            self.spare = Some(snap.embeddings);
+        }
+    }
+
+    /// The epoch readers currently observe.
+    pub fn epoch(&self) -> u64 {
+        self.cell.current.read().expect("snapshot lock poisoned").epoch
+    }
+
+    /// A reader handle for this publisher's cell.
+    pub fn reader(&self) -> SnapshotReader {
+        SnapshotReader { cell: self.cell.clone() }
+    }
+}
+
+impl SnapshotReader {
+    /// The current snapshot. The lock is held only for the `Arc` clone; the
+    /// returned snapshot stays valid (and immutable) however long the caller
+    /// keeps it, even across later publishes.
+    pub fn load(&self) -> Arc<EmbeddingSnapshot> {
+        self.cell.current.read().expect("snapshot lock poisoned").clone()
+    }
+
+    /// The current epoch without retaining the snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.cell.current.read().expect("snapshot lock poisoned").epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn bootstrap_is_epoch_zero() {
+        let (_p, r) = SnapshotPublisher::new(Matrix::full(3, 2, 7.0));
+        let s = r.load();
+        assert_eq!(s.epoch, 0);
+        assert_eq!(s.embeddings.get(2, 1), 7.0);
+    }
+
+    #[test]
+    fn held_snapshot_survives_later_publishes() {
+        let (mut p, r) = SnapshotPublisher::new(Matrix::zeros(2, 2));
+        let old = r.load();
+        p.publish(&Matrix::full(2, 2, 1.0), 1);
+        p.publish(&Matrix::full(2, 2, 2.0), 2);
+        assert_eq!(old.epoch, 0);
+        assert_eq!(old.embeddings.get(0, 0), 0.0, "old epoch is immutable");
+        assert_eq!(r.load().epoch, 2);
+        assert_eq!(r.load().embeddings.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn spare_buffer_is_reclaimed_without_readers() {
+        let (mut p, r) = SnapshotPublisher::new(Matrix::zeros(4, 4));
+        p.publish(&Matrix::full(4, 4, 1.0), 1); // epoch 0 dropped -> spare
+        assert!(p.spare.is_some(), "unreferenced old buffer becomes the spare");
+        let held = r.load(); // pins epoch 1
+        p.publish(&Matrix::full(4, 4, 2.0), 2);
+        drop(held);
+        p.publish(&Matrix::full(4, 4, 3.0), 3);
+        assert_eq!(r.load().epoch, 3);
+    }
+
+    #[test]
+    fn shape_change_reallocates() {
+        let (mut p, r) = SnapshotPublisher::new(Matrix::zeros(2, 2));
+        p.publish(&Matrix::full(5, 3, 4.0), 1);
+        let s = r.load();
+        assert_eq!(s.embeddings.shape(), (5, 3));
+        assert_eq!(s.embeddings.get(4, 2), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotonic_epoch_is_rejected() {
+        let (mut p, _r) = SnapshotPublisher::new(Matrix::zeros(1, 1));
+        p.publish(&Matrix::zeros(1, 1), 1);
+        p.publish(&Matrix::zeros(1, 1), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_always_see_consistent_epochs() {
+        let (mut p, r) = SnapshotPublisher::new(Matrix::zeros(8, 4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let r = r.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let s = r.load();
+                        assert!(s.epoch >= last, "epochs regressed");
+                        last = s.epoch;
+                        // Every value in a snapshot equals its epoch: a torn
+                        // or in-place-mutated buffer would mix values.
+                        for &x in s.embeddings.as_slice() {
+                            assert_eq!(x, s.epoch as f32, "inconsistent snapshot");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for e in 1..200u64 {
+            p.publish(&Matrix::full(8, 4, e as f32), e);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for t in readers {
+            t.join().unwrap();
+        }
+        assert_eq!(r.epoch(), 199);
+    }
+}

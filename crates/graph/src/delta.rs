@@ -119,6 +119,51 @@ impl DeltaBatch {
         v
     }
 
+    /// Collapses the batch to its net effect: each edge keeps only its
+    /// *last* change. Repeated inserts deduplicate, and an insert followed
+    /// by a remove of the same edge cancels down to the remove (and vice
+    /// versa) — under set semantics (`DynGraph::apply` treats redundant
+    /// changes as no-ops) the edge's final presence is decided solely by the
+    /// last op, so applying the coalesced batch yields the same adjacency as
+    /// replaying the raw sequence, whatever the starting graph.
+    ///
+    /// `directed` controls edge identity: in an undirected graph `(u, v)`
+    /// and `(v, u)` are the same edge and coalesce together. The surviving
+    /// change keeps the position of the edge's *first* occurrence, so the
+    /// result is deterministic; since every edge appears at most once
+    /// afterwards, relative order no longer affects the outcome.
+    ///
+    /// ```
+    /// use ink_graph::{DeltaBatch, EdgeChange};
+    ///
+    /// let raw = DeltaBatch::new(vec![
+    ///     EdgeChange::insert(0, 1),
+    ///     EdgeChange::insert(1, 0), // duplicate of (0,1) when undirected
+    ///     EdgeChange::insert(2, 3),
+    ///     EdgeChange::remove(0, 1), // cancels the inserts above
+    /// ]);
+    /// let net = raw.coalesce(false);
+    /// assert_eq!(
+    ///     net.changes(),
+    ///     &[EdgeChange::remove(0, 1), EdgeChange::insert(2, 3)]
+    /// );
+    /// ```
+    pub fn coalesce(&self, directed: bool) -> DeltaBatch {
+        let mut slot: crate::FxHashMap<(VertexId, VertexId), usize> = crate::FxHashMap::default();
+        let mut changes: Vec<EdgeChange> = Vec::new();
+        for &c in &self.changes {
+            let key = if directed || c.src < c.dst { (c.src, c.dst) } else { (c.dst, c.src) };
+            match slot.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => changes[*e.get()] = c,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(changes.len());
+                    changes.push(c);
+                }
+            }
+        }
+        DeltaBatch { changes }
+    }
+
     /// A random graph-changing scenario against the *current* state of `g`:
     /// `n_changes` edges, evenly split between removals of existing edges and
     /// insertions of currently-absent edges (the paper's default mix). The
@@ -271,5 +316,117 @@ mod tests {
         let g = DynGraph::new(10, false);
         let mut rng = StdRng::seed_from_u64(9);
         let _ = DeltaBatch::random_scenario(&g, &mut rng, 4);
+    }
+
+    #[test]
+    fn coalesce_dedups_repeated_inserts() {
+        let raw = DeltaBatch::new(vec![
+            EdgeChange::insert(0, 1),
+            EdgeChange::insert(0, 1),
+            EdgeChange::insert(0, 1),
+        ]);
+        assert_eq!(raw.coalesce(true).changes(), &[EdgeChange::insert(0, 1)]);
+    }
+
+    #[test]
+    fn coalesce_keeps_last_op_per_edge() {
+        let raw = DeltaBatch::new(vec![
+            EdgeChange::insert(0, 1),
+            EdgeChange::remove(0, 1),
+            EdgeChange::insert(0, 1), // churn: insert → remove → insert
+            EdgeChange::remove(2, 3),
+        ]);
+        let net = raw.coalesce(true);
+        assert_eq!(net.changes(), &[EdgeChange::insert(0, 1), EdgeChange::remove(2, 3)]);
+    }
+
+    #[test]
+    fn coalesce_respects_directedness() {
+        let raw = DeltaBatch::new(vec![EdgeChange::insert(1, 0), EdgeChange::remove(0, 1)]);
+        // Undirected: same edge, the remove wins.
+        assert_eq!(raw.coalesce(false).changes(), &[EdgeChange::remove(0, 1)]);
+        // Directed: two distinct edges, both survive.
+        assert_eq!(raw.coalesce(true).len(), 2);
+    }
+
+    #[test]
+    fn coalesced_churn_matches_raw_replay() {
+        // insert → remove → insert on one edge, from both starting states.
+        for start_present in [false, true] {
+            let base = if start_present { ring(4) } else { DynGraph::new(4, false) };
+            let raw = DeltaBatch::new(vec![
+                EdgeChange::insert(0, 1),
+                EdgeChange::remove(0, 1),
+                EdgeChange::insert(0, 1),
+            ]);
+            let mut via_raw = base.clone();
+            raw.apply(&mut via_raw);
+            let mut via_net = base.clone();
+            raw.coalesce(false).apply(&mut via_net);
+            assert_eq!(via_raw, via_net, "start_present={start_present}");
+        }
+    }
+
+    mod coalesce_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Decodes a flat random word stream into an edge-change sequence
+        /// with deliberately heavy churn: a small vertex universe so the
+        /// same edge is revisited (inserted, removed, re-inserted) often.
+        fn decode(words: &[u64], n: VertexId) -> Vec<EdgeChange> {
+            words
+                .iter()
+                .map(|w| {
+                    let src = (w % n as u64) as VertexId;
+                    let mut dst = ((w >> 16) % n as u64) as VertexId;
+                    if dst == src {
+                        dst = (dst + 1) % n;
+                    }
+                    if (w >> 32) & 1 == 0 {
+                        EdgeChange::insert(src, dst)
+                    } else {
+                        EdgeChange::remove(src, dst)
+                    }
+                })
+                .collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+            #[test]
+            fn coalesce_preserves_net_adjacency(
+                words in proptest::collection::vec(0u64..u64::MAX, 0..120),
+                n in 2u32..9,
+                directed in proptest::bool::ANY,
+                seed_edges in proptest::collection::vec(0u64..u64::MAX, 0..20),
+            ) {
+                let raw = DeltaBatch::new(decode(&words, n));
+                let mut base = DynGraph::new(n as usize, directed);
+                for c in decode(&seed_edges, n) {
+                    base.apply(EdgeChange { op: EdgeOp::Insert, ..c });
+                }
+
+                let net = raw.coalesce(directed);
+                let mut via_raw = base.clone();
+                raw.apply(&mut via_raw);
+                let mut via_net = base.clone();
+                net.apply(&mut via_net);
+
+                prop_assert_eq!(&via_raw, &via_net);
+                // Each edge appears at most once after coalescing.
+                let mut seen = std::collections::HashSet::new();
+                for c in net.changes() {
+                    let key = if directed || c.src < c.dst {
+                        (c.src, c.dst)
+                    } else {
+                        (c.dst, c.src)
+                    };
+                    prop_assert!(seen.insert(key), "{:?} appears twice", key);
+                }
+                prop_assert!(net.len() <= raw.len());
+            }
+        }
     }
 }

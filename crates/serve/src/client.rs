@@ -1,0 +1,108 @@
+//! A small blocking client for the ink-serve protocol.
+//!
+//! One [`InkClient`] wraps one TCP connection and runs strict
+//! request/response: every call writes a frame, then blocks for the answer.
+//! Use one client per thread for concurrent load (the loopback test and the
+//! serve bench both do).
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use ink_graph::EdgeChange;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected, blocking protocol client.
+pub struct InkClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// Turns a mismatched response into an `io::Error` (server-reported errors
+/// come through as `ErrorKind::Other` with the server's message).
+fn unexpected(resp: Response) -> io::Error {
+    match resp {
+        Response::Error { message } => io::Error::other(format!("server error: {message}")),
+        other => {
+            io::Error::new(io::ErrorKind::InvalidData, format!("unexpected response {other:?}"))
+        }
+    }
+}
+
+impl InkClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { reader, writer: BufWriter::new(stream) })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn call(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &req.encode())?;
+        match read_frame(&mut self.reader)? {
+            Some(payload) => Response::decode(&payload),
+            None => Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "server closed the connection",
+            )),
+        }
+    }
+
+    /// Submits edge changes. `Ok(Ok(epoch))` — admitted (visible at an epoch
+    /// strictly after `epoch`); `Ok(Err(retry_after_ms))` — rejected by
+    /// admission control, retry after the hint.
+    pub fn update(&mut self, changes: Vec<EdgeChange>) -> io::Result<Result<u64, u32>> {
+        match self.call(&Request::Update(changes))? {
+            Response::Ack { epoch } => Ok(Ok(epoch)),
+            Response::Rejected { retry_after_ms } => Ok(Err(retry_after_ms)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Submits edge changes, sleeping out `Rejected` responses until the
+    /// server admits them.
+    pub fn update_blocking(&mut self, changes: Vec<EdgeChange>) -> io::Result<u64> {
+        loop {
+            match self.update(changes.clone())? {
+                Ok(epoch) => return Ok(epoch),
+                Err(retry_after_ms) => {
+                    std::thread::sleep(std::time::Duration::from_millis(retry_after_ms.max(1).into()))
+                }
+            }
+        }
+    }
+
+    /// Reads one vertex's embedding from the current snapshot:
+    /// `(epoch, values)`.
+    pub fn embedding(&mut self, vertex: u32) -> io::Result<(u64, Vec<f32>)> {
+        match self.call(&Request::Embedding(vertex))? {
+            Response::Embedding { epoch, values } => Ok((epoch, values)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Top-k most similar vertices to `vertex`: `(epoch, items)`.
+    pub fn top_k(&mut self, vertex: u32, k: u32) -> io::Result<(u64, Vec<(u32, f32)>)> {
+        match self.call(&Request::TopK { vertex, k })? {
+            Response::TopK { epoch, items } => Ok((epoch, items)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The server's `SessionSummary` as a compact JSON string.
+    pub fn stats(&mut self) -> io::Result<String> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { json } => Ok(json),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Barrier: returns the epoch at which every update admitted before this
+    /// call is visible.
+    pub fn flush(&mut self) -> io::Result<u64> {
+        match self.call(&Request::Flush)? {
+            Response::Flushed { epoch } => Ok(epoch),
+            other => Err(unexpected(other)),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # ink-serve — a concurrent serving layer for the InkStream engine
+//!
+//! Turns a [`StreamSession`](inkstream::StreamSession) into a network
+//! service: a threaded TCP server speaking a small length-prefixed binary
+//! protocol that multiplexes **edge-update events** and **embedding /
+//! top-k queries** from many concurrent clients.
+//!
+//! The design keeps the engine single-threaded (it is not `Sync`) and moves
+//! the concurrency to the edges:
+//!
+//! * updates flow through a bounded [`IngestQueue`] with pluggable
+//!   [`Backpressure`] (block / reject-with-retry-after / drop-oldest) into
+//!   the **single writer thread**, which coalesces everything pending via
+//!   [`DeltaBatch::coalesce`](ink_graph::DeltaBatch::coalesce) and applies
+//!   one net batch through the sharded incremental pipeline,
+//! * queries are answered by the connection threads straight from
+//!   epoch-versioned, double-buffered
+//!   [`EmbeddingSnapshot`](inkstream::snapshot::EmbeddingSnapshot)s —
+//!   readers never block on an in-flight update,
+//! * a `flush` request inserts a barrier and returns the epoch at which all
+//!   previously admitted updates are visible, giving clients
+//!   read-your-writes when they want it,
+//! * [`ServerHandle::shutdown`] drains the queue, publishes the final
+//!   epoch, optionally writes a checkpoint, and hands the session back.
+//!
+//! Everything is `std::net` + the workspace `crossbeam` channel shim — no
+//! async runtime.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::InkClient;
+pub use metrics::ServerMetrics;
+pub use protocol::{Request, Response, MAX_FRAME};
+pub use queue::{Admission, Backpressure, IngestQueue, QueueItem};
+pub use server::{InkServer, ServeConfig, ServerHandle};

@@ -1,0 +1,110 @@
+//! Server-side counters and query-latency tracking.
+//!
+//! Handlers bump lock-free atomics on every request; query latencies go
+//! into a small mutex-guarded ring (same windowing idea as the session's
+//! batch-latency ring). [`ServerMetrics::serve_stats`] folds everything into
+//! the core [`ServeStats`] struct so the `stats` request and the bench
+//! artifacts share one schema.
+
+use inkstream::ServeStats;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Shared request counters (one instance per server).
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Updates admitted to the queue.
+    pub updates_enqueued: AtomicU64,
+    /// Updates rejected by admission control.
+    pub updates_rejected: AtomicU64,
+    /// Updates evicted by drop-oldest admission control.
+    pub updates_dropped: AtomicU64,
+    /// Edge changes received across admitted updates.
+    pub events_received: AtomicU64,
+    /// Edge changes applied after coalescing.
+    pub events_applied: AtomicU64,
+    /// Queries answered (embedding + top-k).
+    pub queries: AtomicU64,
+    /// Flush barriers honoured.
+    pub flushes: AtomicU64,
+    query_latencies: Mutex<VecDeque<Duration>>,
+}
+
+/// Retained query-latency samples.
+const LATENCY_WINDOW: usize = 4096;
+
+impl ServerMetrics {
+    /// Records one query's service time.
+    pub fn record_query(&self, elapsed: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.query_latencies.lock().expect("metrics lock poisoned");
+        if ring.len() == LATENCY_WINDOW {
+            ring.pop_front();
+        }
+        ring.push_back(elapsed);
+    }
+
+    /// Folds the counters into a [`ServeStats`]; the queue/epoch fields come
+    /// from the caller (they live with the queue and the writer).
+    pub fn serve_stats(&self, epochs: u64, queue_depth: u64, max_queue_depth: u64) -> ServeStats {
+        let mut sorted: Vec<Duration> =
+            self.query_latencies.lock().expect("metrics lock poisoned").iter().copied().collect();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> Duration {
+            if sorted.is_empty() {
+                return Duration::ZERO;
+            }
+            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+            sorted[idx]
+        };
+        ServeStats {
+            updates_enqueued: self.updates_enqueued.load(Ordering::Relaxed),
+            updates_rejected: self.updates_rejected.load(Ordering::Relaxed),
+            updates_dropped: self.updates_dropped.load(Ordering::Relaxed),
+            events_received: self.events_received.load(Ordering::Relaxed),
+            events_applied: self.events_applied.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            epochs,
+            queue_depth,
+            max_queue_depth,
+            query_latency: (pct(0.50), pct(0.90), pct(0.99), sorted.last().copied().unwrap_or_default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_fold_counters_and_percentiles() {
+        let m = ServerMetrics::default();
+        m.updates_enqueued.store(5, Ordering::Relaxed);
+        m.events_received.store(50, Ordering::Relaxed);
+        m.events_applied.store(40, Ordering::Relaxed);
+        for i in 1..=100u64 {
+            m.record_query(Duration::from_micros(i));
+        }
+        let s = m.serve_stats(7, 2, 9);
+        assert_eq!(s.updates_enqueued, 5);
+        assert_eq!(s.queries, 100);
+        assert_eq!(s.epochs, 7);
+        assert_eq!(s.queue_depth, 2);
+        assert_eq!(s.max_queue_depth, 9);
+        assert_eq!(s.query_latency.3, Duration::from_micros(100));
+        assert!(s.query_latency.0 <= s.query_latency.2);
+    }
+
+    #[test]
+    fn latency_ring_is_bounded() {
+        let m = ServerMetrics::default();
+        for _ in 0..(LATENCY_WINDOW + 100) {
+            m.record_query(Duration::from_micros(1));
+        }
+        assert_eq!(m.query_latencies.lock().unwrap().len(), LATENCY_WINDOW);
+        assert_eq!(m.queries.load(Ordering::Relaxed), (LATENCY_WINDOW + 100) as u64);
+    }
+}

@@ -1,0 +1,440 @@
+//! The wire protocol.
+//!
+//! Every message is one *frame*: a little-endian `u32` payload length, then
+//! the payload — a one-byte tag followed by tag-specific fields (all
+//! little-endian, no padding). Length-prefixing keeps framing trivial over
+//! TCP and caps a malicious length at [`MAX_FRAME`] before any allocation.
+//!
+//! ```text
+//! frame    := len:u32 payload[len]
+//! payload  := tag:u8 body
+//!
+//! requests                              responses
+//!   0x01 Update    n:u32 (src:u32         0x81 Ack        epoch:u64
+//!        dst:u32 op:u8){n}                0x82 Rejected   retry_after_ms:u32
+//!   0x02 Embedding v:u32                  0x83 Embedding  epoch:u64 d:u32 f32{d}
+//!   0x03 TopK      v:u32 k:u32            0x84 TopK       epoch:u64 k:u32
+//!   0x04 Stats                                 (v:u32 score:f32){k}
+//!   0x05 Flush                            0x85 Stats      len:u32 json-utf8
+//!                                         0x86 Error      len:u32 msg-utf8
+//!                                         0x87 Flushed    epoch:u64
+//! ```
+//!
+//! `op` is 0 for insert, 1 for remove. The `Ack` epoch is the snapshot epoch
+//! at admission time — the update lands in some strictly later epoch; send
+//! `Flush` to wait for it.
+
+use ink_graph::{EdgeChange, EdgeOp, VertexId};
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame payload (16 MiB): rejects hostile lengths before
+/// allocating, while letting ~1M-edge update batches through.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// A client-to-server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Apply these edge changes (asynchronously, possibly coalesced).
+    Update(Vec<EdgeChange>),
+    /// Read one vertex's output embedding from the current snapshot.
+    Embedding(VertexId),
+    /// The `k` vertices most similar to `vertex` by embedding dot product.
+    TopK {
+        /// Query vertex.
+        vertex: VertexId,
+        /// Result count.
+        k: u32,
+    },
+    /// The server's rolling `SessionSummary` as JSON.
+    Stats,
+    /// Barrier: reply only after everything enqueued before this request
+    /// has been applied and published.
+    Flush,
+}
+
+/// A server-to-client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Update admitted; it will be visible at an epoch `> epoch`.
+    Ack {
+        /// Snapshot epoch at admission time.
+        epoch: u64,
+    },
+    /// Update turned away by admission control; retry after the hint.
+    Rejected {
+        /// Client backoff hint in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// One embedding row.
+    Embedding {
+        /// Epoch of the snapshot served.
+        epoch: u64,
+        /// The row values.
+        values: Vec<f32>,
+    },
+    /// Top-k similar vertices, most similar first.
+    TopK {
+        /// Epoch of the snapshot served.
+        epoch: u64,
+        /// `(vertex, score)` pairs, descending score, ties by lower id.
+        items: Vec<(VertexId, f32)>,
+    },
+    /// The stats JSON document.
+    Stats {
+        /// Compact JSON rendering of the `SessionSummary`.
+        json: String,
+    },
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Flush barrier reached.
+    Flushed {
+        /// Epoch containing every update enqueued before the flush.
+        epoch: u64,
+    },
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Cursor over a received payload.
+struct Take<'a>(&'a [u8]);
+
+impl Take<'_> {
+    fn u8(&mut self) -> io::Result<u8> {
+        let (&b, rest) = self.0.split_first().ok_or_else(short)?;
+        self.0 = rest;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.chunk::<4>()?))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.chunk::<8>()?))
+    }
+
+    fn f32(&mut self) -> io::Result<f32> {
+        Ok(f32::from_le_bytes(self.chunk::<4>()?))
+    }
+
+    fn chunk<const N: usize>(&mut self) -> io::Result<[u8; N]> {
+        if self.0.len() < N {
+            return Err(short());
+        }
+        let (head, rest) = self.0.split_at(N);
+        self.0 = rest;
+        Ok(head.try_into().unwrap())
+    }
+
+    fn bytes(&mut self, n: usize) -> io::Result<&[u8]> {
+        if self.0.len() < n {
+            return Err(short());
+        }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Ok(head)
+    }
+
+    fn finish(self) -> io::Result<()> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err(bad(format!("{} trailing bytes", self.0.len())))
+        }
+    }
+}
+
+fn short() -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, "frame payload too short")
+}
+
+fn bad(detail: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail.into())
+}
+
+impl Request {
+    /// Serialises the request payload (without the length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Update(changes) => {
+                buf.push(0x01);
+                put_u32(&mut buf, changes.len() as u32);
+                for c in changes {
+                    put_u32(&mut buf, c.src);
+                    put_u32(&mut buf, c.dst);
+                    buf.push(match c.op {
+                        EdgeOp::Insert => 0,
+                        EdgeOp::Remove => 1,
+                    });
+                }
+            }
+            Request::Embedding(v) => {
+                buf.push(0x02);
+                put_u32(&mut buf, *v);
+            }
+            Request::TopK { vertex, k } => {
+                buf.push(0x03);
+                put_u32(&mut buf, *vertex);
+                put_u32(&mut buf, *k);
+            }
+            Request::Stats => buf.push(0x04),
+            Request::Flush => buf.push(0x05),
+        }
+        buf
+    }
+
+    /// Parses a request payload.
+    pub fn decode(payload: &[u8]) -> io::Result<Request> {
+        let mut t = Take(payload);
+        let req = match t.u8()? {
+            0x01 => {
+                let n = t.u32()? as usize;
+                if n.saturating_mul(9) > payload.len() {
+                    return Err(bad(format!("update claims {n} changes, frame too small")));
+                }
+                let mut changes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let src = t.u32()?;
+                    let dst = t.u32()?;
+                    let op = match t.u8()? {
+                        0 => EdgeOp::Insert,
+                        1 => EdgeOp::Remove,
+                        other => return Err(bad(format!("unknown edge op {other}"))),
+                    };
+                    changes.push(EdgeChange { src, dst, op });
+                }
+                Request::Update(changes)
+            }
+            0x02 => Request::Embedding(t.u32()?),
+            0x03 => Request::TopK { vertex: t.u32()?, k: t.u32()? },
+            0x04 => Request::Stats,
+            0x05 => Request::Flush,
+            tag => return Err(bad(format!("unknown request tag {tag:#x}"))),
+        };
+        t.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialises the response payload (without the length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Ack { epoch } => {
+                buf.push(0x81);
+                put_u64(&mut buf, *epoch);
+            }
+            Response::Rejected { retry_after_ms } => {
+                buf.push(0x82);
+                put_u32(&mut buf, *retry_after_ms);
+            }
+            Response::Embedding { epoch, values } => {
+                buf.push(0x83);
+                put_u64(&mut buf, *epoch);
+                put_u32(&mut buf, values.len() as u32);
+                for &x in values {
+                    put_f32(&mut buf, x);
+                }
+            }
+            Response::TopK { epoch, items } => {
+                buf.push(0x84);
+                put_u64(&mut buf, *epoch);
+                put_u32(&mut buf, items.len() as u32);
+                for &(v, s) in items {
+                    put_u32(&mut buf, v);
+                    put_f32(&mut buf, s);
+                }
+            }
+            Response::Stats { json } => {
+                buf.push(0x85);
+                put_u32(&mut buf, json.len() as u32);
+                buf.extend_from_slice(json.as_bytes());
+            }
+            Response::Error { message } => {
+                buf.push(0x86);
+                put_u32(&mut buf, message.len() as u32);
+                buf.extend_from_slice(message.as_bytes());
+            }
+            Response::Flushed { epoch } => {
+                buf.push(0x87);
+                put_u64(&mut buf, *epoch);
+            }
+        }
+        buf
+    }
+
+    /// Parses a response payload.
+    pub fn decode(payload: &[u8]) -> io::Result<Response> {
+        let mut t = Take(payload);
+        let resp = match t.u8()? {
+            0x81 => Response::Ack { epoch: t.u64()? },
+            0x82 => Response::Rejected { retry_after_ms: t.u32()? },
+            0x83 => {
+                let epoch = t.u64()?;
+                let d = t.u32()? as usize;
+                let mut values = Vec::with_capacity(d.min(MAX_FRAME / 4));
+                for _ in 0..d {
+                    values.push(t.f32()?);
+                }
+                Response::Embedding { epoch, values }
+            }
+            0x84 => {
+                let epoch = t.u64()?;
+                let k = t.u32()? as usize;
+                let mut items = Vec::with_capacity(k.min(MAX_FRAME / 8));
+                for _ in 0..k {
+                    items.push((t.u32()?, t.f32()?));
+                }
+                Response::TopK { epoch, items }
+            }
+            0x85 => {
+                let n = t.u32()? as usize;
+                let json = String::from_utf8(t.bytes(n)?.to_vec())
+                    .map_err(|_| bad("stats payload is not UTF-8"))?;
+                Response::Stats { json }
+            }
+            0x86 => {
+                let n = t.u32()? as usize;
+                let message = String::from_utf8(t.bytes(n)?.to_vec())
+                    .map_err(|_| bad("error payload is not UTF-8"))?;
+                Response::Error { message }
+            }
+            0x87 => Response::Flushed { epoch: t.u64()? },
+            tag => return Err(bad(format!("unknown response tag {tag:#x}"))),
+        };
+        t.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer hung up between messages).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(bad(format!("frame of {len} bytes exceeds MAX_FRAME")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(r: Request) {
+        assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+
+    fn roundtrip_resp(r: Response) {
+        assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Update(vec![]));
+        roundtrip_req(Request::Update(vec![
+            EdgeChange::insert(0, u32::MAX),
+            EdgeChange::remove(7, 9),
+        ]));
+        roundtrip_req(Request::Embedding(42));
+        roundtrip_req(Request::TopK { vertex: 3, k: 10 });
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Flush);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Ack { epoch: u64::MAX });
+        roundtrip_resp(Response::Rejected { retry_after_ms: 25 });
+        roundtrip_resp(Response::Embedding { epoch: 3, values: vec![1.0, -2.5, f32::MIN] });
+        roundtrip_resp(Response::TopK { epoch: 9, items: vec![(1, 0.5), (2, -0.5)] });
+        roundtrip_resp(Response::Stats { json: "{\"a\": 1}".into() });
+        roundtrip_resp(Response::Error { message: "nope — bad vertex".into() });
+        roundtrip_resp(Response::Flushed { epoch: 11 });
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicking() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0x01, 0xff]).is_err()); // short count
+        assert!(Request::decode(&[0x7f]).is_err()); // unknown tag
+        assert!(Request::decode(&[0x02, 1, 0, 0, 0, 9]).is_err()); // trailing
+        assert!(Response::decode(&[0x83, 0, 0]).is_err());
+        // Update claiming more changes than the frame can hold must fail
+        // before allocating.
+        let mut lying = vec![0x01];
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&lying).is_err());
+    }
+
+    #[test]
+    fn bad_edge_op_is_rejected() {
+        let mut buf = vec![0x01];
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.push(7); // not 0/1
+        assert!(Request::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut wire = Vec::new();
+        let a = Request::TopK { vertex: 1, k: 2 }.encode();
+        let b = Request::Flush.encode();
+        write_frame(&mut wire, &a).unwrap();
+        write_frame(&mut wire, &b).unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), a);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b);
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_length_is_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn torn_frame_is_an_error_not_eof() {
+        let payload = Request::Stats.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        wire.pop();
+        let mut r = wire.as_slice();
+        assert!(read_frame(&mut r).is_err(), "EOF mid-frame is a torn message");
+    }
+}

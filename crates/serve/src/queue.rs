@@ -1,0 +1,335 @@
+//! The bounded ingest queue with pluggable admission control.
+//!
+//! Connection handlers push update batches and flush barriers; the single
+//! writer thread drains them in FIFO order. Capacity counts *update* items
+//! only — flush barriers are tiny control messages and are always admitted,
+//! so a saturated queue can still be flushed and shut down.
+//!
+//! When an update arrives and the queue is full, the configured
+//! [`Backpressure`] mode decides:
+//!
+//! * [`Backpressure::Block`] — the handler thread waits for space (and thus
+//!   the TCP connection exerts end-to-end backpressure on its client),
+//! * [`Backpressure::Reject`] — the push returns
+//!   [`Admission::Rejected`] immediately and the client gets a
+//!   `retry_after_ms` hint,
+//! * [`Backpressure::DropOldest`] — the oldest queued *update* is evicted
+//!   (freshest-data-wins, the streaming-telemetry policy) and the new one
+//!   admitted.
+
+use ink_graph::EdgeChange;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// What to do with an update that arrives while the queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Make the submitting connection wait for space.
+    Block,
+    /// Turn the update away with a retry hint of this many milliseconds.
+    Reject {
+        /// Backoff hint returned to the client.
+        retry_after_ms: u32,
+    },
+    /// Evict the oldest queued update to make room.
+    DropOldest,
+}
+
+/// One queued unit of work.
+#[derive(Debug)]
+pub enum QueueItem {
+    /// An admitted update batch.
+    Updates(Vec<EdgeChange>),
+    /// A flush barrier; the writer sends the post-apply epoch through the
+    /// channel once everything queued before it has been published.
+    Flush(crossbeam::channel::Sender<u64>),
+}
+
+/// The verdict on one push.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueued.
+    Accepted,
+    /// Turned away ([`Backpressure::Reject`]); retry after the hint.
+    Rejected {
+        /// Backoff hint in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// Enqueued after evicting this many older updates
+    /// ([`Backpressure::DropOldest`]).
+    AcceptedDropped {
+        /// Updates evicted to make room (0 when the queue had space).
+        dropped: u64,
+    },
+    /// The queue is closed (server shutting down).
+    Closed,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    items: VecDeque<QueueItem>,
+    pending_updates: usize,
+    max_depth: usize,
+    closed: bool,
+}
+
+/// A bounded MPSC queue of [`QueueItem`]s with admission control.
+#[derive(Debug)]
+pub struct IngestQueue {
+    inner: Mutex<Inner>,
+    /// Signalled when space frees up (pop or eviction).
+    space: Condvar,
+    /// Signalled when an item arrives or the queue closes.
+    ready: Condvar,
+    capacity: usize,
+    mode: Backpressure,
+}
+
+impl IngestQueue {
+    /// A queue admitting at most `capacity` pending updates.
+    ///
+    /// # Panics
+    ///
+    /// If `capacity` is 0 — nothing could ever be admitted.
+    pub fn new(capacity: usize, mode: Backpressure) -> Self {
+        assert!(capacity >= 1, "IngestQueue: capacity must be at least 1");
+        Self {
+            inner: Mutex::new(Inner::default()),
+            space: Condvar::new(),
+            ready: Condvar::new(),
+            capacity,
+            mode,
+        }
+    }
+
+    /// Submits an update batch under the configured admission policy.
+    pub fn push_updates(&self, changes: Vec<EdgeChange>) -> Admission {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed {
+            return Admission::Closed;
+        }
+        let mut dropped = 0u64;
+        if inner.pending_updates >= self.capacity {
+            match self.mode {
+                Backpressure::Block => {
+                    while inner.pending_updates >= self.capacity && !inner.closed {
+                        inner = self.space.wait(inner).expect("queue lock poisoned");
+                    }
+                    if inner.closed {
+                        return Admission::Closed;
+                    }
+                }
+                Backpressure::Reject { retry_after_ms } => {
+                    return Admission::Rejected { retry_after_ms };
+                }
+                Backpressure::DropOldest => {
+                    while inner.pending_updates >= self.capacity {
+                        let Some(pos) =
+                            inner.items.iter().position(|i| matches!(i, QueueItem::Updates(_)))
+                        else {
+                            break; // only barriers queued; nothing to evict
+                        };
+                        inner.items.remove(pos);
+                        inner.pending_updates -= 1;
+                        dropped += 1;
+                    }
+                }
+            }
+        }
+        inner.items.push_back(QueueItem::Updates(changes));
+        inner.pending_updates += 1;
+        inner.max_depth = inner.max_depth.max(inner.pending_updates);
+        self.ready.notify_one();
+        if dropped > 0 {
+            Admission::AcceptedDropped { dropped }
+        } else {
+            Admission::Accepted
+        }
+    }
+
+    /// Submits a flush barrier (always admitted, even when full or closed —
+    /// a closing writer still drains and answers barriers).
+    pub fn push_flush(&self, ack: crossbeam::channel::Sender<u64>) -> Admission {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed {
+            return Admission::Closed;
+        }
+        inner.items.push_back(QueueItem::Flush(ack));
+        self.ready.notify_one();
+        Admission::Accepted
+    }
+
+    /// Takes up to `max` items in FIFO order, waiting up to `timeout` for
+    /// the first one. Empty result means the timeout elapsed (or the queue
+    /// closed while empty) — callers check [`IngestQueue::is_closed`].
+    pub fn pop_batch(&self, max: usize, timeout: Duration) -> Vec<QueueItem> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.items.is_empty() && !inner.closed {
+            (inner, _) = self
+                .ready
+                .wait_timeout_while(inner, timeout, |i| i.items.is_empty() && !i.closed)
+                .expect("queue lock poisoned");
+        }
+        let take = inner.items.len().min(max.max(1));
+        let mut out = Vec::with_capacity(take);
+        for _ in 0..take {
+            let item = inner.items.pop_front().expect("len checked");
+            if matches!(item, QueueItem::Updates(_)) {
+                inner.pending_updates -= 1;
+            }
+            out.push(item);
+        }
+        if take > 0 {
+            self.space.notify_all();
+        }
+        out
+    }
+
+    /// Pending update count (excludes flush barriers).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").pending_updates
+    }
+
+    /// Deepest the queue ever got.
+    pub fn max_depth(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").max_depth
+    }
+
+    /// Closes the queue: further pushes return [`Admission::Closed`];
+    /// already-queued items remain poppable so the writer can drain.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        inner.closed = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+
+    /// True once [`IngestQueue::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue lock poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn upd(n: u32) -> Vec<EdgeChange> {
+        vec![EdgeChange::insert(n, n + 1)]
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let q = IngestQueue::new(8, Backpressure::Block);
+        for i in 0..5 {
+            assert_eq!(q.push_updates(upd(i)), Admission::Accepted);
+        }
+        let items = q.pop_batch(16, Duration::ZERO);
+        assert_eq!(items.len(), 5);
+        for (i, item) in items.iter().enumerate() {
+            match item {
+                QueueItem::Updates(c) => assert_eq!(c[0].src, i as u32),
+                _ => panic!("expected updates"),
+            }
+        }
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn reject_mode_turns_away_when_full() {
+        let q = IngestQueue::new(2, Backpressure::Reject { retry_after_ms: 7 });
+        assert_eq!(q.push_updates(upd(0)), Admission::Accepted);
+        assert_eq!(q.push_updates(upd(1)), Admission::Accepted);
+        assert_eq!(q.push_updates(upd(2)), Admission::Rejected { retry_after_ms: 7 });
+        assert_eq!(q.depth(), 2);
+        q.pop_batch(1, Duration::ZERO);
+        assert_eq!(q.push_updates(upd(3)), Admission::Accepted, "space freed");
+    }
+
+    #[test]
+    fn drop_oldest_evicts_front_updates_only() {
+        let q = IngestQueue::new(2, Backpressure::DropOldest);
+        q.push_updates(upd(0));
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        q.push_flush(tx);
+        q.push_updates(upd(1));
+        assert_eq!(q.push_updates(upd(2)), Admission::AcceptedDropped { dropped: 1 });
+        let items = q.pop_batch(16, Duration::ZERO);
+        // The barrier survived; update 0 was evicted.
+        assert_eq!(items.len(), 3);
+        assert!(matches!(&items[0], QueueItem::Flush(_)));
+        match (&items[1], &items[2]) {
+            (QueueItem::Updates(a), QueueItem::Updates(b)) => {
+                assert_eq!((a[0].src, b[0].src), (1, 2));
+            }
+            _ => panic!("expected updates"),
+        }
+        drop(rx);
+    }
+
+    #[test]
+    fn block_mode_waits_for_space() {
+        let q = Arc::new(IngestQueue::new(1, Backpressure::Block));
+        q.push_updates(upd(0));
+        let q2 = q.clone();
+        let pusher = std::thread::spawn(move || q2.push_updates(upd(1)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.depth(), 1, "pusher is parked, not admitted");
+        let popped = q.pop_batch(1, Duration::ZERO);
+        assert_eq!(popped.len(), 1);
+        assert_eq!(pusher.join().unwrap(), Admission::Accepted);
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn close_wakes_blocked_pushers_and_rejects_new_work() {
+        let q = Arc::new(IngestQueue::new(1, Backpressure::Block));
+        q.push_updates(upd(0));
+        let q2 = q.clone();
+        let pusher = std::thread::spawn(move || q2.push_updates(upd(1)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(pusher.join().unwrap(), Admission::Closed);
+        assert_eq!(q.push_updates(upd(2)), Admission::Closed);
+        // The queued item is still drainable.
+        assert_eq!(q.pop_batch(4, Duration::ZERO).len(), 1);
+    }
+
+    #[test]
+    fn pop_times_out_when_empty() {
+        let q = IngestQueue::new(4, Backpressure::Block);
+        let t = std::time::Instant::now();
+        assert!(q.pop_batch(4, Duration::from_millis(30)).is_empty());
+        assert!(t.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn pop_wakes_on_push_from_another_thread() {
+        let q = Arc::new(IngestQueue::new(4, Backpressure::Block));
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.pop_batch(4, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        q.push_updates(upd(0));
+        let items = t.join().unwrap();
+        assert_eq!(items.len(), 1);
+    }
+
+    #[test]
+    fn max_depth_tracks_high_water_mark() {
+        let q = IngestQueue::new(8, Backpressure::Block);
+        for i in 0..5 {
+            q.push_updates(upd(i));
+        }
+        q.pop_batch(16, Duration::ZERO);
+        q.push_updates(upd(9));
+        assert_eq!(q.max_depth(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        IngestQueue::new(0, Backpressure::Block);
+    }
+}

@@ -1,0 +1,445 @@
+//! The threaded TCP server.
+//!
+//! Thread layout (no async runtime — std::net blocking I/O, matching the
+//! offline shims):
+//!
+//! * **accept thread** — non-blocking `accept` loop; spawns one handler
+//!   thread per connection,
+//! * **handler threads** — decode frames, answer queries straight from the
+//!   current [`inkstream::snapshot::EmbeddingSnapshot`] (never touching the
+//!   engine), and submit updates/flushes to the [`IngestQueue`],
+//! * **writer thread** — the only thread that owns the [`StreamSession`]:
+//!   drains the queue, coalesces everything pending into one net
+//!   [`DeltaBatch`], applies it through the sharded pipeline, and publishes
+//!   a fresh snapshot epoch.
+//!
+//! Readers therefore never block on an in-flight update: a query served
+//! mid-apply simply sees the previous epoch. [`ServerHandle::shutdown`]
+//! closes the queue, lets the writer drain what was admitted, writes a
+//! checkpoint (when configured) and returns the session for inspection.
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{read_frame, write_frame, Request, Response, MAX_FRAME};
+use crate::queue::{Admission, Backpressure, IngestQueue, QueueItem};
+use ink_graph::DeltaBatch;
+use inkstream::snapshot::{EmbeddingSnapshot, SnapshotPublisher, SnapshotReader};
+use inkstream::{SessionSummary, StreamSession};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Ingest queue capacity (pending update batches).
+    pub queue_capacity: usize,
+    /// What happens to updates arriving while the queue is full.
+    pub backpressure: Backpressure,
+    /// Maximum update batches drained (and coalesced) into one epoch.
+    pub max_drain: usize,
+    /// Where the shutdown checkpoint goes (`None` disables it).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Socket read timeout — the cadence at which idle handler threads
+    /// notice a shutdown.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            backpressure: Backpressure::Block,
+            max_drain: 32,
+            checkpoint_path: None,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Everything the threads share.
+struct Shared {
+    queue: IngestQueue,
+    metrics: ServerMetrics,
+    reader: SnapshotReader,
+    /// Refreshed by the writer after every epoch; the `stats` request folds
+    /// live queue metrics on top.
+    summary: Mutex<SessionSummary>,
+    epochs: AtomicU64,
+    shutdown: AtomicBool,
+    /// Vertex-id bound for validating updates before they reach the graph.
+    num_vertices: u64,
+    directed: bool,
+    poll_interval: Duration,
+}
+
+impl Shared {
+    /// The `stats` response: last published session summary + live serve
+    /// counters.
+    fn stats_summary(&self) -> SessionSummary {
+        let mut summary = self.summary.lock().expect("summary lock poisoned").clone();
+        summary.serve = self.metrics.serve_stats(
+            self.epochs.load(Ordering::Relaxed),
+            self.queue.depth() as u64,
+            self.queue.max_depth() as u64,
+        );
+        summary
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] aborts the process-local threads detached —
+/// call `shutdown` for a graceful drain.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    writer_thread: Option<JoinHandle<StreamSession>>,
+    checkpoint_path: Option<PathBuf>,
+}
+
+/// The entry point: bind, spawn the thread set, return the handle.
+pub struct InkServer;
+
+impl InkServer {
+    /// Starts serving `session` on `addr` (use port 0 for an ephemeral
+    /// port; the bound address is on the returned handle).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        session: StreamSession,
+        config: ServeConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let engine = session.engine();
+        let (publisher, reader) =
+            SnapshotPublisher::new(engine.output().clone());
+        let shared = Arc::new(Shared {
+            queue: IngestQueue::new(config.queue_capacity, config.backpressure),
+            metrics: ServerMetrics::default(),
+            reader,
+            summary: Mutex::new(session.summary()),
+            epochs: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            num_vertices: engine.graph().num_vertices() as u64,
+            directed: engine.graph().is_directed(),
+            poll_interval: config.poll_interval,
+        });
+
+        let writer_thread = {
+            let shared = shared.clone();
+            let max_drain = config.max_drain;
+            std::thread::Builder::new()
+                .name("ink-serve-writer".into())
+                .spawn(move || writer_loop(session, publisher, shared, max_drain))?
+        };
+        let accept_thread = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("ink-serve-accept".into())
+                .spawn(move || accept_loop(listener, shared))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            writer_thread: Some(writer_thread),
+            checkpoint_path: config.checkpoint_path,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current snapshot epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epochs.load(Ordering::Relaxed)
+    }
+
+    /// Live summary (same document the `stats` request serves).
+    pub fn summary(&self) -> SessionSummary {
+        self.shared.stats_summary()
+    }
+
+    /// Graceful shutdown: stop admitting work, drain the queue through the
+    /// writer, publish the final epoch, write the checkpoint (when
+    /// configured) and return the session with the final summary.
+    pub fn shutdown(mut self) -> io::Result<(StreamSession, SessionSummary)> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        let writer = self.writer_thread.take().expect("shutdown runs once");
+        let session = writer.join().map_err(|_| {
+            io::Error::other("ink-serve writer thread panicked")
+        })?;
+        if let Some(accept) = self.accept_thread.take() {
+            accept.join().map_err(|_| io::Error::other("ink-serve accept thread panicked"))?;
+        }
+        if let Some(path) = &self.checkpoint_path {
+            let mut f = std::fs::File::create(path)?;
+            inkstream::checkpoint::save(session.engine(), &mut f)?;
+        }
+        let summary = self.shared.stats_summary();
+        Ok((session, summary))
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Un-graceful path: stop the threads so tests that panic don't hang.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+    }
+}
+
+/// The single thread that owns the engine.
+fn writer_loop(
+    mut session: StreamSession,
+    mut publisher: SnapshotPublisher,
+    shared: Arc<Shared>,
+    max_drain: usize,
+) -> StreamSession {
+    loop {
+        let items = shared.queue.pop_batch(max_drain, shared.poll_interval);
+        if items.is_empty() {
+            if shared.queue.is_closed() {
+                return session;
+            }
+            continue;
+        }
+
+        let mut changes = Vec::new();
+        let mut barriers = Vec::new();
+        for item in items {
+            match item {
+                QueueItem::Updates(c) => changes.extend(c),
+                QueueItem::Flush(ack) => barriers.push(ack),
+            }
+        }
+
+        if !changes.is_empty() {
+            let received = changes.len() as u64;
+            let batch = DeltaBatch::new(changes).coalesce(shared.directed);
+            shared.metrics.events_received.fetch_add(received, Ordering::Relaxed);
+            shared.metrics.events_applied.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            // A Fail drift policy surfaces through the summary's breach
+            // counters; the serving loop keeps going either way (the batch
+            // was applied before the audit ran).
+            let _ = session.ingest(&batch);
+            let epoch = shared.epochs.load(Ordering::Relaxed) + 1;
+            publisher.publish(session.engine().output(), epoch);
+            shared.epochs.store(epoch, Ordering::SeqCst);
+            *shared.summary.lock().expect("summary lock poisoned") = session.summary();
+        }
+
+        let epoch = shared.epochs.load(Ordering::Relaxed);
+        for ack in barriers {
+            shared.metrics.flushes.fetch_add(1, Ordering::Relaxed);
+            let _ = ack.send(epoch); // a vanished flusher is not an error
+        }
+    }
+}
+
+/// Non-blocking accept loop; exits once shutdown is flagged.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = shared.clone();
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("ink-serve-conn".into())
+                    .spawn(move || handle_connection(stream, shared))
+                {
+                    handlers.push(h);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.poll_interval.min(Duration::from_millis(10)));
+            }
+            Err(_) => break,
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// One connection: frame loop until EOF, error, or shutdown.
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.poll_interval));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean EOF
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        let response = match Request::decode(&payload) {
+            Ok(req) => answer(req, &shared),
+            Err(e) => Response::Error { message: format!("bad request: {e}") },
+        };
+        if write_frame(&mut writer, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Computes the response for one request.
+fn answer(req: Request, shared: &Shared) -> Response {
+    match req {
+        Request::Update(changes) => {
+            if let Some(c) = changes
+                .iter()
+                .find(|c| c.src as u64 >= shared.num_vertices || c.dst as u64 >= shared.num_vertices || c.src == c.dst)
+            {
+                return Response::Error {
+                    message: format!(
+                        "invalid edge {} -> {} (graph has {} vertices)",
+                        c.src, c.dst, shared.num_vertices
+                    ),
+                };
+            }
+            match shared.queue.push_updates(changes) {
+                Admission::Accepted => {
+                    shared.metrics.updates_enqueued.fetch_add(1, Ordering::Relaxed);
+                    Response::Ack { epoch: shared.epochs.load(Ordering::Relaxed) }
+                }
+                Admission::AcceptedDropped { dropped } => {
+                    shared.metrics.updates_enqueued.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.updates_dropped.fetch_add(dropped, Ordering::Relaxed);
+                    Response::Ack { epoch: shared.epochs.load(Ordering::Relaxed) }
+                }
+                Admission::Rejected { retry_after_ms } => {
+                    shared.metrics.updates_rejected.fetch_add(1, Ordering::Relaxed);
+                    Response::Rejected { retry_after_ms }
+                }
+                Admission::Closed => Response::Error { message: "server is shutting down".into() },
+            }
+        }
+        Request::Embedding(v) => {
+            let t = Instant::now();
+            let snap = shared.reader.load();
+            let resp = if (v as usize) < snap.embeddings.rows() {
+                Response::Embedding {
+                    epoch: snap.epoch,
+                    values: snap.embeddings.row(v as usize).to_vec(),
+                }
+            } else {
+                Response::Error {
+                    message: format!("vertex {v} out of range ({} rows)", snap.embeddings.rows()),
+                }
+            };
+            shared.metrics.record_query(t.elapsed());
+            resp
+        }
+        Request::TopK { vertex, k } => {
+            let t = Instant::now();
+            let snap = shared.reader.load();
+            let resp = if (vertex as usize) < snap.embeddings.rows() {
+                Response::TopK { epoch: snap.epoch, items: top_k(&snap, vertex, k as usize) }
+            } else {
+                Response::Error {
+                    message: format!(
+                        "vertex {vertex} out of range ({} rows)",
+                        snap.embeddings.rows()
+                    ),
+                }
+            };
+            shared.metrics.record_query(t.elapsed());
+            resp
+        }
+        Request::Stats => {
+            let json = shared.stats_summary().to_json().compact();
+            if json.len() > MAX_FRAME {
+                Response::Error { message: "stats document too large".into() }
+            } else {
+                Response::Stats { json }
+            }
+        }
+        Request::Flush => {
+            let (tx, rx) = crossbeam::channel::bounded(1);
+            match shared.queue.push_flush(tx) {
+                Admission::Closed => {
+                    Response::Error { message: "server is shutting down".into() }
+                }
+                _ => match rx.recv() {
+                    Ok(epoch) => Response::Flushed { epoch },
+                    Err(_) => Response::Error { message: "flush barrier lost".into() },
+                },
+            }
+        }
+    }
+}
+
+/// The `k` vertices most similar to `vertex` by embedding dot product
+/// (excluding the query vertex itself), descending score, ties broken by
+/// lower vertex id — fully deterministic for a given snapshot.
+fn top_k(snap: &EmbeddingSnapshot, vertex: u32, k: usize) -> Vec<(u32, f32)> {
+    let q = snap.embeddings.row(vertex as usize);
+    let mut scored: Vec<(u32, f32)> = (0..snap.embeddings.rows() as u32)
+        .filter(|&v| v != vertex)
+        .map(|v| {
+            let row = snap.embeddings.row(v as usize);
+            let score: f32 = q.iter().zip(row).map(|(a, b)| a * b).sum();
+            (v, score)
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ink_tensor::Matrix;
+
+    #[test]
+    fn top_k_is_deterministic_and_excludes_self() {
+        let m = Matrix::from_vec(4, 2, vec![1.0, 0.0, 1.0, 0.0, 0.5, 0.0, 0.0, 1.0]);
+        let snap = EmbeddingSnapshot { epoch: 1, embeddings: m };
+        let items = top_k(&snap, 0, 3);
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0], (1, 1.0), "identical row wins");
+        assert_eq!(items[1], (2, 0.5));
+        assert_eq!(items[2], (3, 0.0));
+        // k larger than the graph truncates cleanly.
+        assert_eq!(top_k(&snap, 0, 99).len(), 3);
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_lower_id() {
+        let m = Matrix::from_vec(4, 1, vec![1.0, 2.0, 2.0, -1.0]);
+        let snap = EmbeddingSnapshot { epoch: 1, embeddings: m };
+        let items = top_k(&snap, 0, 2);
+        assert_eq!(items, vec![(1, 2.0), (2, 2.0)]);
+    }
+}

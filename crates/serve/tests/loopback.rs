@@ -1,0 +1,239 @@
+//! Loopback integration test: a server on an ephemeral port, four concurrent
+//! clients mixing updates and queries, and every response checked bitwise
+//! against a single-threaded reference replay.
+//!
+//! The engine runs max aggregation, where incremental outputs are bitwise
+//! equal to full recomputation — so after the updater's `i`-th
+//! update+flush, epoch `i + 1` must equal the reference engine after `i + 1`
+//! raw batches, no matter how the server coalesced or partitioned the work.
+//! Query clients race the writer the whole time and verify whatever epoch
+//! they observe against the precomputed per-epoch outputs. Shutdown must
+//! leave a checkpoint that loads back into a bitwise-identical engine.
+
+use ink_gnn::{Aggregator, Model};
+use ink_graph::generators::erdos_renyi;
+use ink_graph::{DeltaBatch, DynGraph, EdgeChange};
+use ink_serve::{Backpressure, InkClient, InkServer, ServeConfig};
+use ink_tensor::init::{seeded_rng, sparse_power_law};
+use ink_tensor::Matrix;
+use inkstream::{InkStream, StreamSession, UpdateConfig};
+use rand::RngExt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const N: usize = 60;
+const EDGES: usize = 150;
+const FEAT_DIM: usize = 6;
+const BATCHES: usize = 24;
+const BATCH: usize = 8;
+const MODEL_SEED: u64 = 11;
+const GRAPH_SEED: u64 = 22;
+const FEAT_SEED: u64 = 33;
+
+fn model() -> Model {
+    Model::gcn(&mut seeded_rng(MODEL_SEED), &[FEAT_DIM, 8, 4], Aggregator::Max)
+}
+
+fn graph() -> DynGraph {
+    erdos_renyi(&mut seeded_rng(GRAPH_SEED), N, EDGES)
+}
+
+fn engine() -> InkStream {
+    let feats = sparse_power_law(&mut seeded_rng(FEAT_SEED), N, FEAT_DIM, 0.2, 0.9);
+    InkStream::new(model(), graph(), feats, UpdateConfig::default()).unwrap()
+}
+
+/// The deterministic update stream both the server and the reference see.
+fn update_batches() -> Vec<Vec<EdgeChange>> {
+    let mut rng = seeded_rng(0xB47C);
+    (0..BATCHES)
+        .map(|_| {
+            (0..BATCH)
+                .map(|i| {
+                    let src = rng.random_range(0..N as u32);
+                    let mut dst = rng.random_range(0..N as u32);
+                    if dst == src {
+                        dst = (dst + 1) % N as u32;
+                    }
+                    if i % 3 == 0 {
+                        EdgeChange::remove(src, dst)
+                    } else {
+                        EdgeChange::insert(src, dst)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Reference outputs per epoch: index 0 is the bootstrap, index `i + 1` the
+/// state after raw batches `0..=i` applied by one thread.
+fn reference_outputs(batches: &[Vec<EdgeChange>]) -> Vec<Matrix> {
+    let mut reference = engine();
+    let mut outputs = vec![reference.output().clone()];
+    for batch in batches {
+        reference.apply_delta(&DeltaBatch::new(batch.clone()));
+        outputs.push(reference.output().clone());
+    }
+    outputs
+}
+
+#[test]
+fn four_clients_match_single_threaded_reference_bitwise() {
+    let batches = update_batches();
+    let expected = Arc::new(reference_outputs(&batches));
+
+    let dir = std::env::temp_dir().join(format!("ink-serve-loopback-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("shutdown.ckpt");
+
+    let handle = InkServer::bind(
+        "127.0.0.1:0",
+        StreamSession::new(engine()),
+        ServeConfig {
+            queue_capacity: 8,
+            backpressure: Backpressure::Block,
+            checkpoint_path: Some(ckpt.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind on ephemeral port");
+    let addr = handle.local_addr();
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Client 1 of 4: the updater, which also queries between updates.
+    let updater = {
+        let expected = expected.clone();
+        let batches = batches.clone();
+        std::thread::spawn(move || {
+            let mut client = InkClient::connect(addr).unwrap();
+            for (i, batch) in batches.iter().enumerate() {
+                client.update(batch.clone()).unwrap().expect("block mode never rejects");
+                let epoch = client.flush().unwrap();
+                assert_eq!(epoch as usize, i + 1, "one epoch per flushed update");
+                let v = (i % N) as u32;
+                let (e, values) = client.embedding(v).unwrap();
+                assert_eq!(e as usize, i + 1, "no other updater is running");
+                assert_eq!(values, expected[e as usize].row(v as usize), "bitwise at epoch {e}");
+            }
+        })
+    };
+
+    // Clients 2-4: queriers racing the writer, checking whatever epoch the
+    // snapshot hands them against the reference replay.
+    let queriers: Vec<_> = (0..3)
+        .map(|q| {
+            let expected = expected.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut rng = seeded_rng(0x9E + q as u64);
+                let mut client = InkClient::connect(addr).unwrap();
+                let mut checked = 0u32;
+                while !done.load(Ordering::Relaxed) || checked < 50 {
+                    let v = rng.random_range(0..N as u32);
+                    let (e, values) = client.embedding(v).unwrap();
+                    let want = &expected[e as usize];
+                    assert_eq!(values, want.row(v as usize), "bitwise at epoch {e}");
+                    if checked.is_multiple_of(8) {
+                        let (te, items) = client.top_k(v, 5).unwrap();
+                        assert_eq!(items.len(), 5);
+                        let want = &expected[te as usize];
+                        for w in items.windows(2) {
+                            assert!(w[0].1 >= w[1].1, "top-k must be sorted descending");
+                        }
+                        for &(u, score) in &items {
+                            let dot: f32 = want
+                                .row(v as usize)
+                                .iter()
+                                .zip(want.row(u as usize))
+                                .map(|(a, b)| a * b)
+                                .sum();
+                            assert_eq!(score, dot, "top-k score is the snapshot dot product");
+                        }
+                    }
+                    checked += 1;
+                }
+            })
+        })
+        .collect();
+
+    updater.join().expect("updater thread");
+    done.store(true, Ordering::Relaxed);
+    for q in queriers {
+        q.join().expect("querier thread");
+    }
+
+    // Stats must be valid JSON-ish and reflect the workload.
+    let mut client = InkClient::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("\"epochs\": 24"), "24 update epochs in {stats}");
+    assert!(stats.contains("\"updates_enqueued\": 24"), "all updates admitted in {stats}");
+    drop(client);
+
+    let (session, summary) = handle.shutdown().expect("graceful shutdown");
+    assert_eq!(summary.serve.epochs, BATCHES as u64);
+    assert_eq!(summary.serve.updates_rejected, 0);
+    assert_eq!(summary.serve.flushes, BATCHES as u64);
+    assert!(summary.serve.queries > 0);
+    assert_eq!(
+        session.engine().output().as_slice(),
+        expected.last().unwrap().as_slice(),
+        "final server state equals the reference replay bitwise"
+    );
+
+    // The shutdown checkpoint loads back into a bitwise-identical engine.
+    let mut f = std::fs::File::open(&ckpt).expect("shutdown wrote a checkpoint");
+    let restored =
+        inkstream::checkpoint::load(model(), &mut f, UpdateConfig::default(), None).unwrap();
+    assert_eq!(restored.output().as_slice(), expected.last().unwrap().as_slice());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn invalid_updates_are_refused_not_applied() {
+    let handle =
+        InkServer::bind("127.0.0.1:0", StreamSession::new(engine()), ServeConfig::default())
+            .unwrap();
+    let mut client = InkClient::connect(handle.local_addr()).unwrap();
+
+    // Out-of-range endpoint and self-loop both come back as protocol errors
+    // (the graph would panic on them), leaving the connection usable.
+    let err = client.update(vec![EdgeChange::insert(0, N as u32)]).unwrap_err();
+    assert!(err.to_string().contains("invalid edge"), "{err}");
+    let err = client.update(vec![EdgeChange::insert(3, 3)]).unwrap_err();
+    assert!(err.to_string().contains("invalid edge"), "{err}");
+    let err = client.embedding(N as u32).unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+
+    // A valid update still lands afterwards.
+    client.update(vec![EdgeChange::insert(0, 1)]).unwrap().unwrap();
+    assert_eq!(client.flush().unwrap(), 1);
+    let (session, summary) = handle.shutdown().unwrap();
+    assert_eq!(summary.serve.epochs, 1);
+    assert!(session.engine().graph().has_edge(0, 1));
+}
+
+#[test]
+fn reject_mode_sheds_load_but_applies_what_it_admits() {
+    let handle = InkServer::bind(
+        "127.0.0.1:0",
+        StreamSession::new(engine()),
+        ServeConfig {
+            queue_capacity: 1,
+            backpressure: Backpressure::Reject { retry_after_ms: 2 },
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = InkClient::connect(handle.local_addr()).unwrap();
+    // update_blocking retries through any Rejected responses, so all batches
+    // land even against a capacity-1 queue.
+    for i in 0..10u32 {
+        client.update_blocking(vec![EdgeChange::insert(i, i + 1)]).unwrap();
+    }
+    client.flush().unwrap();
+    let (session, _) = handle.shutdown().unwrap();
+    for i in 0..10u32 {
+        assert!(session.engine().graph().has_edge(i, i + 1), "admitted update {i} applied");
+    }
+}

@@ -8,6 +8,10 @@
 pub mod channel {
     /// A channel disconnection error, mirroring `crossbeam_channel::SendError`.
     pub use std::sync::mpsc::SendError;
+    /// A non-blocking send failure, mirroring `crossbeam_channel::TrySendError`.
+    pub use std::sync::mpsc::TrySendError;
+    /// A timed receive failure, mirroring `crossbeam_channel::RecvTimeoutError`.
+    pub use std::sync::mpsc::RecvTimeoutError;
 
     /// Sending half of a bounded channel.
     pub struct Sender<T>(std::sync::mpsc::SyncSender<T>);
@@ -21,11 +25,29 @@ pub mod channel {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value)
         }
+
+        /// Sends `value` without blocking; errors when the channel is full
+        /// or the receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value)
+        }
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             Sender(self.0.clone())
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
         }
     }
 
@@ -39,6 +61,14 @@ pub mod channel {
         /// all senders are gone.
         pub fn recv(&self) -> Result<T, std::sync::mpsc::RecvError> {
             self.0.recv()
+        }
+
+        /// Receives one value, giving up after `timeout`.
+        pub fn recv_timeout(
+            &self,
+            timeout: std::time::Duration,
+        ) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
     }
 
@@ -79,5 +109,22 @@ mod tests {
         let (tx, rx) = channel::bounded::<u8>(1);
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(channel::TrySendError::Full(2))));
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        let timeout = std::time::Duration::from_millis(5);
+        assert!(matches!(rx.recv_timeout(timeout), Err(channel::RecvTimeoutError::Timeout)));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(timeout).unwrap(), 9);
     }
 }
