@@ -238,6 +238,9 @@ pub struct ServeStats {
     pub queries: u64,
     /// Flush barriers honoured.
     pub flushes: u64,
+    /// Transient `accept()` failures the listener retried past
+    /// (ECONNABORTED, EMFILE, ...).
+    pub accept_errors: u64,
     /// Snapshot epochs published (excluding the bootstrap epoch 0).
     pub epochs: u64,
     /// Ingest queue depth at the time the summary was taken.
@@ -261,6 +264,7 @@ impl ServeStats {
             ("events_applied", Json::from(self.events_applied)),
             ("queries", Json::from(self.queries)),
             ("flushes", Json::from(self.flushes)),
+            ("accept_errors", Json::from(self.accept_errors)),
             ("epochs", Json::from(self.epochs)),
             ("queue_depth", Json::from(self.queue_depth)),
             ("max_queue_depth", Json::from(self.max_queue_depth)),

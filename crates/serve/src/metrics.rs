@@ -29,6 +29,8 @@ pub struct ServerMetrics {
     pub queries: AtomicU64,
     /// Flush barriers honoured.
     pub flushes: AtomicU64,
+    /// Transient `accept()` failures the listener retried past.
+    pub accept_errors: AtomicU64,
     query_latencies: Mutex<VecDeque<Duration>>,
 }
 
@@ -67,6 +69,7 @@ impl ServerMetrics {
             events_applied: self.events_applied.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
             epochs,
             queue_depth,
             max_queue_depth,

@@ -322,9 +322,17 @@ impl Response {
     }
 }
 
-/// Writes one length-prefixed frame.
+/// Writes one length-prefixed frame. Errors with `InvalidInput` when the
+/// payload exceeds [`MAX_FRAME`] — sending it anyway would make the peer's
+/// `read_frame` reject the length as hostile and tear the connection down
+/// with no diagnostic on this side.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    debug_assert!(payload.len() <= MAX_FRAME);
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload of {} bytes exceeds MAX_FRAME ({MAX_FRAME})", payload.len()),
+        ));
+    }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
@@ -426,6 +434,17 @@ mod tests {
         let mut wire = Vec::new();
         wire.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
         assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn oversized_payload_is_refused_at_the_writer() {
+        let payload = vec![0u8; MAX_FRAME + 1];
+        let mut wire = Vec::new();
+        let err = write_frame(&mut wire, &payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(wire.is_empty(), "nothing hits the wire on refusal");
+        // At the cap exactly is still fine.
+        assert!(write_frame(&mut io::sink(), &vec![0u8; MAX_FRAME]).is_ok());
     }
 
     #[test]

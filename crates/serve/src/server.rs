@@ -24,8 +24,9 @@ use crate::queue::{Admission, Backpressure, IngestQueue, QueueItem};
 use ink_graph::DeltaBatch;
 use inkstream::snapshot::{EmbeddingSnapshot, SnapshotPublisher, SnapshotReader};
 use inkstream::{SessionSummary, StreamSession};
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -43,8 +44,10 @@ pub struct ServeConfig {
     pub max_drain: usize,
     /// Where the shutdown checkpoint goes (`None` disables it).
     pub checkpoint_path: Option<PathBuf>,
-    /// Socket read timeout — the cadence at which idle handler threads
-    /// notice a shutdown.
+    /// Cadence of the writer's queue poll and the accept loop's
+    /// non-blocking retry sleep. Handler reads are fully blocking (a
+    /// timeout mid-frame would desync the stream); shutdown unblocks them
+    /// by closing their sockets instead.
     pub poll_interval: Duration,
 }
 
@@ -60,9 +63,58 @@ impl Default for ServeConfig {
     }
 }
 
+/// Live connection sockets, so shutdown can close them and unblock handler
+/// threads parked in blocking reads. Handler reads carry no timeout — a
+/// timeout firing mid-frame would discard partially consumed bytes and
+/// desync the framing — so closing the socket is the only wakeup.
+#[derive(Default)]
+struct ConnRegistry {
+    inner: Mutex<ConnRegistryInner>,
+}
+
+#[derive(Default)]
+struct ConnRegistryInner {
+    next_id: u64,
+    conns: HashMap<u64, TcpStream>,
+    closed: bool,
+}
+
+impl ConnRegistry {
+    /// Registers a connection's socket handle. `None` once the registry is
+    /// closed — the caller must drop the connection instead of serving it
+    /// (covers the race where `accept` lands a socket during shutdown).
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let Ok(handle) = stream.try_clone() else { return None };
+        let mut inner = self.inner.lock().expect("conn registry lock poisoned");
+        if inner.closed {
+            return None;
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.conns.insert(id, handle);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.inner.lock().expect("conn registry lock poisoned").conns.remove(&id);
+    }
+
+    /// Closes every registered socket (unblocking its handler thread) and
+    /// refuses future registrations.
+    fn close_all(&self) {
+        let mut inner = self.inner.lock().expect("conn registry lock poisoned");
+        inner.closed = true;
+        for stream in inner.conns.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        inner.conns.clear();
+    }
+}
+
 /// Everything the threads share.
 struct Shared {
     queue: IngestQueue,
+    conns: ConnRegistry,
     metrics: ServerMetrics,
     reader: SnapshotReader,
     /// Refreshed by the writer after every epoch; the `stats` request folds
@@ -121,6 +173,7 @@ impl InkServer {
             SnapshotPublisher::new(engine.output().clone());
         let shared = Arc::new(Shared {
             queue: IngestQueue::new(config.queue_capacity, config.backpressure),
+            conns: ConnRegistry::default(),
             metrics: ServerMetrics::default(),
             reader,
             summary: Mutex::new(session.summary()),
@@ -181,6 +234,10 @@ impl ServerHandle {
         let session = writer.join().map_err(|_| {
             io::Error::other("ink-serve writer thread panicked")
         })?;
+        // The queue has drained and every flush barrier is answered; now
+        // close the sockets so handler threads blocked in reads wake up
+        // and exit before the accept thread joins them.
+        self.shared.conns.close_all();
         if let Some(accept) = self.accept_thread.take() {
             accept.join().map_err(|_| io::Error::other("ink-serve accept thread panicked"))?;
         }
@@ -198,6 +255,7 @@ impl Drop for ServerHandle {
         // Un-graceful path: stop the threads so tests that panic don't hang.
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.queue.close();
+        self.shared.conns.close_all();
     }
 }
 
@@ -266,7 +324,15 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(shared.poll_interval.min(Duration::from_millis(10)));
             }
-            Err(_) => break,
+            Err(_) => {
+                // Per-connection failures (ECONNABORTED, ECONNRESET) and
+                // resource exhaustion (EMFILE) surface from accept() on
+                // Linux; none invalidate the listener, so count them and
+                // keep accepting. The shutdown flag bounds the loop, so
+                // retrying even a persistent error cannot hang the server.
+                shared.metrics.accept_errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(shared.poll_interval.min(Duration::from_millis(10)));
+            }
         }
         handlers.retain(|h| !h.is_finished());
     }
@@ -275,10 +341,23 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-/// One connection: frame loop until EOF, error, or shutdown.
+/// One connection: register the socket so shutdown can close it, then run
+/// the frame loop until EOF or error.
 fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    // A registration refusal means shutdown already closed the registry —
+    // drop the socket instead of serving a connection nothing can unblock.
+    let Some(conn_id) = shared.conns.register(&stream) else { return };
+    serve_connection(stream, &shared);
+    shared.conns.deregister(conn_id);
+}
+
+/// The frame loop. Reads block with no timeout: `read_frame` uses
+/// `read_exact`, and a timeout firing mid-frame would discard the bytes
+/// already consumed and desync the stream. Shutdown wakes blocked reads by
+/// closing the socket through the [`ConnRegistry`], which surfaces here as
+/// EOF or a connection error.
+fn serve_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.poll_interval));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -288,20 +367,11 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     loop {
         let payload = match read_frame(&mut reader) {
             Ok(Some(p)) => p,
-            Ok(None) => return, // clean EOF
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if shared.shutdown.load(Ordering::Relaxed) {
-                    return;
-                }
-                continue;
-            }
+            Ok(None) => return, // clean EOF (peer hung up, or shutdown closed us)
             Err(_) => return,
         };
         let response = match Request::decode(&payload) {
-            Ok(req) => answer(req, &shared),
+            Ok(req) => answer(req, shared),
             Err(e) => Response::Error { message: format!("bad request: {e}") },
         };
         if write_frame(&mut writer, &response.encode()).is_err() {

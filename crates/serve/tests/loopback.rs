@@ -13,13 +13,17 @@
 use ink_gnn::{Aggregator, Model};
 use ink_graph::generators::erdos_renyi;
 use ink_graph::{DeltaBatch, DynGraph, EdgeChange};
+use ink_serve::protocol::{read_frame, write_frame, Request, Response};
 use ink_serve::{Backpressure, InkClient, InkServer, ServeConfig};
 use ink_tensor::init::{seeded_rng, sparse_power_law};
 use ink_tensor::Matrix;
 use inkstream::{InkStream, StreamSession, UpdateConfig};
 use rand::RngExt;
+use std::io::Write;
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 const N: usize = 60;
 const EDGES: usize = 150;
@@ -211,6 +215,66 @@ fn invalid_updates_are_refused_not_applied() {
     let (session, summary) = handle.shutdown().unwrap();
     assert_eq!(summary.serve.epochs, 1);
     assert!(session.engine().graph().has_edge(0, 1));
+}
+
+/// Regression test for the mid-frame desync: a client that stalls for much
+/// longer than the server's poll interval *inside* a frame (between the
+/// length prefix and the payload, and between payload bytes) must still get
+/// a correct response, and the connection must stay usable afterwards.
+/// With a per-read socket timeout this dribbled frame would desync the
+/// stream — `read_exact` discards the bytes consumed before the timeout.
+#[test]
+fn slow_mid_frame_writes_do_not_desync_the_connection() {
+    let handle = InkServer::bind(
+        "127.0.0.1:0",
+        StreamSession::new(engine()),
+        ServeConfig { poll_interval: Duration::from_millis(5), ..ServeConfig::default() },
+    )
+    .unwrap();
+
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let payload = Request::Embedding(7).encode();
+    let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+    wire.extend_from_slice(&payload);
+    for byte in wire {
+        stream.write_all(&[byte]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(15)); // 3x the poll interval
+    }
+    let resp = Response::decode(&read_frame(&mut stream).unwrap().unwrap()).unwrap();
+    match resp {
+        Response::Embedding { epoch: 0, values } => assert_eq!(values.len(), 4),
+        other => panic!("dribbled request got {other:?}"),
+    }
+
+    // The framing survived: a normally-written request on the same
+    // connection still decodes.
+    write_frame(&mut stream, &Request::TopK { vertex: 7, k: 3 }.encode()).unwrap();
+    let resp = Response::decode(&read_frame(&mut stream).unwrap().unwrap()).unwrap();
+    assert!(matches!(resp, Response::TopK { epoch: 0, ref items } if items.len() == 3), "{resp:?}");
+    drop(stream);
+    handle.shutdown().unwrap();
+}
+
+/// Shutdown must complete while clients are connected but idle: handler
+/// threads are parked in blocking reads with no timeout, so the server has
+/// to wake them by closing their sockets.
+#[test]
+fn shutdown_unblocks_idle_connections() {
+    let handle =
+        InkServer::bind("127.0.0.1:0", StreamSession::new(engine()), ServeConfig::default())
+            .unwrap();
+    let mut idle = InkClient::connect(handle.local_addr()).unwrap();
+    let mut active = InkClient::connect(handle.local_addr()).unwrap();
+    active.update(vec![EdgeChange::insert(0, 1)]).unwrap().unwrap();
+    assert_eq!(active.flush().unwrap(), 1);
+
+    let (session, summary) = handle.shutdown().expect("shutdown with idle connections hangs?");
+    assert_eq!(summary.serve.epochs, 1);
+    assert!(session.engine().graph().has_edge(0, 1));
+    // The idle client's connection was closed by the server.
+    assert!(idle.flush().is_err(), "socket should be closed after shutdown");
 }
 
 #[test]
