@@ -15,7 +15,7 @@
 //!    [`DriftPolicy`], demonstrating audit wall time staying separate from
 //!    ingest latency.
 
-use ink_bench::{scenarios, write_results, BenchOpts, ModelKind};
+use ink_bench::{scenarios, write_metrics, write_results, BenchOpts, ModelKind};
 use ink_graph::generators::erdos_renyi;
 use ink_gnn::Aggregator;
 use ink_tensor::init::{seeded_rng, sparse_power_law};
@@ -87,7 +87,9 @@ fn audit_cost(opts: &BenchOpts) -> Vec<Json> {
 }
 
 /// Experiment 2: drift over a ≥ 50 k-change stream, plain vs. compensated.
-fn drift_stream(opts: &BenchOpts) -> Json {
+/// Returns the document plus the plain session's metrics registry, exported
+/// as `results/BENCH_drift.prom` by `main`.
+fn drift_stream(opts: &BenchOpts) -> (Json, std::sync::Arc<ink_obs::MetricsRegistry>) {
     let n = ((8_000.0 * opts.scale) as usize).max(600);
     let edges = 3 * n;
     let (batch, ingests) = if opts.quick { (100usize, 10usize) } else { (500, 100) };
@@ -148,7 +150,7 @@ fn drift_stream(opts: &BenchOpts) -> Json {
             ("breaches", Json::from(s.breaches)),
         ])
     };
-    Json::obj([
+    let doc = Json::obj([
         ("vertices", Json::from(n)),
         ("edges", Json::from(edges)),
         ("batch", Json::from(batch)),
@@ -159,7 +161,8 @@ fn drift_stream(opts: &BenchOpts) -> Json {
         ("audit_stats_plain", stats(&sp)),
         ("audit_stats_compensated", stats(&sc)),
         ("series", Json::Arr(series)),
-    ])
+    ]);
+    (doc, plain.metrics().clone())
 }
 
 fn main() {
@@ -173,7 +176,7 @@ fn main() {
     eprintln!("audit cost sweep:");
     let cost_rows = audit_cost(&opts);
     eprintln!("drift stream:");
-    let stream = drift_stream(&opts);
+    let (stream, registry) = drift_stream(&opts);
 
     let doc = Json::obj([
         ("bench", Json::from("drift")),
@@ -185,4 +188,5 @@ fn main() {
         ("stream", stream),
     ]);
     write_results("drift", &doc);
+    write_metrics("drift", &registry);
 }

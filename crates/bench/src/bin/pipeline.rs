@@ -11,9 +11,10 @@
 //! end-to-end bitwise check: with max aggregation their outputs must match
 //! exactly after every round.
 
-use ink_bench::{scenario_count, scenarios, write_results, BenchOpts, ModelKind};
+use ink_bench::{scenario_count, scenarios, write_metrics, write_results, BenchOpts, ModelKind};
 use ink_graph::generators::erdos_renyi;
 use ink_gnn::Aggregator;
+use ink_obs::MetricsRegistry;
 use ink_tensor::init::{seeded_rng, sparse_power_law};
 use inkstream::json::rounded;
 use inkstream::{InkStream, Json, UpdateConfig};
@@ -64,6 +65,18 @@ fn main() {
     let mut seq = build_engine(n, edges, &opts, seq_cfg);
     assert_eq!(par.output(), seq.output(), "bootstrap must agree");
 
+    // Full latency distributions (not just the JSON p50s) go into log-bucket
+    // histograms, exported as results/BENCH_pipeline.prom after the sweep.
+    let registry = MetricsRegistry::new();
+    let phase_hists = ["generate", "group", "apply", "write", "next_messages"].map(|p| {
+        registry.histogram(
+            &format!("ink_bench_pipeline_phase_{p}_ns"),
+            "Per-round phase wall time across all delta sizes, in nanoseconds",
+        )
+    });
+    let wall_hist = registry
+        .histogram("ink_bench_pipeline_parallel_ns", "Per-round parallel wall time in nanoseconds");
+
     let mut series = Vec::new();
     for (si, &dg) in DELTA_SIZES.iter().enumerate() {
         if dg / 2 > par.graph().num_edges() {
@@ -90,9 +103,15 @@ fn main() {
             }
             par_wall.push(pw);
             seq_wall.push(sw);
+            wall_hist.record((pw * 1e3) as u64);
             let pt = report.phase_times();
-            for (slot, d) in phases.iter_mut().zip([pt.generate, pt.group, pt.apply, pt.write, pt.next_messages]) {
+            for ((slot, hist), d) in phases
+                .iter_mut()
+                .zip(&phase_hists)
+                .zip([pt.generate, pt.group, pt.apply, pt.write, pt.next_messages])
+            {
                 slot.push(us(d));
+                hist.record(d.as_nanos() as u64);
             }
         }
 
@@ -134,4 +153,5 @@ fn main() {
         ("series", Json::Arr(series)),
     ]);
     write_results("pipeline", &doc);
+    write_metrics("pipeline", &registry);
 }

@@ -6,10 +6,10 @@
 //! session back). Each configuration splits the clients into updaters
 //! (streaming edge-change batches) and queriers (embedding + top-k reads
 //! running until the updaters finish), and records client-observed latency
-//! percentiles, throughput, and the server's own [`ServeStats`]. Output goes
+//! percentiles, throughput, and the server's own `ServeStats`. Output goes
 //! to `results/BENCH_serve.json` via the shared writer.
 
-use ink_bench::{latency_us, write_results, BenchOpts, ModelKind};
+use ink_bench::{latency_us, write_metrics, write_results, BenchOpts, ModelKind};
 use ink_graph::generators::erdos_renyi;
 use ink_graph::EdgeChange;
 use ink_gnn::Aggregator;
@@ -235,4 +235,8 @@ fn main() {
         ("configs", Json::Arr(rows)),
     ]);
     write_results("serve", &doc);
+    // The session's registry accumulated the whole sweep (pipeline, drift
+    // auditor and serving-layer instruments alike); freeze it next to the
+    // JSON.
+    write_metrics("serve", session.as_ref().expect("sweep returns the session").metrics());
 }

@@ -5,11 +5,13 @@
 //! Run: `cargo run --release -p ink-bench --bin table5 [--scale f] [--quick]`
 
 use ink_bench::{
-    run_inkstream, run_khop, scenario_count, scenarios, BenchOpts, ModelKind, Table, Workload,
+    run_inkstream, run_khop, scenario_count, scenarios, write_metrics, BenchOpts, ModelKind,
+    Table, Workload,
 };
 use ink_bench::table::fmt_pct;
 use ink_gnn::cost::reduction_pct;
 use ink_gnn::Aggregator;
+use ink_obs::MetricsRegistry;
 use inkstream::UpdateConfig;
 
 fn main() {
@@ -17,6 +19,9 @@ fn main() {
     let workloads = Workload::all_selected(&opts);
     let dg = 100usize;
     println!("Table V — reductions vs k-hop (GCN, dG={dg}), scale {}", opts.scale);
+    // Raw traffic counters behind the table's percentages, per dataset,
+    // exported as results/BENCH_table5.prom.
+    let registry = MetricsRegistry::new();
 
     let mut headers = vec!["metric".to_string()];
     headers.extend(workloads.iter().map(|w| w.spec.code.to_string()));
@@ -68,6 +73,9 @@ fn main() {
         rnvv_k.push(fmt_pct(reduction_pct(khop_max.nodes_visited, ink_m.avg_nodes_visited())));
         rmc_m.push(fmt_pct(reduction_pct(khop_max.traffic, ink_m.avg_traffic())));
         rmc_a.push(fmt_pct(reduction_pct(khop_mean.traffic, ink_a.avg_traffic())));
+        let code = w.spec.code.to_lowercase();
+        khop_max.meter.export(&registry, &format!("ink_gnn_khop_max_{code}"));
+        khop_mean.meter.export(&registry, &format!("ink_gnn_khop_mean_{code}"));
         eprintln!("  [table5] {} done", w.spec.name);
     }
     table.add_row(rnvv_m);
@@ -75,4 +83,5 @@ fn main() {
     table.add_row(rmc_m);
     table.add_row(rmc_a);
     table.print();
+    write_metrics("table5", &registry);
 }

@@ -32,6 +32,6 @@ pub use methods::{
     KhopRun, MethodTiming,
 };
 pub use opts::BenchOpts;
-pub use results::{latency_us, write_results};
+pub use results::{latency_us, write_metrics, write_results};
 pub use table::Table;
 pub use workload::{scenario_count, scenarios, ModelKind, Workload};

@@ -79,6 +79,9 @@ pub struct KhopRun {
     pub traffic: u64,
     /// Mean theoretical affected-area size.
     pub affected: usize,
+    /// Cumulative traffic over *all* scenarios — exportable to an `ink-obs`
+    /// registry via [`CostMeter::export`].
+    pub meter: CostMeter,
 }
 
 /// Runs the k-hop baseline once per scenario. The graph copy and delta
@@ -95,6 +98,7 @@ pub fn run_khop(
     let mut traffic = 0u64;
     let mut affected = 0usize;
     let mut graph = base_graph.clone();
+    let total = CostMeter::new();
     for delta in scenario_list {
         delta.apply(&mut graph);
         let meter = CostMeter::new();
@@ -104,6 +108,7 @@ pub fn run_khop(
         visited += meter.nodes_visited();
         traffic += meter.total_traffic();
         affected += out.affected.len();
+        total.absorb(&meter);
         delta.revert(&mut graph);
     }
     let n = scenario_list.len().max(1) as u64;
@@ -112,6 +117,7 @@ pub fn run_khop(
         nodes_visited: visited / n,
         traffic: traffic / n,
         affected: affected / n as usize,
+        meter: total,
     }
 }
 

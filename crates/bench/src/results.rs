@@ -3,7 +3,12 @@
 //! Every bench binary (and the server's `stats`-derived artifacts) funnels
 //! its document through [`write_results`] so the artifacts share one style:
 //! pretty-printed [`Json`], echoed to stdout, written under `results/`.
+//! Binaries that carry an `ink-obs` [`MetricsRegistry`] additionally export
+//! it through [`write_metrics`] as `results/BENCH_*.prom` — the same
+//! Prometheus text a live server serves for the `metrics` request, frozen
+//! as a run artifact.
 
+use ink_obs::MetricsRegistry;
 use inkstream::Json;
 use std::path::PathBuf;
 
@@ -19,6 +24,26 @@ pub fn write_results(name: &str, doc: &Json) -> PathBuf {
     let path = PathBuf::from("results").join(format!("BENCH_{name}.json"));
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write(&path, &rendered).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+    path
+}
+
+/// Renders `registry` as Prometheus text exposition and writes it to
+/// `results/BENCH_<name>.prom` next to the JSON artifact. The document is
+/// parser-validated before it lands, so a malformed scrape fails the run
+/// instead of producing a corrupt artifact. Returns the written path.
+///
+/// # Panics
+///
+/// On I/O failure or if the rendered text does not parse back as valid
+/// Prometheus exposition.
+pub fn write_metrics(name: &str, registry: &MetricsRegistry) -> PathBuf {
+    let text = registry.render_prometheus();
+    ink_obs::parse::parse_prometheus(&text)
+        .unwrap_or_else(|e| panic!("BENCH_{name}.prom failed Prometheus round-trip: {e}"));
+    let path = PathBuf::from("results").join(format!("BENCH_{name}.prom"));
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(&path, &text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     eprintln!("wrote {}", path.display());
     path
 }

@@ -60,7 +60,7 @@ pub use monotonic::Condition;
 pub use json::Json;
 pub use session::{
     AuditKind, DriftAction, DriftError, DriftPolicy, DriftStats, IngestReport, ServeStats,
-    SessionConfig, SessionSummary, StreamSession,
+    SessionConfig, SessionSummary, StreamSession, DEFAULT_TRACE_CAPACITY,
 };
 pub use snapshot::{EmbeddingSnapshot, SnapshotPublisher, SnapshotReader};
 pub use stats::{ConditionCounts, LayerStats, PhaseTimes, UpdateReport};

@@ -16,12 +16,34 @@
 //! always reads as a breach (audits propagate NaN instead of dropping it).
 //! [`DriftStats`] keeps the audit/resync bookkeeping separate from ingest
 //! latency. See DESIGN.md, "Drift auditing and resync".
+//!
+//! # Observability
+//!
+//! Every session owns an [`ink_obs::MetricsRegistry`] and an
+//! [`ink_obs::Tracer`] (see [`StreamSession::metrics`] /
+//! [`StreamSession::tracer`]). The registry instruments — counters for
+//! ingests/changes/audits, log-bucket histograms for batch latency and the
+//! five pipeline phases, gauges for scratch-pool occupancy and worst drift —
+//! are the *source of truth*: [`DriftStats`] and the `PhaseTimes` inside
+//! [`SessionSummary`] are thin views folded from the registry at
+//! [`StreamSession::summary`] time, so the JSON schema consumed by the bench
+//! artifacts and the serve `stats` request is unchanged while the same
+//! numbers become scrapeable as Prometheus text. The tracer records one span
+//! per batch plus one per phase (synthesized from the engine's own phase
+//! timings) and per audit/resync, dumpable as Chrome `trace_event` JSON.
+//! Metric names are catalogued in DESIGN.md §8.
 
 use crate::json::{rounded, Json};
 use crate::{InkStream, PhaseTimes, UpdateReport};
 use ink_graph::{DeltaBatch, VertexId};
+use ink_obs::{Counter, Gauge, Histogram, MetricsRegistry, Tracer};
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Default capacity of the session's span ring (events retained for a
+/// [`Tracer::dump_chrome_trace`] dump).
+pub const DEFAULT_TRACE_CAPACITY: usize = 8192;
 
 /// Renders a `(p50, p90, p99, max)` latency tuple as microseconds.
 fn latency_json(l: &(Duration, Duration, Duration, Duration)) -> Json {
@@ -339,18 +361,107 @@ impl SessionSummary {
 /// assert_eq!(report.changes_applied, 1);
 /// assert!(report.verified_diff.is_some());
 /// assert_eq!(session.summary().drift.spot_audits, 1);
+///
+/// // Everything the summary reports is also scrapeable as Prometheus text
+/// // and traceable as Chrome trace_event JSON.
+/// let scrape = session.metrics().render_prometheus();
+/// assert!(scrape.contains("ink_session_ingests_total 1"));
+/// assert!(scrape.contains("ink_drift_spot_audits_total 1"));
+/// assert!(session.tracer().dump_chrome_trace().contains("\"name\":\"generate\""));
 /// ```
 pub struct StreamSession {
     engine: InkStream,
     config: SessionConfig,
-    ingests: usize,
-    changes: usize,
-    affected_total: u64,
-    batches_total: u64,
+    registry: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
+    inst: SessionInstruments,
     batch_latencies: VecDeque<Duration>,
-    phase_times: PhaseTimes,
-    drift: DriftStats,
     sample_state: u64,
+}
+
+/// The session's registry instruments. These atomics are the source of truth
+/// for everything [`SessionSummary`] reports (except the exact batch-latency
+/// percentiles, which come from the retained ring); see the module docs.
+struct SessionInstruments {
+    ingests: Arc<Counter>,
+    changes: Arc<Counter>,
+    skipped: Arc<Counter>,
+    batches: Arc<Counter>,
+    affected: Arc<Counter>,
+    output_changed: Arc<Counter>,
+    batch_latency: Arc<Histogram>,
+    /// One histogram per pipeline phase, in [`PHASE_NAMES`] order.
+    phases: [Arc<Histogram>; 5],
+    spot_audits: Arc<Counter>,
+    full_audits: Arc<Counter>,
+    breaches: Arc<Counter>,
+    resyncs: Arc<Counter>,
+    nan_detected: Arc<Counter>,
+    audit_ns: Arc<Counter>,
+    resync_ns: Arc<Counter>,
+    max_deviation: Arc<Gauge>,
+    scratch_bytes: Arc<Gauge>,
+}
+
+/// Pipeline phase names, in execution order (also the tracer span names).
+const PHASE_NAMES: [&str; 5] = ["generate", "group", "apply", "write", "next_messages"];
+
+impl SessionInstruments {
+    fn register(r: &MetricsRegistry) -> Self {
+        let phase = |name: &str, help: &str| r.histogram(name, help);
+        Self {
+            ingests: r.counter("ink_session_ingests_total", "Ingest calls"),
+            changes: r.counter(
+                "ink_session_changes_total",
+                "Edge changes applied (excluding skipped no-ops)",
+            ),
+            skipped: r.counter("ink_session_skipped_total", "No-op edge changes skipped"),
+            batches: r.counter("ink_session_batches_total", "Refresh batches run"),
+            affected: r.counter(
+                "ink_session_affected_total",
+                "Real affected nodes summed over batches",
+            ),
+            output_changed: r.counter(
+                "ink_session_output_changed_total",
+                "Nodes whose final output changed, summed over batches",
+            ),
+            batch_latency: r.histogram(
+                "ink_session_batch_latency_ns",
+                "Per-batch ingest latency in nanoseconds",
+            ),
+            phases: [
+                phase("ink_pipeline_phase_generate_ns", "Per-batch generate-phase wall time"),
+                phase("ink_pipeline_phase_group_ns", "Per-batch group-phase wall time"),
+                phase("ink_pipeline_phase_apply_ns", "Per-batch apply-phase wall time"),
+                phase("ink_pipeline_phase_write_ns", "Per-batch write-phase wall time"),
+                phase(
+                    "ink_pipeline_phase_next_messages_ns",
+                    "Per-batch next-messages-phase wall time",
+                ),
+            ],
+            spot_audits: r.counter("ink_drift_spot_audits_total", "Spot audits run"),
+            full_audits: r.counter("ink_drift_full_audits_total", "Full audits run"),
+            breaches: r.counter(
+                "ink_drift_breaches_total",
+                "Audits that breached tolerance (including NaN detections)",
+            ),
+            resyncs: r.counter("ink_drift_resyncs_total", "Breaches answered with a resync"),
+            nan_detected: r.counter(
+                "ink_drift_nan_detected_total",
+                "Audits that found non-finite state",
+            ),
+            audit_ns: r.counter("ink_drift_audit_ns_total", "Wall time spent inside audits"),
+            resync_ns: r.counter("ink_drift_resync_ns_total", "Wall time spent inside resyncs"),
+            max_deviation: r.gauge(
+                "ink_drift_max_deviation",
+                "Worst finite per-channel deviation ever measured",
+            ),
+            scratch_bytes: r.gauge(
+                "ink_scratch_bytes",
+                "Engine scratch-pool occupancy after the latest ingest",
+            ),
+        }
+    }
 }
 
 /// SplitMix64 — the session's spot-sampling stream. Inline so the core crate
@@ -378,6 +489,33 @@ impl StreamSession {
     /// interval of `Some(0)` (ambiguous — use `None` to disable), a spot
     /// policy sampling 0 vertices, or a non-finite/negative tolerance.
     pub fn with_config(engine: InkStream, config: SessionConfig) -> Self {
+        Self::with_observability(
+            engine,
+            config,
+            Arc::new(MetricsRegistry::new()),
+            Arc::new(Tracer::new(DEFAULT_TRACE_CAPACITY)),
+        )
+    }
+
+    /// Wraps an engine, registering the session's instruments into an
+    /// existing registry and recording spans into an existing tracer.
+    ///
+    /// This is how a serving front end (or a test) shares one scrape surface
+    /// with the session: hand in the registry, keep a clone, and every
+    /// session metric becomes visible to [`MetricsRegistry::render_prometheus`]
+    /// alongside the caller's own instruments.
+    ///
+    /// # Panics
+    ///
+    /// On a malformed config (see [`StreamSession::with_config`]) or when the
+    /// registry already holds an `ink_session_*` name as a different
+    /// instrument kind.
+    pub fn with_observability(
+        engine: InkStream,
+        config: SessionConfig,
+        registry: Arc<MetricsRegistry>,
+        tracer: Arc<Tracer>,
+    ) -> Self {
         assert!(config.max_batch >= 1, "SessionConfig: max_batch must be at least 1");
         assert!(config.latency_window >= 1, "SessionConfig: latency_window must be at least 1");
         let d = &config.drift;
@@ -398,18 +536,28 @@ impl StreamSession {
             "DriftPolicy: tolerance must be finite and non-negative"
         );
         let sample_state = config.drift.seed;
+        let inst = SessionInstruments::register(&registry);
         Self {
             engine,
             config,
-            ingests: 0,
-            changes: 0,
-            affected_total: 0,
-            batches_total: 0,
+            registry,
+            tracer,
+            inst,
             batch_latencies: VecDeque::new(),
-            phase_times: PhaseTimes::default(),
-            drift: DriftStats::default(),
             sample_state,
         }
+    }
+
+    /// The session's metrics registry (shared; render with
+    /// [`MetricsRegistry::render_prometheus`]).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The session's span tracer (shared; dump with
+    /// [`Tracer::dump_chrome_trace`]).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// The wrapped engine (read access).
@@ -422,9 +570,18 @@ impl StreamSession {
         &mut self.engine
     }
 
-    /// Audit/resync counters so far.
-    pub fn drift_stats(&self) -> &DriftStats {
-        &self.drift
+    /// Audit/resync counters so far, folded from the registry instruments.
+    pub fn drift_stats(&self) -> DriftStats {
+        DriftStats {
+            spot_audits: self.inst.spot_audits.get(),
+            full_audits: self.inst.full_audits.get(),
+            breaches: self.inst.breaches.get(),
+            resyncs: self.inst.resyncs.get(),
+            nan_detected: self.inst.nan_detected.get(),
+            max_deviation: self.inst.max_deviation.get() as f32,
+            audit_time: Duration::from_nanos(self.inst.audit_ns.get()),
+            resync_time: Duration::from_nanos(self.inst.resync_ns.get()),
+        }
     }
 
     /// Per-batch latencies currently retained (at most
@@ -444,20 +601,25 @@ impl StreamSession {
             let batch = DeltaBatch::new(chunk.to_vec());
             let t = Instant::now();
             let r: UpdateReport = self.engine.apply_delta(&batch);
+            let elapsed = t.elapsed();
             if self.batch_latencies.len() == self.config.latency_window {
                 self.batch_latencies.pop_front();
             }
-            self.batch_latencies.push_back(t.elapsed());
-            self.batches_total += 1;
+            self.batch_latencies.push_back(elapsed);
+            self.inst.batch_latency.record(elapsed.as_nanos() as u64);
+            self.inst.batches.inc();
             report.batches += 1;
             report.skipped += r.skipped_changes;
             report.changes_applied += chunk.len() - r.skipped_changes;
             report.output_changed += r.output_changed;
-            self.affected_total += r.real_affected;
-            self.phase_times.merge(&r.phase_times());
+            self.inst.affected.add(r.real_affected);
+            self.record_phases(t, elapsed, &r.phase_times());
         }
-        self.ingests += 1;
-        self.changes += report.changes_applied;
+        self.inst.ingests.inc();
+        self.inst.changes.add(report.changes_applied as u64);
+        self.inst.skipped.add(report.skipped as u64);
+        self.inst.output_changed.add(report.output_changed);
+        self.inst.scratch_bytes.set_u64(self.engine.scratch_bytes() as u64);
 
         if self.config.drift.enabled() {
             if let Some(err) = self.run_audit(&mut report) {
@@ -469,37 +631,55 @@ impl StreamSession {
         Ok(report)
     }
 
+    /// Feeds one batch's engine-measured phase times into the phase
+    /// histograms and synthesizes tracer spans: one `"batch"` span for the
+    /// whole `apply_delta` call and one consecutive span per phase starting
+    /// at the batch start (the engine measures phases per layer; the spans
+    /// show their per-batch totals laid end to end).
+    fn record_phases(&self, start: Instant, elapsed: Duration, pt: &PhaseTimes) {
+        self.tracer.record_at("pipeline", "batch", start, elapsed);
+        let durations = [pt.generate, pt.group, pt.apply, pt.write, pt.next_messages];
+        let mut cursor = start;
+        for ((hist, name), dur) in self.inst.phases.iter().zip(PHASE_NAMES).zip(durations) {
+            hist.record(dur.as_nanos() as u64);
+            self.tracer.record_at("pipeline", name, cursor, dur);
+            cursor += dur;
+        }
+    }
+
     /// Runs the audit due this ingest, if any, mutating the report and the
     /// drift stats. Returns the error shell (without report) on a failing
     /// breach.
     fn run_audit(&mut self, report: &mut IngestReport) -> Option<DriftError> {
         let policy = self.config.drift;
-        let due_full = policy.full_every.is_some_and(|e| self.ingests.is_multiple_of(e));
-        let due_spot = !due_full && policy.spot_every.is_some_and(|e| self.ingests.is_multiple_of(e));
+        let ingests = self.inst.ingests.get() as usize;
+        let due_full = policy.full_every.is_some_and(|e| ingests.is_multiple_of(e));
+        let due_spot = !due_full && policy.spot_every.is_some_and(|e| ingests.is_multiple_of(e));
         if !due_full && !due_spot {
             return None;
         }
         let t_audit = Instant::now();
-        let diff = if due_full {
-            self.drift.full_audits += 1;
+        let (diff, span_name) = if due_full {
+            self.inst.full_audits.inc();
             report.audit = Some(AuditKind::Full);
-            self.engine.audit_full()
+            (self.engine.audit_full(), "full_audit")
         } else {
-            self.drift.spot_audits += 1;
+            self.inst.spot_audits.inc();
             report.audit = Some(AuditKind::Spot);
             let n = self.engine.graph().num_vertices() as u64;
             let sample: Vec<VertexId> = (0..policy.spot_samples)
                 .map(|_| (splitmix64(&mut self.sample_state) % n.max(1)) as VertexId)
                 .collect();
-            self.engine.audit_vertices(&sample)
+            (self.engine.audit_vertices(&sample), "spot_audit")
         };
         report.audit_time = t_audit.elapsed();
-        self.drift.audit_time += report.audit_time;
+        self.inst.audit_ns.add(report.audit_time.as_nanos() as u64);
+        self.tracer.record_at("drift", span_name, t_audit, report.audit_time);
         report.verified_diff = Some(diff);
         if diff.is_nan() {
-            self.drift.nan_detected += 1;
+            self.inst.nan_detected.inc();
         } else {
-            self.drift.max_deviation = self.drift.max_deviation.max(diff);
+            self.inst.max_deviation.set_max(diff as f64);
         }
         // NaN never compares under tolerance: breach explicitly.
         let breached = diff.is_nan() || diff > policy.tolerance;
@@ -507,13 +687,15 @@ impl StreamSession {
         if !breached {
             return None;
         }
-        self.drift.breaches += 1;
+        self.inst.breaches.inc();
         match policy.action {
             DriftAction::Warn => None,
             DriftAction::Resync => {
+                let t_resync = Instant::now();
                 let r = self.engine.resync();
-                self.drift.resyncs += 1;
-                self.drift.resync_time += r.elapsed;
+                self.inst.resyncs.inc();
+                self.inst.resync_ns.add(r.elapsed.as_nanos() as u64);
+                self.tracer.record_at("drift", "resync", t_resync, r.elapsed);
                 report.resynced = true;
                 None
             }
@@ -532,22 +714,31 @@ impl StreamSession {
         percentile_of(&sorted, p)
     }
 
-    /// Rolling summary. Sorts the latency window once for all percentiles.
+    /// Rolling summary, folded from the registry instruments (exact batch
+    /// percentiles come from the retained ring, sorted once).
     pub fn summary(&self) -> SessionSummary {
         let mut sorted: Vec<Duration> = self.batch_latencies.iter().copied().collect();
         sorted.sort_unstable();
+        let phase_sum = |i: usize| Duration::from_nanos(self.inst.phases[i].sum());
         SessionSummary {
-            ingests: self.ingests,
-            changes: self.changes,
+            ingests: self.inst.ingests.get() as usize,
+            changes: self.inst.changes.get() as usize,
             latency: (
                 percentile_of(&sorted, 0.50),
                 percentile_of(&sorted, 0.90),
                 percentile_of(&sorted, 0.99),
                 sorted.last().copied().unwrap_or_default(),
             ),
-            avg_real_affected: self.affected_total as f64 / self.batches_total.max(1) as f64,
-            phase_times: self.phase_times,
-            drift: self.drift,
+            avg_real_affected: self.inst.affected.get() as f64
+                / self.inst.batches.get().max(1) as f64,
+            phase_times: PhaseTimes {
+                generate: phase_sum(0),
+                group: phase_sum(1),
+                apply: phase_sum(2),
+                write: phase_sum(3),
+                next_messages: phase_sum(4),
+            },
+            drift: self.drift_stats(),
             serve: ServeStats::default(),
         }
     }

@@ -78,6 +78,33 @@ impl CostMeter {
     pub fn snapshot(&self) -> (u64, u64, u64) {
         (self.reads(), self.writes(), self.nodes_visited())
     }
+
+    /// Adds another meter's current totals into this one — lets a harness
+    /// keep one cumulative meter while measuring scenarios with fresh ones.
+    pub fn absorb(&self, other: &CostMeter) {
+        let (r, w, v) = other.snapshot();
+        self.reads.fetch_add(r, Ordering::Relaxed);
+        self.writes.fetch_add(w, Ordering::Relaxed);
+        self.nodes_visited.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Publishes the meter's current totals into `registry` as gauges named
+    /// `<prefix>_reads`, `<prefix>_writes`, `<prefix>_nodes_visited` and
+    /// `<prefix>_total_traffic`.
+    ///
+    /// Gauges rather than counters because meters are resettable — a scrape
+    /// sees whatever epoch of traffic the owner is currently accounting.
+    /// `prefix` must be a valid Prometheus metric-name stem (e.g.
+    /// `ink_gnn_khop_pm`); the registry panics on invalid names.
+    pub fn export(&self, registry: &ink_obs::MetricsRegistry, prefix: &str) {
+        let set = |suffix: &str, help: &str, v: u64| {
+            registry.gauge(&format!("{prefix}_{suffix}"), help).set_u64(v);
+        };
+        set("reads", "Embedding f32 values read", self.reads());
+        set("writes", "Embedding f32 values written", self.writes());
+        set("nodes_visited", "Nodes whose embedding the engine touched", self.nodes_visited());
+        set("total_traffic", "Embedding f32 values moved (reads + writes)", self.total_traffic());
+    }
 }
 
 /// Percentage reduction of `ours` relative to `baseline`
@@ -130,6 +157,38 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(m.reads(), 4000);
+    }
+
+    #[test]
+    fn absorb_accumulates_other_meters() {
+        let total = CostMeter::new();
+        for _ in 0..3 {
+            let scenario = CostMeter::new();
+            scenario.read(10);
+            scenario.write(4);
+            scenario.visit_nodes(2);
+            total.absorb(&scenario);
+        }
+        assert_eq!(total.snapshot(), (30, 12, 6));
+    }
+
+    #[test]
+    fn export_publishes_gauges() {
+        let m = CostMeter::new();
+        m.read(100);
+        m.write(40);
+        m.visit_nodes(7);
+        let registry = ink_obs::MetricsRegistry::new();
+        m.export(&registry, "ink_gnn_test");
+        let text = registry.render_prometheus();
+        assert!(text.contains("ink_gnn_test_reads 100"), "{text}");
+        assert!(text.contains("ink_gnn_test_writes 40"), "{text}");
+        assert!(text.contains("ink_gnn_test_nodes_visited 7"), "{text}");
+        assert!(text.contains("ink_gnn_test_total_traffic 140"), "{text}");
+        // Re-export after more traffic updates the same gauges in place.
+        m.read(1);
+        m.export(&registry, "ink_gnn_test");
+        assert!(registry.render_prometheus().contains("ink_gnn_test_reads 101"));
     }
 
     #[test]

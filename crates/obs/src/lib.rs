@@ -1,0 +1,59 @@
+//! # ink-obs — dependency-light observability for the InkStream workspace
+//!
+//! InkStream's core claim is latency: incremental GNN inference must beat
+//! full recomputation *per update*, which makes per-phase telemetry a
+//! first-class requirement rather than an afterthought. This crate provides
+//! the three pieces every other crate in the workspace wires into:
+//!
+//! * [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s, and fixed-bucket
+//!   log-scale [`Histogram`]s. Recording a histogram sample is lock-free
+//!   (atomics only) and allocation-free in steady state, so instruments can
+//!   sit directly on the sharded pipeline's hot path. The registry renders
+//!   everything as Prometheus text exposition.
+//! * [`Tracer`] — a bounded ring buffer of spans (`Tracer::span("phase", ..)`)
+//!   covering the five pipeline phases, drift audits, and serve request
+//!   handling, dumpable as Chrome `trace_event` JSON for `chrome://tracing`
+//!   or Perfetto.
+//! * [`parse`] — minimal parsers for the two formats the crate emits, so
+//!   tests and clients can round-trip and validate scrapes without external
+//!   dependencies.
+//!
+//! The crate deliberately has **zero dependencies** (not even the workspace
+//! shims) so it can be a leaf of every other crate's dependency graph.
+//!
+//! # Example: record, scrape, validate
+//!
+//! ```
+//! use ink_obs::{MetricsRegistry, Tracer, parse};
+//!
+//! let registry = MetricsRegistry::new();
+//! let lat = registry.histogram("ink_demo_latency_ns", "Demo latencies");
+//! for v in [120u64, 450, 90_000] {
+//!     lat.record(v);
+//! }
+//! registry.gauge("ink_demo_queue_depth", "Demo queue depth").set_u64(3);
+//!
+//! // Prometheus text round-trips through the bundled parser.
+//! let text = registry.render_prometheus();
+//! let families = parse::parse_prometheus(&text).unwrap();
+//! assert_eq!(families.len(), 2);
+//!
+//! // Spans dump as valid Chrome trace JSON.
+//! let tracer = Tracer::new(256);
+//! { let _s = tracer.span("pipeline", "generate"); }
+//! let dump = tracer.dump_chrome_trace();
+//! assert_eq!(parse::validate_chrome_trace(&dump).unwrap(), 1);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod parse;
+pub mod tracer;
+
+pub use metrics::{
+    bucket_bounds, bucket_index, Counter, Gauge, Histogram, InstrumentKind, MetricsRegistry,
+    NUM_BUCKETS,
+};
+pub use tracer::{Span, TraceEvent, Tracer};

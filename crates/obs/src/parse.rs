@@ -1,0 +1,519 @@
+//! Validation-grade parsers for the two formats this crate *emits*.
+//!
+//! `ink-obs` produces Prometheus text exposition and Chrome `trace_event`
+//! JSON; this module provides just enough of a parser for each so that tests
+//! (and clients) can round-trip the output and assert it is well-formed —
+//! without pulling serde or a real Prometheus client into the dependency
+//! graph. These parsers accept the subset of each format the encoders emit
+//! (plus common variations) and are **not** general-purpose.
+
+use std::fmt;
+
+/// Error produced by the parsers in this module, with a 1-based line number
+/// where available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what failed to parse.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { message: message.into() })
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (numbers are kept as `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string with escapes resolved.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object as an ordered key/value list (duplicate keys kept).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object; `None` for other variants or missing keys.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Returns the array items if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the number if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => err(format!("unexpected byte {:?} at {}", c as char, self.pos)),
+            None => err("unexpected end of input"),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ParseError { message: "non-utf8 number".into() })?;
+        match text.parse::<f64>() {
+            Ok(n) => Ok(JsonValue::Num(n)),
+            Err(_) => err(format!("bad number {text:?} at byte {start}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(ParseError {
+                        message: "unterminated escape".into(),
+                    })?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return err("truncated \\u escape");
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                    .map_err(|_| ParseError {
+                                        message: "non-utf8 \\u escape".into(),
+                                    })?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| ParseError {
+                                message: format!("bad \\u escape {hex:?}"),
+                            })?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        c => return err(format!("bad escape \\{}", c as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| ParseError { message: "non-utf8 string".into() })?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(pairs));
+                }
+                _ => return err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+pub fn parse_json(text: &str) -> Result<JsonValue, ParseError> {
+    let mut p = JsonParser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return err(format!("trailing bytes after value at {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Validates a Chrome `trace_event` dump (object form) and returns the number
+/// of events it contains.
+///
+/// Checks that the document parses as JSON, has a `traceEvents` array, and
+/// that every event carries a string `name`, a string `ph`, numeric `ts`,
+/// and — for complete (`"X"`) events — a numeric `dur`.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, ParseError> {
+    let doc = parse_json(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .ok_or(ParseError { message: "missing traceEvents array".into() })?;
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev.get("name").and_then(JsonValue::as_str);
+        let ph = ev.get("ph").and_then(JsonValue::as_str);
+        let ts = ev.get("ts").and_then(JsonValue::as_num);
+        if name.is_none() || ph.is_none() || ts.is_none() {
+            return err(format!("event {i} missing name/ph/ts"));
+        }
+        if ph == Some("X") && ev.get("dur").and_then(JsonValue::as_num).is_none() {
+            return err(format!("complete event {i} missing dur"));
+        }
+    }
+    Ok(events.len())
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// One sample line from a Prometheus exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Full sample name (family name plus `_bucket`/`_sum`/`_count` suffix
+    /// for histograms).
+    pub name: String,
+    /// Label key/value pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value (`+Inf`, `-Inf` and `NaN` are accepted).
+    pub value: f64,
+}
+
+impl PromSample {
+    /// Looks up a label value.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A metric family: its `# HELP`/`# TYPE` metadata plus samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromFamily {
+    /// Family name from the `# TYPE` line.
+    pub name: String,
+    /// Help text (may be empty when no `# HELP` line was present).
+    pub help: String,
+    /// Declared type: `counter`, `gauge`, `histogram`, `summary`, `untyped`.
+    pub kind: String,
+    /// Samples belonging to this family.
+    pub samples: Vec<PromSample>,
+}
+
+fn parse_prom_value(text: &str) -> Result<f64, ParseError> {
+    match text {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        t => t
+            .parse::<f64>()
+            .map_err(|_| ParseError { message: format!("bad sample value {t:?}") }),
+    }
+}
+
+fn parse_sample_line(line: &str) -> Result<PromSample, ParseError> {
+    // name[{labels}] value [timestamp]
+    let (name_and_labels, rest) = match line.find(['{', ' ']) {
+        Some(i) if line.as_bytes()[i] == b'{' => {
+            let close = line.rfind('}').ok_or(ParseError {
+                message: format!("unterminated label set in {line:?}"),
+            })?;
+            (&line[..close + 1], line[close + 1..].trim_start())
+        }
+        Some(i) => (&line[..i], line[i..].trim_start()),
+        None => return err(format!("sample line without value: {line:?}")),
+    };
+    let (name, labels) = match name_and_labels.find('{') {
+        None => (name_and_labels.to_owned(), Vec::new()),
+        Some(open) => {
+            let name = name_and_labels[..open].to_owned();
+            let body = &name_and_labels[open + 1..name_and_labels.len() - 1];
+            let mut labels = Vec::new();
+            for part in body.split(',').filter(|p| !p.is_empty()) {
+                let eq = part.find('=').ok_or(ParseError {
+                    message: format!("label without '=' in {line:?}"),
+                })?;
+                let key = part[..eq].trim().to_owned();
+                let raw = part[eq + 1..].trim();
+                if raw.len() < 2 || !raw.starts_with('"') || !raw.ends_with('"') {
+                    return err(format!("unquoted label value in {line:?}"));
+                }
+                let val = raw[1..raw.len() - 1]
+                    .replace("\\\"", "\"")
+                    .replace("\\n", "\n")
+                    .replace("\\\\", "\\");
+                labels.push((key, val));
+            }
+            (name, labels)
+        }
+    };
+    let value_text = rest.split_whitespace().next().ok_or(ParseError {
+        message: format!("sample line without value: {line:?}"),
+    })?;
+    Ok(PromSample { name, labels, value: parse_prom_value(value_text)? })
+}
+
+/// Parses Prometheus text exposition (version 0.0.4) into metric families.
+///
+/// Performs structural validation: every non-comment line must parse as a
+/// sample, every sample must follow a `# TYPE` declaration it belongs to
+/// (matching the family name, allowing the histogram `_bucket`/`_sum`/
+/// `_count` suffixes), and histogram `_bucket` series must be cumulative
+/// (non-decreasing) and end with `le="+Inf"`.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromFamily>, ParseError> {
+    let mut families: Vec<PromFamily> = Vec::new();
+    let mut helps: Vec<(String, String)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+            helps.push((name.to_owned(), help.to_owned()));
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').ok_or(ParseError {
+                message: format!("line {}: TYPE without kind", lineno + 1),
+            })?;
+            let help = helps
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| h.clone())
+                .unwrap_or_default();
+            families.push(PromFamily {
+                name: name.to_owned(),
+                help,
+                kind: kind.trim().to_owned(),
+                samples: Vec::new(),
+            });
+        } else if line.starts_with('#') {
+            continue; // other comments
+        } else {
+            let sample = parse_sample_line(line)
+                .map_err(|e| ParseError { message: format!("line {}: {}", lineno + 1, e.message) })?;
+            let family = families.last_mut().ok_or(ParseError {
+                message: format!("line {}: sample before any # TYPE", lineno + 1),
+            })?;
+            let base = &family.name;
+            let belongs = sample.name == *base
+                || (family.kind == "histogram"
+                    && [format!("{base}_bucket"), format!("{base}_sum"), format!("{base}_count")]
+                        .contains(&sample.name));
+            if !belongs {
+                return err(format!(
+                    "line {}: sample {:?} does not belong to family {:?}",
+                    lineno + 1,
+                    sample.name,
+                    base
+                ));
+            }
+            family.samples.push(sample);
+        }
+    }
+    // Histogram invariants: cumulative buckets ending in +Inf.
+    for fam in &families {
+        if fam.kind != "histogram" {
+            continue;
+        }
+        let buckets: Vec<&PromSample> =
+            fam.samples.iter().filter(|s| s.name.ends_with("_bucket")).collect();
+        if buckets.is_empty() {
+            return err(format!("histogram {:?} has no buckets", fam.name));
+        }
+        let mut prev = 0.0f64;
+        for b in &buckets {
+            if b.label("le").is_none() {
+                return err(format!("histogram {:?} bucket without le label", fam.name));
+            }
+            if b.value < prev {
+                return err(format!("histogram {:?} buckets not cumulative", fam.name));
+            }
+            prev = b.value;
+        }
+        if buckets.last().unwrap().label("le") != Some("+Inf") {
+            return err(format!("histogram {:?} missing +Inf bucket", fam.name));
+        }
+    }
+    Ok(families)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_basics() {
+        let v = parse_json(r#"{"a":[1,2.5,-3e2],"b":"x\n\"y\"","c":null,"d":true}"#).unwrap();
+        assert_eq!(v.get("b").and_then(JsonValue::as_str), Some("x\n\"y\""));
+        let arr = v.get("a").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(arr[2].as_num(), Some(-300.0));
+        assert!(parse_json("{\"a\":1,}").is_err());
+        assert!(parse_json("[1 2]").is_err());
+        assert!(parse_json("{\"a\":1} junk").is_err());
+    }
+
+    #[test]
+    fn chrome_trace_validation() {
+        let good = r#"{"traceEvents":[{"name":"g","cat":"p","ph":"X","ts":1.5,"dur":2.0,"pid":1,"tid":1}]}"#;
+        assert_eq!(validate_chrome_trace(good).unwrap(), 1);
+        let missing_dur = r#"{"traceEvents":[{"name":"g","ph":"X","ts":1.5}]}"#;
+        assert!(validate_chrome_trace(missing_dur).is_err());
+        assert!(validate_chrome_trace("[1,2]").is_err());
+    }
+
+    #[test]
+    fn prometheus_parsing_and_invariants() {
+        let text = "# HELP a_total counts\n# TYPE a_total counter\na_total 3\n\
+                    # TYPE h_ns histogram\nh_ns_bucket{le=\"5\"} 1\nh_ns_bucket{le=\"+Inf\"} 2\n\
+                    h_ns_sum 105\nh_ns_count 2\n";
+        let fams = parse_prometheus(text).unwrap();
+        assert_eq!(fams.len(), 2);
+        assert_eq!(fams[0].help, "counts");
+        assert_eq!(fams[0].samples[0].value, 3.0);
+        assert_eq!(fams[1].kind, "histogram");
+        assert_eq!(fams[1].samples[0].label("le"), Some("5"));
+
+        // Non-cumulative buckets rejected.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 2\n";
+        assert!(parse_prometheus(bad).is_err());
+        // Missing +Inf rejected.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\n";
+        assert!(parse_prometheus(bad).is_err());
+        // Stray sample rejected.
+        assert!(parse_prometheus("x 1\n").is_err());
+    }
+}

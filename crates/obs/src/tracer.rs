@@ -1,0 +1,292 @@
+//! Ring-buffer span tracer with Chrome `trace_event` export.
+//!
+//! The tracer records fixed-size [`TraceEvent`]s — name, category, start
+//! offset, duration, thread — into a preallocated ring. When the ring is
+//! full, the oldest events are overwritten (and counted in
+//! [`Tracer::dropped`]), so tracing is always-on with bounded memory.
+//!
+//! Spans come in two flavours:
+//!
+//! * live: [`Tracer::span`] returns a guard that measures wall time and
+//!   records on drop;
+//! * synthesized: [`Tracer::record_at`] backfills an event from an
+//!   externally measured `(start, duration)` pair — used by the session to
+//!   emit one event per pipeline phase from the engine's own timing, without
+//!   instrumenting the hot loop twice.
+//!
+//! [`Tracer::dump_chrome_trace`] serializes the ring as Chrome
+//! `trace_event` JSON (complete `"ph":"X"` events, microsecond timestamps),
+//! loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One recorded span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (e.g. `"generate"`, `"embedding"`).
+    pub name: &'static str,
+    /// Category lane (e.g. `"pipeline"`, `"drift"`, `"serve"`).
+    pub cat: &'static str,
+    /// Start offset from the tracer's epoch, in nanoseconds.
+    pub ts_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small per-thread id (assigned in registration order).
+    pub tid: u64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<TraceEvent>,
+    /// Next write position once `buf` has reached capacity.
+    head: usize,
+}
+
+/// Bounded always-on span recorder. See the [module docs](self) for an
+/// overview.
+///
+/// # Example
+///
+/// ```
+/// use ink_obs::Tracer;
+///
+/// let tracer = Tracer::new(1024);
+/// {
+///     let _span = tracer.span("pipeline", "generate");
+///     // ... timed work ...
+/// } // recorded when the guard drops
+/// tracer.record_at("drift", "spot_audit", tracer.epoch(), std::time::Duration::from_micros(17));
+///
+/// assert_eq!(tracer.len(), 2);
+/// let json = tracer.dump_chrome_trace();
+/// assert!(json.contains("\"ph\":\"X\""));
+/// assert!(json.contains("\"name\":\"generate\""));
+/// ```
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    ring: Mutex<Ring>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+/// Guard returned by [`Tracer::span`]; records the span when dropped.
+#[derive(Debug)]
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    name: &'static str,
+    cat: &'static str,
+    start: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let dur = self.start.elapsed();
+        self.tracer.record_at(self.cat, self.name, self.start, dur);
+    }
+}
+
+fn thread_tid() -> u64 {
+    use std::cell::Cell;
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: Cell<u64> = const { Cell::new(0) };
+    }
+    TID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Tracer {
+    /// Creates a tracer retaining at most `capacity` events (minimum 1). The
+    /// ring is preallocated; recording never allocates afterwards.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            epoch: Instant::now(),
+            ring: Mutex::new(Ring { buf: Vec::with_capacity(capacity), head: 0 }),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The instant all event timestamps are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Starts a live span; the returned guard records on drop.
+    pub fn span(&self, cat: &'static str, name: &'static str) -> Span<'_> {
+        Span { tracer: self, name, cat, start: Instant::now() }
+    }
+
+    /// Records a span from an externally measured start instant and duration.
+    /// Starts earlier than the tracer's epoch clamp to offset zero.
+    pub fn record_at(&self, cat: &'static str, name: &'static str, start: Instant, dur: Duration) {
+        let ts_ns = start.saturating_duration_since(self.epoch).as_nanos() as u64;
+        self.record_event(TraceEvent {
+            name,
+            cat,
+            ts_ns,
+            dur_ns: dur.as_nanos() as u64,
+            tid: thread_tid(),
+        });
+    }
+
+    /// Lowest-level entry point: pushes a fully formed event into the ring.
+    pub fn record_event(&self, ev: TraceEvent) {
+        let mut ring = self.ring.lock().expect("tracer lock poisoned");
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(ev);
+        } else {
+            let head = ring.head;
+            ring.buf[head] = ev;
+            ring.head = (head + 1) % self.capacity;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("tracer lock poisoned").buf.len()
+    }
+
+    /// True when no events have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Discards all retained events (the drop counter is kept).
+    pub fn clear(&self) {
+        let mut ring = self.ring.lock().expect("tracer lock poisoned");
+        ring.buf.clear();
+        ring.head = 0;
+    }
+
+    /// Returns a snapshot of the retained events in chronological order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let ring = self.ring.lock().expect("tracer lock poisoned");
+        let mut out = Vec::with_capacity(ring.buf.len());
+        if ring.buf.len() < self.capacity {
+            out.extend_from_slice(&ring.buf);
+        } else {
+            out.extend_from_slice(&ring.buf[ring.head..]);
+            out.extend_from_slice(&ring.buf[..ring.head]);
+        }
+        out.sort_by_key(|e| e.ts_ns);
+        out
+    }
+
+    /// Serializes the retained events as Chrome `trace_event` JSON.
+    ///
+    /// The output is the object form (`{"traceEvents": [...], ...}`) with
+    /// complete events (`"ph":"X"`); timestamps and durations are in
+    /// microseconds with nanosecond precision kept as decimals. Load the
+    /// dump in `chrome://tracing` or Perfetto for a flamegraph view.
+    pub fn dump_chrome_trace(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
+                escape_json(e.name),
+                escape_json(e.cat),
+                e.ts_ns as f64 / 1_000.0,
+                e.dur_ns as f64 / 1_000.0,
+                e.tid,
+            ));
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop() {
+        let t = Tracer::new(8);
+        {
+            let _s = t.span("pipeline", "generate");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(t.len(), 1);
+        let ev = t.events()[0];
+        assert_eq!(ev.name, "generate");
+        assert_eq!(ev.cat, "pipeline");
+        assert!(ev.dur_ns >= 1_000_000, "slept 1ms but recorded {}ns", ev.dur_ns);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let t = Tracer::new(4);
+        for i in 0..10u64 {
+            t.record_event(TraceEvent { name: "e", cat: "c", ts_ns: i, dur_ns: 1, tid: 1 });
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        let ts: Vec<u64> = t.events().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9]);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 6);
+    }
+
+    #[test]
+    fn chrome_dump_has_required_fields() {
+        let t = Tracer::new(8);
+        t.record_event(TraceEvent { name: "a\"b", cat: "c", ts_ns: 1_500, dur_ns: 2_000, tid: 3 });
+        let json = t.dump_chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"a\\\"b\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2.000"));
+        assert!(json.contains("\"tid\":3"));
+    }
+
+    #[test]
+    fn record_at_clamps_pre_epoch_starts() {
+        let before = Instant::now();
+        let t = Tracer::new(4);
+        t.record_at("c", "n", before, Duration::from_nanos(5));
+        assert_eq!(t.events()[0].ts_ns, 0);
+    }
+}

@@ -40,7 +40,7 @@ impl InkClient {
     pub fn call(&mut self, req: &Request) -> io::Result<Response> {
         write_frame(&mut self.writer, &req.encode())?;
         match read_frame(&mut self.reader)? {
-            Some(payload) => Response::decode(&payload),
+            Some(payload) => Ok(Response::decode(&payload)?),
             None => Err(io::Error::new(
                 io::ErrorKind::ConnectionAborted,
                 "server closed the connection",
@@ -93,6 +93,54 @@ impl InkClient {
     pub fn stats(&mut self) -> io::Result<String> {
         match self.call(&Request::Stats)? {
             Response::Stats { json } => Ok(json),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Scrapes the server's full metrics registry as Prometheus text
+    /// exposition — the curl-free monitoring path. The document covers the
+    /// whole stack (pipeline, drift auditor, serving layer) because the
+    /// serve instruments register into the session's registry.
+    ///
+    /// ```
+    /// use ink_serve::{InkClient, InkServer, ServeConfig};
+    /// # use ink_gnn::{Aggregator, Model};
+    /// # use ink_graph::DynGraph;
+    /// # use ink_tensor::init;
+    /// # use inkstream::{InkStream, StreamSession, UpdateConfig};
+    /// # let mut rng = init::seeded_rng(7);
+    /// # let graph = DynGraph::undirected_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+    /// # let features = init::uniform(&mut rng, 4, 4, -1.0, 1.0);
+    /// # let model = Model::gcn(&mut rng, &[4, 4], Aggregator::Max);
+    /// # let engine = InkStream::new(model, graph, features, UpdateConfig::default()).unwrap();
+    /// # let handle =
+    /// #     InkServer::bind("127.0.0.1:0", StreamSession::new(engine), ServeConfig::default())?;
+    /// let mut client = InkClient::connect(handle.local_addr())?;
+    /// let text = client.metrics()?;
+    /// // The document parses as Prometheus text exposition; pick out the
+    /// // ingest counter.
+    /// let families = ink_obs::parse::parse_prometheus(&text)
+    ///     .map_err(std::io::Error::other)?;
+    /// let ingests = families
+    ///     .iter()
+    ///     .find(|f| f.name == "ink_session_ingests_total")
+    ///     .expect("session instruments are registered at construction");
+    /// assert_eq!(ingests.samples[0].value, 0.0); // nothing ingested yet
+    /// # handle.shutdown()?;
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Dumps the server's span ring as Chrome `trace_event` JSON — save it
+    /// to a file and load it in `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn trace_dump(&mut self) -> io::Result<String> {
+        match self.call(&Request::TraceDump)? {
+            Response::TraceDump { json } => Ok(json),
             other => Err(unexpected(other)),
         }
     }

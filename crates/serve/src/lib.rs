@@ -21,12 +21,17 @@
 //!   previously admitted updates are visible, giving clients
 //!   read-your-writes when they want it,
 //! * [`ServerHandle::shutdown`] drains the queue, publishes the final
-//!   epoch, optionally writes a checkpoint, and hands the session back.
+//!   epoch, optionally writes a checkpoint, and hands the session back,
+//! * observability rides the same socket: a `metrics` request scrapes the
+//!   session's [`MetricsRegistry`](ink_obs::MetricsRegistry) as Prometheus
+//!   text, and a `trace_dump` request returns the span ring as Chrome
+//!   `trace_event` JSON (see [`InkClient::metrics`] and
+//!   [`InkClient::trace_dump`]).
 //!
 //! Everything is `std::net` + the workspace `crossbeam` channel shim — no
 //! async runtime.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod client;
 pub mod metrics;
@@ -36,6 +41,6 @@ pub mod server;
 
 pub use client::InkClient;
 pub use metrics::ServerMetrics;
-pub use protocol::{Request, Response, MAX_FRAME};
+pub use protocol::{DecodeError, Request, Response, MAX_FRAME};
 pub use queue::{Admission, Backpressure, IngestQueue, QueueItem};
 pub use server::{InkServer, ServeConfig, ServerHandle};

@@ -1,79 +1,129 @@
-//! Server-side counters and query-latency tracking.
+//! Server-side counters and query-latency tracking, built on `ink-obs`.
 //!
-//! Handlers bump lock-free atomics on every request; query latencies go
-//! into a small mutex-guarded ring (same windowing idea as the session's
-//! batch-latency ring). [`ServerMetrics::serve_stats`] folds everything into
-//! the core [`ServeStats`] struct so the `stats` request and the bench
-//! artifacts share one schema.
+//! [`ServerMetrics`] registers its instruments into the *session's* metrics
+//! registry, so one `Metrics` scrape covers the whole stack — pipeline,
+//! drift auditor, and serving layer — in a single Prometheus document.
+//! Query latencies go into a lock-free log-bucket
+//! [`Histogram`] (replacing the old mutex-guarded ring),
+//! so the per-request record path is atomics-only.
+//! [`ServerMetrics::serve_stats`] folds everything into the core
+//! [`ServeStats`] struct so the `stats` request and the bench artifacts keep
+//! their schema.
 
+use ink_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use inkstream::ServeStats;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Shared request counters (one instance per server).
-#[derive(Debug, Default)]
+/// Shared request counters (one instance per server), backed by registry
+/// instruments.
+#[derive(Debug)]
 pub struct ServerMetrics {
     /// Updates admitted to the queue.
-    pub updates_enqueued: AtomicU64,
+    pub updates_enqueued: Arc<Counter>,
     /// Updates rejected by admission control.
-    pub updates_rejected: AtomicU64,
+    pub updates_rejected: Arc<Counter>,
     /// Updates evicted by drop-oldest admission control.
-    pub updates_dropped: AtomicU64,
+    pub updates_dropped: Arc<Counter>,
     /// Edge changes received across admitted updates.
-    pub events_received: AtomicU64,
+    pub events_received: Arc<Counter>,
     /// Edge changes applied after coalescing.
-    pub events_applied: AtomicU64,
+    pub events_applied: Arc<Counter>,
     /// Queries answered (embedding + top-k).
-    pub queries: AtomicU64,
+    pub queries: Arc<Counter>,
     /// Flush barriers honoured.
-    pub flushes: AtomicU64,
+    pub flushes: Arc<Counter>,
     /// Transient `accept()` failures the listener retried past.
-    pub accept_errors: AtomicU64,
-    query_latencies: Mutex<VecDeque<Duration>>,
+    pub accept_errors: Arc<Counter>,
+    /// Per-query service latency in nanoseconds.
+    query_latency: Arc<Histogram>,
+    /// Last published snapshot epoch (gauge mirror of the writer's counter,
+    /// for scrapes).
+    epochs: Arc<Gauge>,
+    /// Ingest queue depth at the last refresh.
+    queue_depth: Arc<Gauge>,
+    /// Deepest the ingest queue ever got, at the last refresh.
+    queue_depth_max: Arc<Gauge>,
 }
 
-/// Retained query-latency samples.
-const LATENCY_WINDOW: usize = 4096;
-
 impl ServerMetrics {
-    /// Records one query's service time.
-    pub fn record_query(&self, elapsed: Duration) {
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        let mut ring = self.query_latencies.lock().expect("metrics lock poisoned");
-        if ring.len() == LATENCY_WINDOW {
-            ring.pop_front();
+    /// Registers the serving-layer instruments into `registry` (idempotent —
+    /// re-registering returns the same atomics).
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            updates_enqueued: registry
+                .counter("ink_serve_updates_enqueued_total", "Updates admitted to the queue"),
+            updates_rejected: registry
+                .counter("ink_serve_updates_rejected_total", "Updates rejected by admission control"),
+            updates_dropped: registry.counter(
+                "ink_serve_updates_dropped_total",
+                "Updates evicted by drop-oldest admission control",
+            ),
+            events_received: registry.counter(
+                "ink_serve_events_received_total",
+                "Edge changes received across admitted updates (pre-coalescing)",
+            ),
+            events_applied: registry.counter(
+                "ink_serve_events_applied_total",
+                "Edge changes applied after coalescing",
+            ),
+            queries: registry
+                .counter("ink_serve_queries_total", "Queries answered (embedding + top-k)"),
+            flushes: registry.counter("ink_serve_flushes_total", "Flush barriers honoured"),
+            accept_errors: registry.counter(
+                "ink_serve_accept_errors_total",
+                "Transient accept() failures the listener retried past",
+            ),
+            query_latency: registry.histogram(
+                "ink_serve_query_latency_ns",
+                "Per-query service latency in nanoseconds",
+            ),
+            epochs: registry.gauge("ink_serve_epochs", "Last published snapshot epoch"),
+            queue_depth: registry.gauge("ink_serve_queue_depth", "Ingest queue depth"),
+            queue_depth_max: registry
+                .gauge("ink_serve_queue_depth_max", "Deepest the ingest queue ever got"),
         }
-        ring.push_back(elapsed);
+    }
+
+    /// Records one query's service time (lock-free, allocation-free).
+    pub fn record_query(&self, elapsed: Duration) {
+        self.queries.inc();
+        self.query_latency.record(elapsed.as_nanos() as u64);
+    }
+
+    /// Refreshes the scrape-visible gauges that live with the queue and the
+    /// writer rather than with a request handler.
+    pub fn set_queue_gauges(&self, epochs: u64, queue_depth: u64, max_queue_depth: u64) {
+        self.epochs.set_u64(epochs);
+        self.queue_depth.set_u64(queue_depth);
+        self.queue_depth_max.set_u64(max_queue_depth);
     }
 
     /// Folds the counters into a [`ServeStats`]; the queue/epoch fields come
-    /// from the caller (they live with the queue and the writer).
+    /// from the caller (they live with the queue and the writer). Latency
+    /// percentiles are histogram estimates (within one log bucket, ≤ 12.5 %
+    /// relative); the max is exact.
     pub fn serve_stats(&self, epochs: u64, queue_depth: u64, max_queue_depth: u64) -> ServeStats {
-        let mut sorted: Vec<Duration> =
-            self.query_latencies.lock().expect("metrics lock poisoned").iter().copied().collect();
-        sorted.sort_unstable();
-        let pct = |p: f64| -> Duration {
-            if sorted.is_empty() {
-                return Duration::ZERO;
-            }
-            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-            sorted[idx]
-        };
+        self.set_queue_gauges(epochs, queue_depth, max_queue_depth);
+        let q = |p: f64| Duration::from_nanos(self.query_latency.quantile(p));
         ServeStats {
-            updates_enqueued: self.updates_enqueued.load(Ordering::Relaxed),
-            updates_rejected: self.updates_rejected.load(Ordering::Relaxed),
-            updates_dropped: self.updates_dropped.load(Ordering::Relaxed),
-            events_received: self.events_received.load(Ordering::Relaxed),
-            events_applied: self.events_applied.load(Ordering::Relaxed),
-            queries: self.queries.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed),
-            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            updates_enqueued: self.updates_enqueued.get(),
+            updates_rejected: self.updates_rejected.get(),
+            updates_dropped: self.updates_dropped.get(),
+            events_received: self.events_received.get(),
+            events_applied: self.events_applied.get(),
+            queries: self.queries.get(),
+            flushes: self.flushes.get(),
+            accept_errors: self.accept_errors.get(),
             epochs,
             queue_depth,
             max_queue_depth,
-            query_latency: (pct(0.50), pct(0.90), pct(0.99), sorted.last().copied().unwrap_or_default()),
+            query_latency: (
+                q(0.50),
+                q(0.90),
+                q(0.99),
+                Duration::from_nanos(self.query_latency.max()),
+            ),
         }
     }
 }
@@ -84,10 +134,11 @@ mod tests {
 
     #[test]
     fn stats_fold_counters_and_percentiles() {
-        let m = ServerMetrics::default();
-        m.updates_enqueued.store(5, Ordering::Relaxed);
-        m.events_received.store(50, Ordering::Relaxed);
-        m.events_applied.store(40, Ordering::Relaxed);
+        let registry = MetricsRegistry::new();
+        let m = ServerMetrics::register(&registry);
+        m.updates_enqueued.add(5);
+        m.events_received.add(50);
+        m.events_applied.add(40);
         for i in 1..=100u64 {
             m.record_query(Duration::from_micros(i));
         }
@@ -97,17 +148,31 @@ mod tests {
         assert_eq!(s.epochs, 7);
         assert_eq!(s.queue_depth, 2);
         assert_eq!(s.max_queue_depth, 9);
-        assert_eq!(s.query_latency.3, Duration::from_micros(100));
+        assert_eq!(s.query_latency.3, Duration::from_micros(100), "max is exact");
         assert!(s.query_latency.0 <= s.query_latency.2);
+        // Histogram estimates never undershoot the exact percentile and stay
+        // within one log bucket (≤ 12.5 % relative).
+        let p50 = s.query_latency.0.as_nanos() as f64;
+        assert!((50_000.0..=57_000.0).contains(&p50), "p50 estimate {p50} out of bucket");
+        // The same numbers are scrapeable.
+        let text = registry.render_prometheus();
+        assert!(text.contains("ink_serve_updates_enqueued_total 5"));
+        assert!(text.contains("ink_serve_query_latency_ns_count 100"));
+        assert!(text.contains("ink_serve_epochs 7"));
     }
 
     #[test]
-    fn latency_ring_is_bounded() {
-        let m = ServerMetrics::default();
-        for _ in 0..(LATENCY_WINDOW + 100) {
+    fn latency_histogram_is_bounded_and_lock_free() {
+        // The old mutex-guarded ring capped retention at 4096 samples; the
+        // histogram keeps *all* samples at fixed memory instead.
+        let registry = MetricsRegistry::new();
+        let m = ServerMetrics::register(&registry);
+        let before = m.query_latency.bytes();
+        for _ in 0..10_000 {
             m.record_query(Duration::from_micros(1));
         }
-        assert_eq!(m.query_latencies.lock().unwrap().len(), LATENCY_WINDOW);
-        assert_eq!(m.queries.load(Ordering::Relaxed), (LATENCY_WINDOW + 100) as u64);
+        assert_eq!(m.queries.get(), 10_000);
+        assert_eq!(m.query_latency.count(), 10_000);
+        assert_eq!(m.query_latency.bytes(), before, "record path must not allocate");
     }
 }

@@ -16,20 +16,67 @@
 //!   0x03 TopK      v:u32 k:u32            0x84 TopK       epoch:u64 k:u32
 //!   0x04 Stats                                 (v:u32 score:f32){k}
 //!   0x05 Flush                            0x85 Stats      len:u32 json-utf8
-//!                                         0x86 Error      len:u32 msg-utf8
-//!                                         0x87 Flushed    epoch:u64
+//!   0x06 Metrics                          0x86 Error      len:u32 msg-utf8
+//!   0x07 TraceDump                        0x87 Flushed    epoch:u64
+//!                                         0x88 Metrics    len:u32 text-utf8
+//!                                         0x89 TraceDump  len:u32 json-utf8
 //! ```
 //!
 //! `op` is 0 for insert, 1 for remove. The `Ack` epoch is the snapshot epoch
 //! at admission time — the update lands in some strictly later epoch; send
 //! `Flush` to wait for it.
+//!
+//! Decoding returns a typed [`DecodeError`]; in particular an unrecognized
+//! tag surfaces as [`DecodeError::UnknownTag`], so version skew (an old peer
+//! receiving a `Metrics`/`TraceDump` message it predates) fails loudly with
+//! the offending tag instead of a generic parse error.
 
 use ink_graph::{EdgeChange, EdgeOp, VertexId};
+use std::fmt;
 use std::io::{self, Read, Write};
 
 /// Hard cap on a frame payload (16 MiB): rejects hostile lengths before
 /// allocating, while letting ~1M-edge update batches through.
 pub const MAX_FRAME: usize = 16 << 20;
+
+/// Why a payload failed to decode.
+///
+/// Unknown tags get their own variant so protocol version skew is
+/// distinguishable from a corrupt frame: a peer one protocol revision behind
+/// sees exactly which tag it does not speak.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before the fields the tag promises.
+    Short,
+    /// The payload had bytes left over after the last field.
+    Trailing(usize),
+    /// The leading tag byte is not one this protocol revision defines.
+    UnknownTag(u8),
+    /// A field held an invalid value (bad edge op, lying length, non-UTF-8
+    /// text, ...).
+    Malformed(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Short => write!(f, "frame payload too short"),
+            DecodeError::Trailing(n) => write!(f, "{n} trailing bytes"),
+            DecodeError::UnknownTag(tag) => {
+                write!(f, "unknown tag {tag:#04x} (protocol version skew?)")
+            }
+            DecodeError::Malformed(detail) => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<DecodeError> for io::Error {
+    fn from(e: DecodeError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
 
 /// A client-to-server message.
 #[derive(Clone, Debug, PartialEq)]
@@ -50,6 +97,10 @@ pub enum Request {
     /// Barrier: reply only after everything enqueued before this request
     /// has been applied and published.
     Flush,
+    /// The server's full metrics registry as Prometheus text exposition.
+    Metrics,
+    /// The server's span ring as Chrome `trace_event` JSON.
+    TraceDump,
 }
 
 /// A server-to-client message.
@@ -94,6 +145,16 @@ pub enum Response {
         /// Epoch containing every update enqueued before the flush.
         epoch: u64,
     },
+    /// The metrics scrape.
+    Metrics {
+        /// Prometheus text exposition (version 0.0.4).
+        text: String,
+    },
+    /// The trace dump.
+    TraceDump {
+        /// Chrome `trace_event` JSON (object form with `traceEvents`).
+        json: String,
+    },
 }
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -112,57 +173,58 @@ fn put_f32(buf: &mut Vec<u8>, v: f32) {
 struct Take<'a>(&'a [u8]);
 
 impl Take<'_> {
-    fn u8(&mut self) -> io::Result<u8> {
-        let (&b, rest) = self.0.split_first().ok_or_else(short)?;
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let (&b, rest) = self.0.split_first().ok_or(DecodeError::Short)?;
         self.0 = rest;
         Ok(b)
     }
 
-    fn u32(&mut self) -> io::Result<u32> {
+    fn u32(&mut self) -> Result<u32, DecodeError> {
         Ok(u32::from_le_bytes(self.chunk::<4>()?))
     }
 
-    fn u64(&mut self) -> io::Result<u64> {
+    fn u64(&mut self) -> Result<u64, DecodeError> {
         Ok(u64::from_le_bytes(self.chunk::<8>()?))
     }
 
-    fn f32(&mut self) -> io::Result<f32> {
+    fn f32(&mut self) -> Result<f32, DecodeError> {
         Ok(f32::from_le_bytes(self.chunk::<4>()?))
     }
 
-    fn chunk<const N: usize>(&mut self) -> io::Result<[u8; N]> {
+    fn chunk<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
         if self.0.len() < N {
-            return Err(short());
+            return Err(DecodeError::Short);
         }
         let (head, rest) = self.0.split_at(N);
         self.0 = rest;
         Ok(head.try_into().unwrap())
     }
 
-    fn bytes(&mut self, n: usize) -> io::Result<&[u8]> {
+    fn bytes(&mut self, n: usize) -> Result<&[u8], DecodeError> {
         if self.0.len() < n {
-            return Err(short());
+            return Err(DecodeError::Short);
         }
         let (head, rest) = self.0.split_at(n);
         self.0 = rest;
         Ok(head)
     }
 
-    fn finish(self) -> io::Result<()> {
+    fn utf8(&mut self, n: usize, what: &str) -> Result<String, DecodeError> {
+        String::from_utf8(self.bytes(n)?.to_vec())
+            .map_err(|_| bad(format!("{what} payload is not UTF-8")))
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
         if self.0.is_empty() {
             Ok(())
         } else {
-            Err(bad(format!("{} trailing bytes", self.0.len())))
+            Err(DecodeError::Trailing(self.0.len()))
         }
     }
 }
 
-fn short() -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, "frame payload too short")
-}
-
-fn bad(detail: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, detail.into())
+fn bad(detail: impl Into<String>) -> DecodeError {
+    DecodeError::Malformed(detail.into())
 }
 
 impl Request {
@@ -193,12 +255,14 @@ impl Request {
             }
             Request::Stats => buf.push(0x04),
             Request::Flush => buf.push(0x05),
+            Request::Metrics => buf.push(0x06),
+            Request::TraceDump => buf.push(0x07),
         }
         buf
     }
 
     /// Parses a request payload.
-    pub fn decode(payload: &[u8]) -> io::Result<Request> {
+    pub fn decode(payload: &[u8]) -> Result<Request, DecodeError> {
         let mut t = Take(payload);
         let req = match t.u8()? {
             0x01 => {
@@ -223,7 +287,9 @@ impl Request {
             0x03 => Request::TopK { vertex: t.u32()?, k: t.u32()? },
             0x04 => Request::Stats,
             0x05 => Request::Flush,
-            tag => return Err(bad(format!("unknown request tag {tag:#x}"))),
+            0x06 => Request::Metrics,
+            0x07 => Request::TraceDump,
+            tag => return Err(DecodeError::UnknownTag(tag)),
         };
         t.finish()?;
         Ok(req)
@@ -274,12 +340,22 @@ impl Response {
                 buf.push(0x87);
                 put_u64(&mut buf, *epoch);
             }
+            Response::Metrics { text } => {
+                buf.push(0x88);
+                put_u32(&mut buf, text.len() as u32);
+                buf.extend_from_slice(text.as_bytes());
+            }
+            Response::TraceDump { json } => {
+                buf.push(0x89);
+                put_u32(&mut buf, json.len() as u32);
+                buf.extend_from_slice(json.as_bytes());
+            }
         }
         buf
     }
 
     /// Parses a response payload.
-    pub fn decode(payload: &[u8]) -> io::Result<Response> {
+    pub fn decode(payload: &[u8]) -> Result<Response, DecodeError> {
         let mut t = Take(payload);
         let resp = match t.u8()? {
             0x81 => Response::Ack { epoch: t.u64()? },
@@ -304,18 +380,22 @@ impl Response {
             }
             0x85 => {
                 let n = t.u32()? as usize;
-                let json = String::from_utf8(t.bytes(n)?.to_vec())
-                    .map_err(|_| bad("stats payload is not UTF-8"))?;
-                Response::Stats { json }
+                Response::Stats { json: t.utf8(n, "stats")? }
             }
             0x86 => {
                 let n = t.u32()? as usize;
-                let message = String::from_utf8(t.bytes(n)?.to_vec())
-                    .map_err(|_| bad("error payload is not UTF-8"))?;
-                Response::Error { message }
+                Response::Error { message: t.utf8(n, "error")? }
             }
             0x87 => Response::Flushed { epoch: t.u64()? },
-            tag => return Err(bad(format!("unknown response tag {tag:#x}"))),
+            0x88 => {
+                let n = t.u32()? as usize;
+                Response::Metrics { text: t.utf8(n, "metrics")? }
+            }
+            0x89 => {
+                let n = t.u32()? as usize;
+                Response::TraceDump { json: t.utf8(n, "trace dump")? }
+            }
+            tag => return Err(DecodeError::UnknownTag(tag)),
         };
         t.finish()?;
         Ok(resp)
@@ -349,7 +429,10 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     }
     let len = u32::from_le_bytes(len) as usize;
     if len > MAX_FRAME {
-        return Err(bad(format!("frame of {len} bytes exceeds MAX_FRAME")));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
@@ -379,6 +462,8 @@ mod tests {
         roundtrip_req(Request::TopK { vertex: 3, k: 10 });
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Flush);
+        roundtrip_req(Request::Metrics);
+        roundtrip_req(Request::TraceDump);
     }
 
     #[test]
@@ -390,6 +475,32 @@ mod tests {
         roundtrip_resp(Response::Stats { json: "{\"a\": 1}".into() });
         roundtrip_resp(Response::Error { message: "nope — bad vertex".into() });
         roundtrip_resp(Response::Flushed { epoch: 11 });
+        roundtrip_resp(Response::Metrics { text: "# TYPE x counter\nx 1\n".into() });
+        roundtrip_resp(Response::TraceDump { json: "{\"traceEvents\":[]}".into() });
+    }
+
+    #[test]
+    fn unknown_tags_are_typed() {
+        // A peer one protocol revision behind must see exactly which tag it
+        // does not speak, not a generic parse failure.
+        assert_eq!(Request::decode(&[0x7f]), Err(DecodeError::UnknownTag(0x7f)));
+        assert_eq!(Request::decode(&[0xff]), Err(DecodeError::UnknownTag(0xff)));
+        assert_eq!(Response::decode(&[0x90]), Err(DecodeError::UnknownTag(0x90)));
+        // Tags this revision *does* define decode fine with empty bodies.
+        assert_eq!(Request::decode(&[0x06]), Ok(Request::Metrics));
+        assert_eq!(Request::decode(&[0x07]), Ok(Request::TraceDump));
+        // The error renders with the tag value and converts to io::Error
+        // losslessly enough for logs.
+        let e = DecodeError::UnknownTag(0x42);
+        assert!(e.to_string().contains("0x42"));
+        assert_eq!(std::io::Error::from(e).kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn other_decode_failures_keep_their_shape() {
+        assert_eq!(Request::decode(&[]), Err(DecodeError::Short));
+        assert_eq!(Request::decode(&[0x02, 1, 0, 0, 0, 9]), Err(DecodeError::Trailing(1)));
+        assert!(matches!(Request::decode(&[0x01, 0xff]), Err(DecodeError::Short)));
     }
 
     #[test]

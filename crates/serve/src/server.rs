@@ -22,6 +22,7 @@ use crate::metrics::ServerMetrics;
 use crate::protocol::{read_frame, write_frame, Request, Response, MAX_FRAME};
 use crate::queue::{Admission, Backpressure, IngestQueue, QueueItem};
 use ink_graph::DeltaBatch;
+use ink_obs::{MetricsRegistry, Tracer};
 use inkstream::snapshot::{EmbeddingSnapshot, SnapshotPublisher, SnapshotReader};
 use inkstream::{SessionSummary, StreamSession};
 use std::collections::HashMap;
@@ -116,6 +117,12 @@ struct Shared {
     queue: IngestQueue,
     conns: ConnRegistry,
     metrics: ServerMetrics,
+    /// The session's registry (the serve instruments are registered into it
+    /// too), rendered by the `Metrics` request.
+    registry: Arc<MetricsRegistry>,
+    /// The session's span tracer; request handlers add `serve`-category
+    /// spans, and the `TraceDump` request dumps the ring.
+    tracer: Arc<Tracer>,
     reader: SnapshotReader,
     /// Refreshed by the writer after every epoch; the `stats` request folds
     /// live queue metrics on top.
@@ -171,10 +178,14 @@ impl InkServer {
         let engine = session.engine();
         let (publisher, reader) =
             SnapshotPublisher::new(engine.output().clone());
+        let registry = session.metrics().clone();
+        let tracer = session.tracer().clone();
         let shared = Arc::new(Shared {
             queue: IngestQueue::new(config.queue_capacity, config.backpressure),
             conns: ConnRegistry::default(),
-            metrics: ServerMetrics::default(),
+            metrics: ServerMetrics::register(&registry),
+            registry,
+            tracer,
             reader,
             summary: Mutex::new(session.summary()),
             epochs: AtomicU64::new(0),
@@ -285,10 +296,11 @@ fn writer_loop(
         }
 
         if !changes.is_empty() {
+            let _span = shared.tracer.span("serve", "epoch");
             let received = changes.len() as u64;
             let batch = DeltaBatch::new(changes).coalesce(shared.directed);
-            shared.metrics.events_received.fetch_add(received, Ordering::Relaxed);
-            shared.metrics.events_applied.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            shared.metrics.events_received.add(received);
+            shared.metrics.events_applied.add(batch.len() as u64);
             // A Fail drift policy surfaces through the summary's breach
             // counters; the serving loop keeps going either way (the batch
             // was applied before the audit ran).
@@ -300,8 +312,13 @@ fn writer_loop(
         }
 
         let epoch = shared.epochs.load(Ordering::Relaxed);
+        shared.metrics.set_queue_gauges(
+            epoch,
+            shared.queue.depth() as u64,
+            shared.queue.max_depth() as u64,
+        );
         for ack in barriers {
-            shared.metrics.flushes.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.flushes.inc();
             let _ = ack.send(epoch); // a vanished flusher is not an error
         }
     }
@@ -330,7 +347,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 // Linux; none invalidate the listener, so count them and
                 // keep accepting. The shutdown flag bounds the loop, so
                 // retrying even a persistent error cannot hang the server.
-                shared.metrics.accept_errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.accept_errors.inc();
                 std::thread::sleep(shared.poll_interval.min(Duration::from_millis(10)));
             }
         }
@@ -384,6 +401,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
 fn answer(req: Request, shared: &Shared) -> Response {
     match req {
         Request::Update(changes) => {
+            let _span = shared.tracer.span("serve", "update");
             if let Some(c) = changes
                 .iter()
                 .find(|c| c.src as u64 >= shared.num_vertices || c.dst as u64 >= shared.num_vertices || c.src == c.dst)
@@ -397,22 +415,23 @@ fn answer(req: Request, shared: &Shared) -> Response {
             }
             match shared.queue.push_updates(changes) {
                 Admission::Accepted => {
-                    shared.metrics.updates_enqueued.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.updates_enqueued.inc();
                     Response::Ack { epoch: shared.epochs.load(Ordering::Relaxed) }
                 }
                 Admission::AcceptedDropped { dropped } => {
-                    shared.metrics.updates_enqueued.fetch_add(1, Ordering::Relaxed);
-                    shared.metrics.updates_dropped.fetch_add(dropped, Ordering::Relaxed);
+                    shared.metrics.updates_enqueued.inc();
+                    shared.metrics.updates_dropped.add(dropped);
                     Response::Ack { epoch: shared.epochs.load(Ordering::Relaxed) }
                 }
                 Admission::Rejected { retry_after_ms } => {
-                    shared.metrics.updates_rejected.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.updates_rejected.inc();
                     Response::Rejected { retry_after_ms }
                 }
                 Admission::Closed => Response::Error { message: "server is shutting down".into() },
             }
         }
         Request::Embedding(v) => {
+            let _span = shared.tracer.span("serve", "embedding");
             let t = Instant::now();
             let snap = shared.reader.load();
             let resp = if (v as usize) < snap.embeddings.rows() {
@@ -429,6 +448,7 @@ fn answer(req: Request, shared: &Shared) -> Response {
             resp
         }
         Request::TopK { vertex, k } => {
+            let _span = shared.tracer.span("serve", "top_k");
             let t = Instant::now();
             let snap = shared.reader.load();
             let resp = if (vertex as usize) < snap.embeddings.rows() {
@@ -445,11 +465,37 @@ fn answer(req: Request, shared: &Shared) -> Response {
             resp
         }
         Request::Stats => {
+            let _span = shared.tracer.span("serve", "stats");
             let json = shared.stats_summary().to_json().compact();
             if json.len() > MAX_FRAME {
                 Response::Error { message: "stats document too large".into() }
             } else {
                 Response::Stats { json }
+            }
+        }
+        Request::Metrics => {
+            let _span = shared.tracer.span("serve", "metrics");
+            // Refresh the gauges that live with the queue/writer so the
+            // scrape reflects this instant, not the last epoch.
+            shared.metrics.set_queue_gauges(
+                shared.epochs.load(Ordering::Relaxed),
+                shared.queue.depth() as u64,
+                shared.queue.max_depth() as u64,
+            );
+            let text = shared.registry.render_prometheus();
+            if text.len() > MAX_FRAME {
+                Response::Error { message: "metrics document too large".into() }
+            } else {
+                Response::Metrics { text }
+            }
+        }
+        Request::TraceDump => {
+            let _span = shared.tracer.span("serve", "trace_dump");
+            let json = shared.tracer.dump_chrome_trace();
+            if json.len() > MAX_FRAME {
+                Response::Error { message: "trace dump too large".into() }
+            } else {
+                Response::TraceDump { json }
             }
         }
         Request::Flush => {

@@ -193,6 +193,50 @@ fn four_clients_match_single_threaded_reference_bitwise() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Round-trip for the observability requests: a `metrics` scrape must parse
+/// as valid Prometheus text exposition (with the histogram invariants the
+/// parser enforces — cumulative buckets ending in `+Inf`), and a
+/// `trace_dump` must validate as Chrome `trace_event` JSON. Both documents
+/// must reflect the workload that just ran.
+#[test]
+fn metrics_and_trace_dump_round_trip_over_the_wire() {
+    let handle =
+        InkServer::bind("127.0.0.1:0", StreamSession::new(engine()), ServeConfig::default())
+            .unwrap();
+    let mut client = InkClient::connect(handle.local_addr()).unwrap();
+    client.update(vec![EdgeChange::insert(0, 1)]).unwrap().unwrap();
+    assert_eq!(client.flush().unwrap(), 1);
+    client.embedding(0).unwrap();
+    client.top_k(0, 3).unwrap();
+
+    // Prometheus scrape: parser round-trip + workload visibility. One
+    // document covers the session, the drift auditor and the serving layer.
+    let text = client.metrics().unwrap();
+    let families = ink_obs::parse::parse_prometheus(&text).expect("scrape parses as Prometheus");
+    let find = |name: &str| {
+        families.iter().find(|f| f.name == name).unwrap_or_else(|| panic!("missing {name}"))
+    };
+    assert_eq!(find("ink_session_ingests_total").samples[0].value, 1.0);
+    assert_eq!(find("ink_serve_updates_enqueued_total").samples[0].value, 1.0);
+    assert_eq!(find("ink_serve_epochs").samples[0].value, 1.0);
+    let latency = find("ink_serve_query_latency_ns");
+    assert_eq!(latency.kind, "histogram");
+    let count =
+        latency.samples.iter().find(|s| s.name == "ink_serve_query_latency_ns_count").unwrap();
+    assert_eq!(count.value, 2.0, "embedding + top_k");
+
+    // Chrome trace dump: schema-validates and contains both the serve spans
+    // and the synthesized pipeline-phase spans.
+    let json = client.trace_dump().unwrap();
+    let events = ink_obs::parse::validate_chrome_trace(&json).expect("valid Chrome trace JSON");
+    assert!(events > 0, "trace ring captured spans");
+    for name in ["\"epoch\"", "\"embedding\"", "\"generate\"", "\"apply\""] {
+        assert!(json.contains(name), "trace dump missing {name}");
+    }
+
+    handle.shutdown().unwrap();
+}
+
 #[test]
 fn invalid_updates_are_refused_not_applied() {
     let handle =

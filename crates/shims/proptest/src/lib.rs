@@ -181,7 +181,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::RngExt;
 
-    /// Length specifications accepted by [`vec`]: a fixed `usize` or a
+    /// Length specifications accepted by [`vec()`]: a fixed `usize` or a
     /// half-open `Range<usize>`.
     pub trait IntoSizeRange {
         /// Draws a concrete length.
@@ -206,7 +206,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// The result of [`vec`].
+    /// The result of [`vec()`].
     pub struct VecStrategy<S, L> {
         element: S,
         size: L,
