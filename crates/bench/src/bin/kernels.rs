@@ -1,0 +1,216 @@
+//! Dense-kernel microbenchmark: per-node GEMV vs the batched
+//! gather→GEMM→scatter path, and the packed GEMM vs the seed matmul loop.
+//!
+//! Part A mirrors the engine's next-messages phase in isolation. For a sweep
+//! of affected-set sizes × feature dims it transforms the same rows two ways:
+//! per node (`vecmul` straight out of the source matrix, the pre-batching
+//! engine path) and batched (`gather_rows_into` → one `gemm_into` →
+//! `scatter_rows_into`, DESIGN.md §9). Outputs are asserted bitwise equal
+//! every round, so the speedup table doubles as an equivalence check.
+//!
+//! Part B times raw `matmul` throughput (GFLOP/s) of the blocked, panel-
+//! packed kernel against a reimplementation of the seed kernel — the naive
+//! i-k-j loop with the old `a == 0.0` skip — on square shapes.
+//!
+//! Output: `results/BENCH_kernels.json` + `results/BENCH_kernels.prom`.
+
+use ink_bench::{write_metrics, write_results, BenchOpts};
+use ink_obs::MetricsRegistry;
+use ink_tensor::gemm::{gather_rows_into, gemm_flops, gemm_into, scatter_rows_into};
+use ink_tensor::init::{seeded_rng, uniform};
+use ink_tensor::{GemmScratch, Matrix};
+use inkstream::json::rounded;
+use inkstream::Json;
+use std::time::Instant;
+
+const SEED: u64 = 0xD0_57E9;
+/// Rows gathered from a source this many times larger, so gathers stride.
+const SRC_OVER: usize = 4;
+
+fn p50(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[(xs.len() - 1) / 2]
+}
+
+/// Deterministic scattered row ids without consuming the rng: a Weyl-style
+/// walk over `0..n_src` that revisits no id within one sweep.
+fn scattered_ids(rows: usize, n_src: usize) -> Vec<usize> {
+    let stride = (n_src / 2) | 1; // odd ⇒ coprime with any power-of-two n_src
+    (0..rows).map(|i| (i * stride + 3) % n_src).collect()
+}
+
+/// The seed repo's matmul: naive i-k-j with the zero-skip the dense kernel
+/// dropped. Kept here (only) as the Part B baseline.
+fn seed_matmul(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    let (n, k, m) = (a.rows(), a.cols(), b.cols());
+    out.resize_to(n, m);
+    let (av, bv, ov) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
+    for i in 0..n {
+        for kk in 0..k {
+            let x = av[i * k + kk];
+            if x == 0.0 {
+                continue;
+            }
+            let brow = &bv[kk * m..(kk + 1) * m];
+            let orow = &mut ov[i * m..(i + 1) * m];
+            for (o, &bb) in orow.iter_mut().zip(brow) {
+                *o += x * bb;
+            }
+        }
+    }
+}
+
+/// Repetitions that keep each (rows, dim) cell around the same work budget.
+fn reps(flops: u64, quick: bool) -> usize {
+    let budget: u64 = if quick { 1 << 26 } else { 1 << 29 };
+    ((budget / flops.max(1)) as usize).clamp(3, 400)
+}
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let (row_counts, dims): (&[usize], &[usize]) = if opts.quick {
+        (&[8, 32, 128], &[16, 64])
+    } else {
+        (&[8, 32, 128, 512, 2048], &[16, 64, 256])
+    };
+    eprintln!(
+        "kernels bench: rows={row_counts:?} dims={dims:?} threads={}",
+        rayon::current_num_threads()
+    );
+
+    let registry = MetricsRegistry::new();
+    let gemv_hist = registry.histogram(
+        "ink_bench_kernels_per_node_ns",
+        "Per-round per-node GEMV transform wall time in nanoseconds",
+    );
+    let gemm_hist = registry.histogram(
+        "ink_bench_kernels_batched_ns",
+        "Per-round batched gather-GEMM-scatter transform wall time in nanoseconds",
+    );
+
+    // Part A: per-node GEMV vs batched gather→GEMM→scatter.
+    let mut rng = seeded_rng(SEED);
+    let mut scratch = GemmScratch::new();
+    let mut transform = Vec::new();
+    for &dim in dims {
+        let w = uniform(&mut rng, dim, dim, -0.5, 0.5);
+        for &rows in row_counts {
+            let n_src = rows * SRC_OVER;
+            let src = uniform(&mut rng, n_src, dim, -1.0, 1.0);
+            let ids = scattered_ids(rows, n_src);
+            let mut dst_node = Matrix::zeros(n_src, dim);
+            let mut dst_batch = Matrix::zeros(n_src, dim);
+            let mut gathered = scratch.take(rows * dim);
+            let mut transformed = scratch.take(rows * dim);
+            let flops = gemm_flops(rows, dim, dim);
+            let reps = reps(flops, opts.quick);
+
+            let mut node_us = Vec::new();
+            let mut batch_us = Vec::new();
+            for rep in 0..=reps {
+                let t = Instant::now();
+                for &id in &ids {
+                    w.vecmul(src.row(id), dst_node.row_mut(id));
+                }
+                let nu = t.elapsed();
+                let t = Instant::now();
+                gather_rows_into(&src, ids.iter().copied(), &mut gathered);
+                gemm_into(
+                    rows,
+                    dim,
+                    dim,
+                    &gathered,
+                    w.as_slice(),
+                    &mut transformed,
+                    &mut scratch,
+                    true,
+                );
+                scatter_rows_into(&transformed, ids.iter().copied(), &mut dst_batch);
+                let bu = t.elapsed();
+                assert_eq!(dst_node, dst_batch, "batched transform diverged at dim={dim}");
+                if rep == 0 {
+                    continue; // warm-up: pools fill, caches prime
+                }
+                node_us.push(nu.as_secs_f64() * 1e6);
+                batch_us.push(bu.as_secs_f64() * 1e6);
+                gemv_hist.record(nu.as_nanos() as u64);
+                gemm_hist.record(bu.as_nanos() as u64);
+            }
+            scratch.put(gathered);
+            scratch.put(transformed);
+
+            let p_node = p50(node_us);
+            let p_batch = p50(batch_us);
+            let speedup = if p_batch > 0.0 { p_node / p_batch } else { 0.0 };
+            eprintln!(
+                "  rows={rows} dim={dim}: reps={reps} p50 per-node={p_node:.1}µs \
+                 batched={p_batch:.1}µs speedup={speedup:.2}x"
+            );
+            transform.push(Json::obj([
+                ("rows", Json::from(rows)),
+                ("dim", Json::from(dim)),
+                ("reps", Json::from(reps)),
+                ("p50_per_node_us", rounded(p_node, 3)),
+                ("p50_batched_us", rounded(p_batch, 3)),
+                ("speedup", rounded(speedup, 4)),
+            ]));
+        }
+    }
+
+    // Part B: packed GEMM vs the seed i-k-j loop, square shapes.
+    let sizes: &[usize] = if opts.quick { &[64, 128] } else { &[64, 128, 256, 512] };
+    let mut matmul = Vec::new();
+    for &n in sizes {
+        let a = uniform(&mut rng, n, n, -1.0, 1.0);
+        let b = uniform(&mut rng, n, n, -1.0, 1.0);
+        let mut out_new = Matrix::zeros(n, n);
+        let mut out_seed = Matrix::zeros(n, n);
+        let flops = gemm_flops(n, n, n);
+        let reps = reps(flops, opts.quick);
+        let mut new_us = Vec::new();
+        let mut seed_us = Vec::new();
+        for rep in 0..=reps {
+            let t = Instant::now();
+            a.matmul_into(&b, &mut out_new, &mut scratch);
+            let tn = t.elapsed();
+            let t = Instant::now();
+            seed_matmul(&a, &b, &mut out_seed);
+            let ts = t.elapsed();
+            // Dense inputs ⇒ the zero-skip never fires ⇒ same k order.
+            assert_eq!(out_new, out_seed, "kernel diverged from seed loop at n={n}");
+            if rep == 0 {
+                continue;
+            }
+            new_us.push(tn.as_secs_f64() * 1e6);
+            seed_us.push(ts.as_secs_f64() * 1e6);
+        }
+        let gflops = |us: f64| if us > 0.0 { flops as f64 / (us * 1e3) } else { 0.0 };
+        let (p_new, p_seed) = (p50(new_us), p50(seed_us));
+        eprintln!(
+            "  matmul n={n}: reps={reps} kernel={:.2} GFLOP/s seed={:.2} GFLOP/s",
+            gflops(p_new),
+            gflops(p_seed)
+        );
+        matmul.push(Json::obj([
+            ("n", Json::from(n)),
+            ("reps", Json::from(reps)),
+            ("p50_kernel_us", rounded(p_new, 3)),
+            ("p50_seed_us", rounded(p_seed, 3)),
+            ("kernel_gflops", rounded(gflops(p_new), 3)),
+            ("seed_gflops", rounded(gflops(p_seed), 3)),
+            ("speedup", rounded(if p_new > 0.0 { p_seed / p_new } else { 0.0 }, 4)),
+        ]));
+    }
+
+    let doc = Json::obj([
+        ("bench", Json::from("kernels")),
+        ("threads", Json::from(rayon::current_num_threads())),
+        ("transform", Json::Arr(transform)),
+        ("matmul", Json::Arr(matmul)),
+    ]);
+    write_results("kernels", &doc);
+    write_metrics("kernels", &registry);
+}

@@ -33,6 +33,17 @@ pub struct UpdateConfig {
     /// drift audits exist to bound. Off by default — it costs extra
     /// arithmetic and the monotonic path never needs it.
     pub compensated: bool,
+    /// Gather→GEMM→scatter transform in the next-messages phase: affected
+    /// rows are gathered into a contiguous scratch matrix, the layer update
+    /// and next-layer message run as one batched GEMM per layer, and the
+    /// results scatter back. Bitwise identical to the per-node path (the
+    /// kernel accumulates every output element in the same k order), so this
+    /// is purely a throughput knob.
+    pub batched_transform: bool,
+    /// Minimum next-target count before the batched transform engages —
+    /// below it the per-node path wins (packing the weight panel costs more
+    /// than it saves).
+    pub batch_threshold: usize,
 }
 
 impl Default for UpdateConfig {
@@ -45,6 +56,8 @@ impl Default for UpdateConfig {
             num_workers: 0,
             num_shards: 0,
             compensated: false,
+            batched_transform: true,
+            batch_threshold: 8,
         }
     }
 }
@@ -77,6 +90,14 @@ impl UpdateConfig {
     /// incremental path.
     pub fn compensated(mut self) -> Self {
         self.compensated = true;
+        self
+    }
+
+    /// Disables the batched gather→GEMM→scatter transform, forcing the
+    /// per-node path in the next-messages phase (equivalence tests, and the
+    /// per-node baseline of the kernels bench).
+    pub fn per_node_transform(mut self) -> Self {
+        self.batched_transform = false;
         self
     }
 
@@ -130,6 +151,13 @@ mod tests {
     fn compensated_is_opt_in() {
         assert!(!UpdateConfig::default().compensated);
         assert!(UpdateConfig::default().compensated().compensated);
+    }
+
+    #[test]
+    fn batched_transform_is_on_by_default_and_can_be_disabled() {
+        assert!(UpdateConfig::default().batched_transform);
+        assert!(UpdateConfig::default().batch_threshold >= 1);
+        assert!(!UpdateConfig::default().per_node_transform().batched_transform);
     }
 
     #[test]

@@ -41,9 +41,10 @@ use crate::pipeline::{
 };
 use crate::stats::{LayerStats, UpdateReport};
 use ink_graph::{DeltaBatch, DynGraph, EdgeChange, EdgeOp, FxHashMap, VertexId};
-use ink_gnn::full::{batch_aggregate, batch_message};
+use ink_gnn::full::{batch_aggregate_into, batch_message_into};
 use ink_gnn::{FullState, Model};
-use ink_tensor::Matrix;
+use ink_tensor::gemm::{gather_rows_into, gather_rows_scaled_into};
+use ink_tensor::{GemmScratch, Matrix};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -333,16 +334,29 @@ impl InkStream {
     /// the bootstrap path — the self-healing action of
     /// [`crate::DriftAction::Resync`]. Afterwards the output is bitwise
     /// equal to [`InkStream::recompute_reference`] by construction; the
-    /// graph, features, and scratch pool are untouched.
+    /// graph and features are untouched. Every cached matrix is rebuilt
+    /// capacity-preserving with temporaries drawn from the engine's scratch
+    /// pool, so repeated resyncs of a hook-free engine allocate nothing
+    /// after the first.
     pub fn resync(&mut self) -> ResyncReport {
         let t0 = Instant::now();
-        let (state, user_cache) =
-            bootstrap(&self.model, &self.graph, &self.features, self.hooks.as_deref());
-        let f32_written = state.m.iter().chain(&state.alpha).chain(std::iter::once(&state.h))
+        bootstrap_into(
+            &self.model,
+            &self.graph,
+            &self.features,
+            self.hooks.as_deref(),
+            &mut self.state,
+            &mut self.user_cache,
+            &mut self.scratch.gemm,
+        );
+        let f32_written = self
+            .state
+            .m
+            .iter()
+            .chain(&self.state.alpha)
+            .chain(std::iter::once(&self.state.h))
             .map(|m| m.rows() * m.cols())
             .sum::<usize>() as u64;
-        self.state = state;
-        self.user_cache = user_cache;
         ResyncReport { elapsed: t0.elapsed(), f32_written }
     }
 
@@ -917,11 +931,110 @@ impl InkStream {
 
             // ── Phase 5: next-messages ────────────────────────────────────
             // Rebuild next-layer messages / final outputs into the flat
-            // production buffer, then commit sequentially.
+            // production buffer — gather→GEMM→scatter when the target set is
+            // big enough, per-node otherwise — then commit sequentially.
             let t_next = Instant::now();
             let nt = scratch.next_targets.len();
             let par_next = cfg.parallel && nt >= cfg.parallel_threshold;
-            {
+            let batched = cfg.batched_transform
+                && nt >= cfg.batch_threshold.max(1)
+                && dim > 0
+                && out_dim > 0
+                && prod_dim > 0;
+            if batched {
+                layer_stats.batched_rows = nt;
+                let ScratchPool {
+                    next_targets, next_buf, gather_alpha, gather_self, hidden_buf, gemm, ..
+                } = &mut scratch;
+                next_buf.clear();
+                next_buf.resize(nt * prod_dim, 0.0);
+                let next_targets = &*next_targets;
+                let this = &*self;
+                let layer = this.model.layer(l);
+                let conv = &layer.conv;
+                // Gather the targets' α rows into a contiguous strip, folding
+                // in the target-side degree weight of scaled layers (the same
+                // `a[j] * s` the per-node path computes before its update).
+                gather_alpha.clear();
+                gather_alpha.resize(nt * dim, 0.0);
+                if degree_scaled {
+                    gather_rows_scaled_into(
+                        &this.state.alpha[l],
+                        next_targets
+                            .iter()
+                            .map(|&u| (u as usize, conv.update_scale(this.graph.in_degree(u)))),
+                        gather_alpha,
+                    );
+                } else {
+                    gather_rows_into(
+                        &this.state.alpha[l],
+                        next_targets.iter().map(|&u| u as usize),
+                        gather_alpha,
+                    );
+                }
+                let self_msg: &[f32] = if self_dependent {
+                    gather_self.clear();
+                    gather_self.resize(nt * dim, 0.0);
+                    gather_rows_into(
+                        &this.state.m[l],
+                        next_targets.iter().map(|&u| u as usize),
+                        gather_self,
+                    );
+                    gather_self
+                } else {
+                    &[]
+                };
+                // One batched update GEMM for the whole target set. The last
+                // layer writes straight into the production buffer
+                // (`prod_dim == out_dim` there).
+                let h_rows: &mut [f32] = if is_last {
+                    next_buf.as_mut_slice()
+                } else {
+                    hidden_buf.clear();
+                    hidden_buf.resize(nt * out_dim, 0.0);
+                    hidden_buf.as_mut_slice()
+                };
+                report.gemm_flops +=
+                    conv.update_batch_into(nt, gather_alpha, self_msg, h_rows, gemm);
+                // Per-row epilogue: user contribution, norm, activation.
+                {
+                    let hooks = this.hooks.as_deref();
+                    let cache = this.user_cache.get(l).and_then(Option::as_ref);
+                    let run = |(i, row): (usize, &mut [f32])| {
+                        let u = next_targets[i];
+                        if let (Some(hk), Some(c)) = (hooks, cache) {
+                            hk.contribute(l, u, row, c.row(u as usize));
+                        }
+                        if let Some(norm) = &layer.norm {
+                            norm.apply_cached(row);
+                        }
+                        layer.act.apply(row);
+                    };
+                    if par_next {
+                        h_rows.par_chunks_mut(out_dim).enumerate().for_each(run);
+                    } else {
+                        h_rows.chunks_mut(out_dim).enumerate().for_each(run);
+                    }
+                }
+                if !is_last {
+                    // One batched message GEMM into the production buffer,
+                    // then the source-side degree weight per row.
+                    let next_conv = &this.model.layer(l + 1).conv;
+                    report.gemm_flops +=
+                        next_conv.message_batch_into(nt, hidden_buf, next_buf, gemm);
+                    if next_conv.degree_scaled() {
+                        let run = |(i, row): (usize, &mut [f32])| {
+                            let s = next_conv.degree_scale(this.graph.in_degree(next_targets[i]));
+                            ink_tensor::ops::scale(row, s);
+                        };
+                        if par_next {
+                            next_buf.par_chunks_mut(prod_dim).enumerate().for_each(run);
+                        } else {
+                            next_buf.chunks_mut(prod_dim).enumerate().for_each(run);
+                        }
+                    }
+                }
+            } else {
                 let ScratchPool { next_targets, next_buf, .. } = &mut scratch;
                 next_buf.clear();
                 next_buf.resize(nt * prod_dim, 0.0);
@@ -1037,58 +1150,110 @@ fn compute_next_hidden(
     out
 }
 
-/// Full-graph bootstrap that also initialises the user caches (and therefore
-/// supports hook-based models, which `ink_gnn::full_inference` knows nothing
-/// about).
+/// Full-graph bootstrap into caller-owned state, one batched GEMM chain per
+/// layer. Also initialises the user caches — and therefore supports
+/// hook-based models, which `ink_gnn::full_inference` knows nothing about
+/// (the hook contribution slots between the transform and the norm, so this
+/// can't reuse `batch_update_into`, which fuses norm/act).
+///
+/// Every cached matrix is reshaped capacity-preserving and all temporaries
+/// (inter-layer hidden buffers, GEMM packing, MLP ping-pong) come from
+/// `scratch`, so repeated in-place rebuilds over same-shaped inputs allocate
+/// nothing after the first — hook caches excepted, as `init_cache` returns
+/// fresh matrices by contract.
+fn bootstrap_into(
+    model: &Model,
+    graph: &DynGraph,
+    features: &Matrix,
+    hooks: Option<&dyn UserHooks>,
+    state: &mut FullState,
+    user_cache: &mut Vec<Option<Matrix>>,
+    scratch: &mut GemmScratch,
+) {
+    let n = graph.num_vertices();
+    let k = model.num_layers();
+    state.m.resize_with(k, || Matrix::zeros(0, 0));
+    state.alpha.resize_with(k, || Matrix::zeros(0, 0));
+    state.norm_stats.clear();
+    state.norm_stats.resize(k, None);
+    user_cache.clear();
+    user_cache.resize_with(k, || None);
+    if k == 0 {
+        state.h.resize_to(n, features.cols());
+        state.h.as_mut_slice().copy_from_slice(features.as_slice());
+        return;
+    }
+    let FullState { m, alpha, h, .. } = state;
+    // `cur` carries h_l between layers; layer 0 reads the features directly.
+    let mut cur = scratch.take(0);
+
+    for l in 0..k {
+        let layer = model.layer(l);
+        let conv = &layer.conv;
+        let out_dim = conv.out_dim();
+        let dim = conv.msg_dim();
+        let h_slice: &[f32] = if l == 0 { features.as_slice() } else { &cur };
+        batch_message_into(model, l, h_slice, graph, &mut m[l], scratch);
+        user_cache[l] = hooks.and_then(|hk| hk.init_cache(l, &m[l]));
+        batch_aggregate_into(model, l, graph, &m[l], &mut alpha[l]);
+
+        let mut nxt = scratch.take(n * out_dim);
+        let self_msg: &[f32] = if conv.self_dependent() { m[l].as_slice() } else { &[] };
+        if conv.degree_scaled() {
+            // Fold the target-side degree weight into a scaled copy of α —
+            // the same `a[j] * s` the per-node path computes.
+            let mut scaled = scratch.take(n * dim);
+            gather_rows_scaled_into(
+                &alpha[l],
+                (0..n).map(|u| (u, conv.update_scale(graph.in_degree(u as VertexId)))),
+                &mut scaled,
+            );
+            conv.update_batch_into(n, &scaled, self_msg, &mut nxt, scratch);
+            scratch.put(scaled);
+        } else {
+            conv.update_batch_into(n, alpha[l].as_slice(), self_msg, &mut nxt, scratch);
+        }
+        let cache = user_cache[l].as_ref();
+        nxt.par_chunks_mut(out_dim.max(1)).enumerate().for_each(|(u, out)| {
+            if let (Some(hk), Some(c)) = (hooks, cache) {
+                hk.contribute(l, u as VertexId, out, c.row(u));
+            }
+            if let Some(norm) = &layer.norm {
+                norm.apply_cached(out);
+            }
+            layer.act.apply(out);
+        });
+        if l + 1 == k {
+            h.resize_to(n, out_dim);
+            h.as_mut_slice().copy_from_slice(&nxt);
+            scratch.put(nxt);
+        } else {
+            scratch.put(std::mem::replace(&mut cur, nxt));
+        }
+    }
+    scratch.put(cur);
+}
+
+/// Allocating [`bootstrap_into`] wrapper — the construction-time path, where
+/// there is no state to reuse yet.
 fn bootstrap(
     model: &Model,
     graph: &DynGraph,
     features: &Matrix,
     hooks: Option<&dyn UserHooks>,
 ) -> (FullState, Vec<Option<Matrix>>) {
-    let n = graph.num_vertices();
-    let k = model.num_layers();
-    let mut m_all = Vec::with_capacity(k);
-    let mut alpha_all = Vec::with_capacity(k);
-    let mut user_cache = Vec::with_capacity(k);
-    let mut h = features.clone();
-
-    for l in 0..k {
-        let layer = model.layer(l);
-        let m = batch_message(model, l, &h, graph);
-        let cache = hooks.and_then(|hk| hk.init_cache(l, &m));
-        let alpha = batch_aggregate(model, l, graph, &m);
-        let out_dim = layer.conv.out_dim();
-        let degree_scaled = layer.conv.degree_scaled();
-        let mut h_next = Matrix::zeros(n, out_dim);
-        h_next
-            .as_mut_slice()
-            .par_chunks_mut(out_dim.max(1))
-            .enumerate()
-            .for_each(|(u, out)| {
-                if degree_scaled {
-                    let mut a = alpha.row(u).to_vec();
-                    let scale = layer.conv.update_scale(graph.in_degree(u as VertexId));
-                    ink_tensor::ops::scale(&mut a, scale);
-                    layer.conv.update_into(&a, m.row(u), out);
-                } else {
-                    layer.conv.update_into(alpha.row(u), m.row(u), out);
-                }
-                if let (Some(hk), Some(c)) = (hooks, cache.as_ref()) {
-                    hk.contribute(l, u as VertexId, out, c.row(u));
-                }
-                if let Some(norm) = &layer.norm {
-                    norm.apply_cached(out);
-                }
-                layer.act.apply(out);
-            });
-        m_all.push(m);
-        alpha_all.push(alpha);
-        user_cache.push(cache);
-        h = h_next;
-    }
-
-    (FullState { m: m_all, alpha: alpha_all, h, norm_stats: vec![None; k] }, user_cache)
+    let mut state = FullState::empty();
+    let mut user_cache = Vec::new();
+    bootstrap_into(
+        model,
+        graph,
+        features,
+        hooks,
+        &mut state,
+        &mut user_cache,
+        &mut GemmScratch::new(),
+    );
+    (state, user_cache)
 }
 
 #[cfg(test)]
@@ -1328,6 +1493,55 @@ mod tests {
             let d = engine.audit_full();
             assert!(d.is_finite() && d < 1e-4, "{agg:?}: drift {d} after 16 rounds");
         }
+    }
+
+    #[test]
+    fn batched_transform_is_bitwise_equal_to_per_node() {
+        for agg in [Aggregator::Max, Aggregator::Min, Aggregator::Sum, Aggregator::Mean] {
+            let make = |cfg: UpdateConfig| {
+                let mut rng = seeded_rng(30);
+                let model = Model::sage(&mut rng, &[4, 6, 3], agg);
+                InkStream::new(model, ring(24), feats(24, 4), cfg).unwrap()
+            };
+            let delta = DeltaBatch::new(vec![
+                EdgeChange::insert(0, 12),
+                EdgeChange::insert(3, 19),
+                EdgeChange::remove(5, 6),
+                EdgeChange::insert(2, 8),
+            ]);
+            let mut per_node = make(UpdateConfig::default().per_node_transform());
+            let mut batched =
+                make(UpdateConfig { batch_threshold: 1, ..UpdateConfig::default() });
+            let rp = per_node.apply_delta(&delta);
+            let rb = batched.apply_delta(&delta);
+            assert_eq!(batched.output(), per_node.output(), "{agg:?}");
+            assert_eq!(batched.state().m[1], per_node.state().m[1], "{agg:?}");
+            assert_eq!(rp.batched_rows(), 0, "{agg:?}: per-node engine must not batch");
+            assert_eq!(rp.gemm_flops, 0, "{agg:?}");
+            assert!(rb.batched_rows() > 0, "{agg:?}: batched path must engage");
+            assert!(rb.gemm_flops > 0, "{agg:?}: SAGE updates run GEMMs");
+        }
+    }
+
+    #[test]
+    fn repeated_resync_is_allocation_free_in_steady_state() {
+        let mut rng = seeded_rng(31);
+        let model = Model::gcn(&mut rng, &[4, 6, 3], Aggregator::Mean);
+        let mut engine =
+            InkStream::new(model, ring(32), feats(32, 4), UpdateConfig::default()).unwrap();
+        engine.resync(); // warm the pooled temporaries
+        let reserved = engine.state().reserved_bytes() + engine.scratch_bytes();
+        assert!(reserved > 0);
+        for _ in 0..4 {
+            let r = engine.resync();
+            assert!(r.f32_written > 0);
+        }
+        assert_eq!(
+            engine.state().reserved_bytes() + engine.scratch_bytes(),
+            reserved,
+            "steady-state resyncs must reuse cached matrices and pooled temporaries"
+        );
+        assert_eq!(engine.output(), &engine.recompute_reference());
     }
 
     #[test]

@@ -349,6 +349,16 @@ pub(crate) struct ScratchPool {
     pub next_targets: Vec<VertexId>,
     /// Flat row-major output of the next-messages phase.
     pub next_buf: Vec<f32>,
+    /// Gathered (degree-scaled) α rows of the batched transform.
+    pub gather_alpha: Vec<f32>,
+    /// Gathered self-message rows of the batched transform.
+    pub gather_self: Vec<f32>,
+    /// Post-update hidden rows of the batched transform (input of the
+    /// next-layer batched message).
+    pub hidden_buf: Vec<f32>,
+    /// GEMM packing / ping-pong buffer pool shared by the batched transform
+    /// and the in-place bootstrap.
+    pub gemm: ink_tensor::GemmScratch,
 }
 
 impl ScratchPool {
@@ -386,7 +396,12 @@ impl ScratchPool {
             + self.covered.capacity() * std::mem::size_of::<(VertexId, VertexId)>()
             + self.affected.capacity() * std::mem::size_of::<VertexId>()
             + self.next_targets.capacity() * std::mem::size_of::<VertexId>()
-            + self.next_buf.capacity() * std::mem::size_of::<f32>()
+            + (self.next_buf.capacity()
+                + self.gather_alpha.capacity()
+                + self.gather_self.capacity()
+                + self.hidden_buf.capacity())
+                * std::mem::size_of::<f32>()
+            + self.gemm.bytes()
     }
 }
 

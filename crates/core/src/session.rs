@@ -401,6 +401,9 @@ struct SessionInstruments {
     resync_ns: Arc<Counter>,
     max_deviation: Arc<Gauge>,
     scratch_bytes: Arc<Gauge>,
+    gemm_rows: Arc<Counter>,
+    gemm_flops: Arc<Counter>,
+    gemm_batch_rows: Arc<Histogram>,
 }
 
 /// Pipeline phase names, in execution order (also the tracer span names).
@@ -459,6 +462,18 @@ impl SessionInstruments {
             scratch_bytes: r.gauge(
                 "ink_scratch_bytes",
                 "Engine scratch-pool occupancy after the latest ingest",
+            ),
+            gemm_rows: r.counter(
+                "ink_gemm_rows_total",
+                "Rows pushed through the batched gather\u{2192}GEMM\u{2192}scatter transform",
+            ),
+            gemm_flops: r.counter(
+                "ink_gemm_flops_total",
+                "Floating-point operations spent in batched GEMM kernels",
+            ),
+            gemm_batch_rows: r.histogram(
+                "ink_gemm_batch_rows",
+                "Per-layer batched-transform row counts (batched layers only)",
             ),
         }
     }
@@ -613,6 +628,13 @@ impl StreamSession {
             report.changes_applied += chunk.len() - r.skipped_changes;
             report.output_changed += r.output_changed;
             self.inst.affected.add(r.real_affected);
+            self.inst.gemm_rows.add(r.batched_rows() as u64);
+            self.inst.gemm_flops.add(r.gemm_flops);
+            for layer in &r.per_layer {
+                if layer.batched_rows > 0 {
+                    self.inst.gemm_batch_rows.record(layer.batched_rows as u64);
+                }
+            }
             self.record_phases(t, elapsed, &r.phase_times());
         }
         self.inst.ingests.inc();
@@ -962,6 +984,16 @@ mod tests {
         s.ingest(&delta(&s, 13, 8)).unwrap();
         let twice = s.summary().phase_times;
         assert!(twice.total() > once.total(), "phase times accumulate across ingests");
+    }
+
+    #[test]
+    fn gemm_instruments_are_scrapeable() {
+        let mut s = StreamSession::new(engine(22));
+        s.ingest(&delta(&s, 50, 8)).unwrap();
+        let scrape = s.metrics().render_prometheus();
+        assert!(scrape.contains("ink_gemm_rows_total"), "row counter must be registered");
+        assert!(scrape.contains("ink_gemm_flops_total"), "flop counter must be registered");
+        assert!(scrape.contains("ink_gemm_batch_rows"), "row histogram must be registered");
     }
 
     #[test]

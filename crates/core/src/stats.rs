@@ -110,6 +110,9 @@ pub struct LayerStats {
     pub alpha_changed: usize,
     /// Condition distribution for this layer.
     pub conditions: ConditionCounts,
+    /// Rows the next-messages phase pushed through the batched
+    /// gather→GEMM→scatter transform (0 when the per-node path ran).
+    pub batched_rows: usize,
     /// Per-phase wall times of this layer's pipeline pass.
     pub phases: PhaseTimes,
 }
@@ -135,6 +138,9 @@ pub struct UpdateReport {
     /// Requested changes that were no-ops against the current graph
     /// (duplicate inserts, missing removals) and were skipped.
     pub skipped_changes: usize,
+    /// Floating-point operations spent in batched GEMM kernels during the
+    /// next-messages phase (0 when every layer took the per-node path).
+    pub gemm_flops: u64,
     /// The *worst* (most expensive) condition each monotonic target hit
     /// across layers — the per-node view behind the paper's Fig. 8. Nodes of
     /// the theoretical affected area that are absent here were never even
@@ -169,6 +175,11 @@ impl UpdateReport {
             total.merge(&l.phases);
         }
         total
+    }
+
+    /// Rows transformed by the batched path, summed across layers.
+    pub fn batched_rows(&self) -> usize {
+        self.per_layer.iter().map(|l| l.batched_rows).sum()
     }
 
     /// Fraction of processed monotonic targets that avoided recomputation

@@ -11,8 +11,14 @@
 
 use crate::Model;
 use ink_graph::{Csr, VertexId};
+use ink_tensor::gemm::GemmScratch;
 use ink_tensor::Matrix;
 use rayon::prelude::*;
+
+/// Vertices per fused gather-reduce-update batch: big enough that the
+/// per-chunk GEMM amortises packing, small enough that the α chunk stays
+/// cache-resident (512 × 256 dims × 4 B = 512 KiB worst case).
+const FUSED_CHUNK: usize = 512;
 
 /// Error returned when the model × graph would exceed the device budget —
 /// the `OOM` entries of the paper's Table IV.
@@ -71,54 +77,60 @@ pub fn fused_inference(
 
     let mut h = features.clone();
     let mut msg_buf = Matrix::zeros(0, 0);
+    let mut scratch = GemmScratch::new();
     for l in 0..model.num_layers() {
         let conv = &model.layer(l).conv;
         let dim = conv.msg_dim();
-        // Fused message phase (reusing the ping-pong buffer when shapes allow).
+        // Fused message phase: one batched transform (a single GEMM for
+        // transform-first layers), reusing the ping-pong buffer.
         let scaled = conv.degree_scaled();
         let m: &Matrix = if conv.message_is_identity() && !scaled {
             &h
         } else {
-            if msg_buf.shape() != (n, dim) {
-                msg_buf = Matrix::zeros(n, dim);
-            }
-            msg_buf
-                .as_mut_slice()
-                .par_chunks_mut(dim)
-                .enumerate()
-                .for_each(|(u, out)| {
-                    conv.message_into(h.row(u), out);
-                    if scaled {
-                        ink_tensor::ops::scale(out, conv.degree_scale(csr.degree(u as VertexId)));
-                    }
+            msg_buf.resize_to(n, dim);
+            conv.message_batch_into(n, h.as_slice(), msg_buf.as_mut_slice(), &mut scratch);
+            if scaled {
+                msg_buf.as_mut_slice().par_chunks_mut(dim).enumerate().for_each(|(u, out)| {
+                    ink_tensor::ops::scale(out, conv.degree_scale(csr.degree(u as VertexId)));
                 });
+            }
             &msg_buf
         };
-        // Fused gather-reduce-update: one pass per vertex, no intermediate α
-        // matrix handed back to the caller.
+        // Fused gather-reduce-update in vertex chunks: aggregate a chunk's
+        // neighborhoods into a pooled α strip, transform the strip with one
+        // batched GEMM chain, then normalise/activate in place. No per-vertex
+        // allocation and no full α matrix handed back to the caller.
         let agg = conv.aggregator();
         let out_dim = conv.out_dim();
         let act = model.layer(l).act;
         let mut h_next = Matrix::zeros(n, out_dim);
-        h_next
-            .as_mut_slice()
-            .par_chunks_mut(out_dim)
-            .enumerate()
-            .for_each(|(u, out)| {
-                let mut alpha = vec![0.0; dim];
-                agg.aggregate_into(
-                    csr.neighbors(u as VertexId).iter().map(|&v| m.row(v as usize)),
-                    &mut alpha,
-                );
+        let mut alpha_chunk = scratch.take(FUSED_CHUNK * dim);
+        for (ci, hchunk) in
+            h_next.as_mut_slice().chunks_mut(FUSED_CHUNK * out_dim.max(1)).enumerate()
+        {
+            let u0 = ci * FUSED_CHUNK;
+            let rows = hchunk.len() / out_dim.max(1);
+            alpha_chunk[..rows * dim].par_chunks_mut(dim).enumerate().for_each(|(i, out)| {
+                let u = (u0 + i) as VertexId;
+                agg.aggregate_into(csr.neighbors(u).iter().map(|&v| m.row(v as usize)), out);
                 if scaled {
-                    ink_tensor::ops::scale(&mut alpha, conv.update_scale(csr.degree(u as VertexId)));
+                    ink_tensor::ops::scale(out, conv.update_scale(csr.degree(u)));
                 }
-                conv.update_into(&alpha, m.row(u), out);
+            });
+            let self_msg: &[f32] = if conv.self_dependent() {
+                &m.as_slice()[u0 * dim..(u0 + rows) * dim]
+            } else {
+                &[]
+            };
+            conv.update_batch_into(rows, &alpha_chunk[..rows * dim], self_msg, hchunk, &mut scratch);
+            for out in hchunk.chunks_exact_mut(out_dim.max(1)) {
                 if let Some(norm) = &model.layer(l).norm {
                     norm.apply_cached(out);
                 }
                 act.apply(out);
-            });
+            }
+        }
+        scratch.put(alpha_chunk);
         h = h_next;
     }
     Ok(h)

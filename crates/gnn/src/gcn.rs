@@ -8,6 +8,7 @@
 //! its propagation tree prune best.
 
 use crate::{Aggregator, Conv};
+use ink_tensor::gemm::{self, GemmScratch};
 use ink_tensor::Linear;
 use rand::rngs::StdRng;
 
@@ -52,6 +53,21 @@ impl Conv for GcnConv {
         self.lin.weight().vecmul(h, out);
     }
 
+    /// One GEMM over the whole batch (`W` has no bias in the message, so
+    /// this is the raw kernel, not [`Linear::forward_batch_into`]). Each row
+    /// is bitwise-identical to the per-node `vecmul`.
+    fn message_batch_into(
+        &self,
+        rows: usize,
+        h: &[f32],
+        out: &mut [f32],
+        scratch: &mut GemmScratch,
+    ) -> u64 {
+        let (k, m) = (self.lin.in_dim(), self.lin.out_dim());
+        gemm::gemm_into(rows, k, m, h, self.lin.weight().as_slice(), out, scratch, true);
+        gemm::gemm_flops(rows, k, m)
+    }
+
     fn update_into(&self, alpha: &[f32], _self_msg: &[f32], out: &mut [f32]) {
         out.copy_from_slice(alpha);
         ink_tensor::ops::add_assign(out, self.lin.bias());
@@ -94,6 +110,20 @@ mod tests {
         let a = conv.update(&[1.0, 2.0], &[0.0, 0.0, 0.0]);
         let b = conv.update(&[1.0, 2.0], &[7.0, 8.0, 9.0]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_message_is_bitwise_equal_to_per_node() {
+        let mut rng = seeded_rng(7);
+        let conv = GcnConv::new(&mut rng, 5, 3, Aggregator::Sum);
+        let h = ink_tensor::init::uniform(&mut rng, 11, 5, -2.0, 2.0);
+        let mut batched = vec![0.0; 11 * 3];
+        let mut scratch = GemmScratch::new();
+        let flops = conv.message_batch_into(11, h.as_slice(), &mut batched, &mut scratch);
+        assert_eq!(flops, 2 * 11 * 5 * 3);
+        for r in 0..11 {
+            assert_eq!(conv.message(h.row(r)).as_slice(), &batched[r * 3..(r + 1) * 3], "row {r}");
+        }
     }
 
     #[test]

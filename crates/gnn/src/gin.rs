@@ -6,6 +6,7 @@
 //! area explode on dense graphs.
 
 use crate::{Aggregator, Conv};
+use ink_tensor::gemm::GemmScratch;
 use ink_tensor::{Activation, Mlp};
 use rand::rngs::StdRng;
 
@@ -61,6 +62,40 @@ impl Conv for GinConv {
         out.copy_from_slice(&self.mlp.forward_vec(&pre));
     }
 
+    /// Identity message: one bulk copy instead of a per-row loop.
+    fn message_batch_into(
+        &self,
+        _rows: usize,
+        h: &[f32],
+        out: &mut [f32],
+        _scratch: &mut GemmScratch,
+    ) -> u64 {
+        out.copy_from_slice(&h[..out.len()]);
+        0
+    }
+
+    /// Builds `(1+ε)·h + α` for the whole batch in a pooled pre-buffer
+    /// (same copy-then-axpy operation order as [`Conv::update_into`]), then
+    /// runs the MLP as one batched GEMM chain.
+    fn update_batch_into(
+        &self,
+        rows: usize,
+        alpha: &[f32],
+        self_msg: &[f32],
+        out: &mut [f32],
+        scratch: &mut GemmScratch,
+    ) -> u64 {
+        let md = self.mlp.in_dim();
+        let mut pre = scratch.take(rows * md);
+        pre.copy_from_slice(&alpha[..rows * md]);
+        for (prow, srow) in pre.chunks_exact_mut(md).zip(self_msg.chunks_exact(md)) {
+            ink_tensor::ops::axpy(prow, 1.0 + self.eps, srow);
+        }
+        let flops = self.mlp.forward_batch_into(rows, &pre, out, scratch);
+        scratch.put(pre);
+        flops
+    }
+
     fn self_dependent(&self) -> bool {
         true
     }
@@ -100,6 +135,21 @@ mod tests {
         assert!(conv.self_dependent());
         assert!(conv.message_is_identity());
         assert_eq!(conv.message(&[1.0, 2.0, 3.0, 4.0]), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn batched_update_is_bitwise_equal_to_per_node() {
+        let mut rng = seeded_rng(23);
+        let conv = GinConv::new(&mut rng, 4, 5, 0.3, Aggregator::Sum);
+        let alpha = ink_tensor::init::uniform(&mut rng, 8, 4, -1.0, 1.0);
+        let selfm = ink_tensor::init::uniform(&mut rng, 8, 4, -1.0, 1.0);
+        let mut batched = vec![0.0; 8 * 5];
+        let mut scratch = GemmScratch::new();
+        conv.update_batch_into(8, alpha.as_slice(), selfm.as_slice(), &mut batched, &mut scratch);
+        for r in 0..8 {
+            let single = conv.update(alpha.row(r), selfm.row(r));
+            assert_eq!(single.as_slice(), &batched[r * 5..(r + 1) * 5], "row {r}");
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! observation that GCN enjoys larger speedups.
 
 use crate::Aggregator;
+use ink_tensor::GemmScratch;
 
 /// One GNN convolution layer (combination + aggregation, minus activation).
 pub trait Conv: Send + Sync {
@@ -74,6 +75,52 @@ pub trait Conv: Send + Sync {
     /// [`Conv::update_into`] (`1/√d` for symmetric normalisation).
     fn update_scale(&self, _degree: usize) -> f32 {
         1.0
+    }
+
+    /// Batched [`Conv::message_into`] over `rows` row-major input vectors:
+    /// `h` is `rows × in_dim`, `out` receives `rows × msg_dim`. Each output
+    /// row must be bitwise-identical to `message_into` on the matching input
+    /// row; transform-first layers override this with one GEMM over the
+    /// whole batch (borrowing pack/ping-pong buffers from `scratch`).
+    /// Returns the GEMM flop count (0 for the per-row fallback, which runs
+    /// no GEMM).
+    fn message_batch_into(
+        &self,
+        rows: usize,
+        h: &[f32],
+        out: &mut [f32],
+        _scratch: &mut GemmScratch,
+    ) -> u64 {
+        let (kd, md) = (self.in_dim(), self.msg_dim());
+        for (hrow, orow) in
+            h.chunks_exact(kd.max(1)).zip(out.chunks_exact_mut(md.max(1))).take(rows)
+        {
+            self.message_into(hrow, orow);
+        }
+        0
+    }
+
+    /// Batched [`Conv::update_into`]: `alpha` is `rows × msg_dim` (already
+    /// target-scaled where [`Conv::degree_scaled`] applies), `self_msg` is
+    /// `rows × msg_dim` for [self-dependent](Conv::self_dependent) layers or
+    /// empty otherwise, `out` receives `rows × out_dim` pre-activation
+    /// values. Each output row must be bitwise-identical to `update_into` on
+    /// the matching rows. Returns the GEMM flop count.
+    fn update_batch_into(
+        &self,
+        rows: usize,
+        alpha: &[f32],
+        self_msg: &[f32],
+        out: &mut [f32],
+        _scratch: &mut GemmScratch,
+    ) -> u64 {
+        let (md, od) = (self.msg_dim(), self.out_dim());
+        for i in 0..rows {
+            let srow: &[f32] =
+                if self_msg.is_empty() { &[] } else { &self_msg[i * md..(i + 1) * md] };
+            self.update_into(&alpha[i * md..(i + 1) * md], srow, &mut out[i * od..(i + 1) * od]);
+        }
+        0
     }
 
     /// Allocating convenience wrapper around [`Conv::message_into`].

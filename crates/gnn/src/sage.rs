@@ -7,6 +7,7 @@
 //! sensitive and its exposed-reset fraction non-negligible.
 
 use crate::{Aggregator, Conv};
+use ink_tensor::gemm::{self, GemmScratch};
 use ink_tensor::Linear;
 use rand::rngs::StdRng;
 
@@ -81,6 +82,41 @@ impl Conv for SageConv {
         ink_tensor::ops::add_assign(out, &self_part);
     }
 
+    /// Identity message: one bulk copy instead of a per-row loop.
+    fn message_batch_into(
+        &self,
+        _rows: usize,
+        h: &[f32],
+        out: &mut [f32],
+        _scratch: &mut GemmScratch,
+    ) -> u64 {
+        out.copy_from_slice(&h[..out.len()]);
+        0
+    }
+
+    /// Two GEMMs per batch (`α·W₁ + b` then `h·W₂` added in), replicating
+    /// the per-element operation order of [`Conv::update_into`] exactly:
+    /// neighbor term with bias first, self term added second.
+    fn update_batch_into(
+        &self,
+        rows: usize,
+        alpha: &[f32],
+        self_msg: &[f32],
+        out: &mut [f32],
+        scratch: &mut GemmScratch,
+    ) -> u64 {
+        let (k, m) = (self.w_self.in_dim(), self.w_self.out_dim());
+        let mut flops = self.w_neigh.forward_batch_into(rows, alpha, out, scratch);
+        let mut self_part = scratch.take(rows * m);
+        gemm::gemm_into(rows, k, m, self_msg, self.w_self.weight().as_slice(), &mut self_part, scratch, true);
+        flops += gemm::gemm_flops(rows, k, m);
+        for (orow, srow) in out.chunks_exact_mut(m).zip(self_part.chunks_exact(m)) {
+            ink_tensor::ops::add_assign(orow, srow);
+        }
+        scratch.put(self_part);
+        flops
+    }
+
     fn self_dependent(&self) -> bool {
         true
     }
@@ -124,6 +160,24 @@ mod tests {
         let a = conv.update(&[1.0, 2.0, 3.0], &[0.0, 0.0, 0.0]);
         let b = conv.update(&[1.0, 2.0, 3.0], &[1.0, 0.0, 0.0]);
         assert_ne!(a, b, "self message must influence the update");
+    }
+
+    #[test]
+    fn batched_update_is_bitwise_equal_to_per_node() {
+        let mut rng = seeded_rng(17);
+        let conv = SageConv::new(&mut rng, 4, 3, Aggregator::Mean);
+        let alpha = ink_tensor::init::uniform(&mut rng, 9, 4, -1.5, 1.5);
+        let selfm = ink_tensor::init::uniform(&mut rng, 9, 4, -1.5, 1.5);
+        let mut batched = vec![0.0; 9 * 3];
+        let mut scratch = GemmScratch::new();
+        conv.update_batch_into(9, alpha.as_slice(), selfm.as_slice(), &mut batched, &mut scratch);
+        for r in 0..9 {
+            let single = conv.update(alpha.row(r), selfm.row(r));
+            assert_eq!(single.as_slice(), &batched[r * 3..(r + 1) * 3], "row {r}");
+        }
+        let mut msg = vec![0.0; 9 * 4];
+        conv.message_batch_into(9, alpha.as_slice(), &mut msg, &mut scratch);
+        assert_eq!(&msg[..], alpha.as_slice(), "identity message is a copy");
     }
 
     #[test]

@@ -5,8 +5,13 @@
 //! the InkStream reproduction. There is no mature GNN stack in Rust, so the
 //! pieces a GNN needs from a tensor library are implemented here from scratch:
 //!
-//! * [`Matrix`] — a row-major `f32` matrix with rayon-parallel matmul, built
-//!   for the "many short rows" access pattern of node embedding tables.
+//! * [`Matrix`] — a row-major `f32` matrix built for the "many short rows"
+//!   access pattern of node embedding tables.
+//! * [`gemm`] — the blocked, panel-packed GEMM kernel behind `matmul` and the
+//!   engine's batched gather→GEMM→scatter transform pass, plus the
+//!   [`GemmScratch`] buffer pool that keeps it allocation-free in steady
+//!   state. Accumulation is strictly k-ordered per output element, so blocked
+//!   and parallel runs stay bitwise-identical to the naive loop.
 //! * [`ops`] — the vector kernels the aggregation phase is made of
 //!   (`axpy`, element-wise max/min, comparisons with bit-exact semantics).
 //! * [`Linear`] / [`Mlp`] — the combination-phase building blocks
@@ -19,6 +24,7 @@
 //! so every experiment in the repo is reproducible bit-for-bit run to run.
 
 pub mod activation;
+pub mod gemm;
 pub mod init;
 pub mod linear;
 pub mod matrix;
@@ -28,6 +34,7 @@ pub mod reduce;
 pub mod train;
 
 pub use activation::Activation;
+pub use gemm::GemmScratch;
 pub use linear::Linear;
 pub use matrix::Matrix;
 pub use mlp::Mlp;

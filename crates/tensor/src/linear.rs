@@ -1,5 +1,6 @@
 //! Affine transformation `x ↦ xW + b` — the combination function `T()`.
 
+use crate::gemm::{self, GemmScratch};
 use crate::{init, Matrix};
 use rand::rngs::StdRng;
 
@@ -72,6 +73,26 @@ impl Linear {
         out
     }
 
+    /// Batched forward into caller-owned storage: `x` is `rows` row-major
+    /// vectors of `in_dim` values, `out` receives `rows × out_dim`. Each
+    /// output row is bitwise-identical to [`Linear::forward_vec`] on the
+    /// matching input row (same GEMM k-order, same bias add). Returns the
+    /// GEMM flop count for the kernel counters.
+    pub fn forward_batch_into(
+        &self,
+        rows: usize,
+        x: &[f32],
+        out: &mut [f32],
+        scratch: &mut GemmScratch,
+    ) -> u64 {
+        let (k, m) = (self.in_dim(), self.out_dim());
+        gemm::gemm_into(rows, k, m, x, self.weight.as_slice(), out, scratch, true);
+        for orow in out.chunks_exact_mut(m.max(1)) {
+            crate::ops::add_assign(orow, &self.bias);
+        }
+        gemm::gemm_flops(rows, k, m)
+    }
+
     /// Parameter count (for the memory-cost model).
     pub fn param_count(&self) -> usize {
         self.weight.rows() * self.weight.cols() + self.bias.len()
@@ -104,6 +125,21 @@ mod tests {
         for r in 0..5 {
             let single = l.forward_vec_alloc(x.row(r));
             assert_eq!(single.as_slice(), batched.row(r), "row {r}");
+        }
+    }
+
+    #[test]
+    fn batched_forward_is_bitwise_equal_to_per_row() {
+        let mut rng = seeded_rng(21);
+        let l = Linear::new(&mut rng, 5, 3);
+        let x = init::uniform(&mut rng, 7, 5, -2.0, 2.0);
+        let mut out = vec![0.0; 7 * 3];
+        let mut scratch = GemmScratch::new();
+        let flops = l.forward_batch_into(7, x.as_slice(), &mut out, &mut scratch);
+        assert_eq!(flops, 2 * 7 * 5 * 3);
+        for r in 0..7 {
+            let single = l.forward_vec_alloc(x.row(r));
+            assert_eq!(single.as_slice(), &out[r * 3..(r + 1) * 3], "row {r}");
         }
     }
 

@@ -5,7 +5,7 @@
 //! node's embedding is one contiguous slice — the unit the event system moves
 //! around.
 
-use rayon::prelude::*;
+use crate::gemm::{self, GemmScratch};
 
 /// A row-major dense matrix of `f32`.
 ///
@@ -126,37 +126,57 @@ impl Matrix {
         self.rows += 1;
     }
 
-    /// Dense matmul: `self (n×k) · rhs (k×m) → (n×m)`, parallel over row blocks.
+    /// Dense matmul: `self (n×k) · rhs (k×m) → (n×m)`.
     ///
-    /// The inner loops are written in the i-k-j order so the innermost loop
-    /// streams both the `rhs` row and the output row, which lets LLVM
-    /// auto-vectorise the multiply-accumulate.
+    /// Allocating convenience wrapper over [`Matrix::matmul_into`] /
+    /// [`gemm::gemm_into`] — the blocked, panel-packed kernel with strict
+    /// per-element k-order accumulation, so the result is bitwise-identical
+    /// to the naive i-k-j loop at any thread count. The kernel is dense:
+    /// NaN/Inf anywhere in either operand propagates to the output.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out, &mut GemmScratch::new());
+        out
+    }
+
+    /// Dense matmul into caller-owned storage: `out` is reshaped (capacity
+    /// retained) to `self.rows × rhs.cols` and fully overwritten, and the
+    /// packing buffer comes from `scratch` — steady-state callers allocate
+    /// nothing. Bitwise-identical to [`Matrix::matmul`].
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix, scratch: &mut GemmScratch) {
         assert_eq!(self.cols, rhs.rows, "matmul shape mismatch {:?}x{:?}", self.shape(), rhs.shape());
         let (n, k, m) = (self.rows, self.cols, rhs.cols);
-        let mut out = Matrix::zeros(n, m);
-        // Parallelise over output rows; each task owns a disjoint output slice.
-        out.data
-            .par_chunks_mut(m.max(1))
-            .enumerate()
-            .for_each(|(i, orow)| {
-                let arow = &self.data[i * k..(i + 1) * k];
-                for (kk, &a) in arow.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let brow = &rhs.data[kk * m..(kk + 1) * m];
-                    for (o, &b) in orow.iter_mut().zip(brow) {
-                        *o += a * b;
-                    }
-                }
-            });
-        out
+        out.resize_to(n, m);
+        gemm::gemm_into(n, k, m, &self.data, &rhs.data, &mut out.data, scratch, true);
     }
 
     /// `vec (1×k) · self (k×m) → (1×m)`, sequential; the hot path for
     /// single-node incremental updates.
+    ///
+    /// This is the *dense* kernel: every term is multiplied and accumulated
+    /// in k order, so a NaN in either the vector or the matrix poisons the
+    /// output instead of being silently dropped (the seed kernel's
+    /// `a == 0.0` skip turned `0.0 × NaN` into `0.0`, hiding corrupted
+    /// weights from the drift auditor). For inputs known to be legitimately
+    /// sparse, [`Matrix::vecmul_sparse`] keeps the skip.
     pub fn vecmul(&self, vec: &[f32], out: &mut [f32]) {
+        assert_eq!(vec.len(), self.rows, "vecmul shape mismatch");
+        assert_eq!(out.len(), self.cols, "vecmul output shape mismatch");
+        out.fill(0.0);
+        for (kk, &a) in vec.iter().enumerate() {
+            let brow = &self.data[kk * self.cols..(kk + 1) * self.cols];
+            for (o, &b) in out.iter_mut().zip(brow) {
+                *o += a * b;
+            }
+        }
+    }
+
+    /// Sparse-aware GEMV: like [`Matrix::vecmul`] but skips zero entries of
+    /// `vec` entirely, trading NaN propagation for speed on vectors that are
+    /// mostly zeros (e.g. one-hot features). Only correct when the matrix
+    /// rows selected by zero entries are known finite — a skipped
+    /// `0.0 × NaN` contributes nothing here but would poison the dense path.
+    pub fn vecmul_sparse(&self, vec: &[f32], out: &mut [f32]) {
         assert_eq!(vec.len(), self.rows, "vecmul shape mismatch");
         assert_eq!(out.len(), self.cols, "vecmul output shape mismatch");
         out.fill(0.0);
@@ -169,6 +189,16 @@ impl Matrix {
                 *o += a * b;
             }
         }
+    }
+
+    /// Reshapes to `rows × cols`, zero-filling contents and keeping the
+    /// backing buffer's capacity. The in-place analogue of
+    /// [`Matrix::zeros`] for steady-state buffer reuse.
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
     }
 
     /// Transposed copy. Walks the matrix in square tiles so both the source
@@ -220,6 +250,13 @@ impl Matrix {
     /// Bytes occupied by the backing buffer (capacity ignored).
     pub fn nbytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Bytes *reserved* by the backing buffer (capacity, not length) — the
+    /// observable the steady-state allocation tests track for caller-owned
+    /// matrices that shrink and regrow via [`Matrix::resize_to`].
+    pub fn capacity_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
     }
 }
 
@@ -281,6 +318,70 @@ mod tests {
         w.vecmul(&v, &mut out);
         let m = Matrix::from_vec(1, 3, v.to_vec()).matmul(&w);
         assert_eq!(out.as_slice(), m.as_slice());
+    }
+
+    #[test]
+    fn matmul_into_reuses_capacity_and_matches_matmul() {
+        let a = Matrix::from_fn(9, 5, |r, c| (r * 5 + c) as f32 * 0.25 - 2.0);
+        let b = Matrix::from_fn(5, 7, |r, c| (r as f32 - c as f32) * 0.5);
+        let mut out = Matrix::zeros(64, 64); // larger than needed: capacity must survive
+        let cap = out.capacity_bytes();
+        let mut scratch = GemmScratch::new();
+        a.matmul_into(&b, &mut out, &mut scratch);
+        assert_eq!(out.shape(), (9, 7));
+        assert_eq!(out, a.matmul(&b));
+        assert_eq!(out.capacity_bytes(), cap, "resize_to must keep capacity");
+    }
+
+    #[test]
+    fn vecmul_propagates_nan_past_zero_coefficients() {
+        // Regression for the seed kernel's `a == 0.0` skip: a NaN weight row
+        // selected by a zero coefficient must still poison the output.
+        let mut w = Matrix::from_fn(3, 2, |r, c| (r + c) as f32);
+        w.set(1, 0, f32::NAN);
+        let mut out = [0.0; 2];
+        w.vecmul(&[1.0, 0.0, 1.0], &mut out);
+        assert!(out[0].is_nan(), "dense vecmul must propagate 0·NaN");
+        assert!(!out[1].is_nan());
+
+        // The sparse-aware entry point keeps the skip by contract.
+        w.vecmul_sparse(&[1.0, 0.0, 1.0], &mut out);
+        assert!(!out[0].is_nan(), "vecmul_sparse skips zero coefficients");
+
+        // NaN in the vector itself propagates on both paths.
+        let w = Matrix::from_fn(2, 2, |_, _| 1.0);
+        w.vecmul(&[f32::NAN, 1.0], &mut out);
+        assert!(out.iter().all(|x| x.is_nan()));
+        w.vecmul_sparse(&[f32::NAN, 1.0], &mut out);
+        assert!(out.iter().all(|x| x.is_nan()));
+    }
+
+    #[test]
+    fn matmul_propagates_nan_past_zero_coefficients() {
+        let a = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let mut b = Matrix::from_fn(2, 2, |_, _| 2.0);
+        b.set(0, 0, f32::NAN);
+        let c = a.matmul(&b);
+        assert!(c.get(0, 0).is_nan(), "dense matmul must propagate 0·NaN");
+        assert!(!c.get(0, 1).is_nan());
+    }
+
+    #[test]
+    fn vecmul_sparse_agrees_with_dense_on_finite_data() {
+        let w = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.1 - 0.5);
+        let v = [0.0, 1.5, 0.0, -2.0];
+        let (mut dense, mut sparse) = ([0.0; 3], [0.0; 3]);
+        w.vecmul(&v, &mut dense);
+        w.vecmul_sparse(&v, &mut sparse);
+        assert_eq!(dense, sparse);
+    }
+
+    #[test]
+    fn resize_to_zeroes_and_reshapes() {
+        let mut m = Matrix::from_fn(2, 2, |_, _| 9.0);
+        m.resize_to(3, 1);
+        assert_eq!(m.shape(), (3, 1));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
     }
 
     #[test]

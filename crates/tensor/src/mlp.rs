@@ -1,5 +1,6 @@
 //! Multi-layer perceptron — the combination function of GIN layers.
 
+use crate::gemm::GemmScratch;
 use crate::{Activation, Linear, Matrix};
 use rand::rngs::StdRng;
 
@@ -58,6 +59,40 @@ impl Mlp {
         cur
     }
 
+    /// Batched forward into caller-owned storage: `x` is `rows` row-major
+    /// vectors of `in_dim` values, `out` receives `rows × out_dim`. Hidden
+    /// ping-pong activations are borrowed from `scratch`, so steady-state
+    /// callers allocate nothing. Each output row is bitwise-identical to
+    /// [`Mlp::forward_vec`] on the matching input row. Returns the total
+    /// GEMM flop count.
+    pub fn forward_batch_into(
+        &self,
+        rows: usize,
+        x: &[f32],
+        out: &mut [f32],
+        scratch: &mut GemmScratch,
+    ) -> u64 {
+        if self.layers.len() == 1 {
+            return self.layers[0].forward_batch_into(rows, x, out, scratch);
+        }
+        let mut flops = 0;
+        let mut cur = scratch.take(rows * self.layers[0].out_dim());
+        flops += self.layers[0].forward_batch_into(rows, x, &mut cur, scratch);
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate().skip(1) {
+            self.hidden_act.apply(&mut cur);
+            if i == last {
+                flops += layer.forward_batch_into(rows, &cur, out, scratch);
+            } else {
+                let mut nxt = scratch.take(rows * layer.out_dim());
+                flops += layer.forward_batch_into(rows, &cur, &mut nxt, scratch);
+                scratch.put(std::mem::replace(&mut cur, nxt));
+            }
+        }
+        scratch.put(cur);
+        flops
+    }
+
     /// Total parameter count.
     pub fn param_count(&self) -> usize {
         self.layers.iter().map(Linear::param_count).sum()
@@ -100,6 +135,27 @@ mod tests {
         let batched = mlp.forward_matrix(&x);
         for r in 0..6 {
             assert_eq!(mlp.forward_vec(x.row(r)).as_slice(), batched.row(r));
+        }
+    }
+
+    #[test]
+    fn batched_forward_is_bitwise_equal_to_per_row() {
+        let mut rng = seeded_rng(31);
+        for dims in [&[4usize, 3][..], &[4, 8, 3], &[4, 6, 6, 2]] {
+            let mlp = Mlp::new(&mut rng, dims, Activation::Relu);
+            let x = crate::init::uniform(&mut rng, 9, 4, -1.0, 1.0);
+            let mut out = vec![0.0; 9 * mlp.out_dim()];
+            let mut scratch = GemmScratch::new();
+            mlp.forward_batch_into(9, x.as_slice(), &mut out, &mut scratch);
+            for r in 0..9 {
+                let d = mlp.out_dim();
+                assert_eq!(
+                    mlp.forward_vec(x.row(r)).as_slice(),
+                    &out[r * d..(r + 1) * d],
+                    "depth {} row {r}",
+                    mlp.depth()
+                );
+            }
         }
     }
 

@@ -12,6 +12,7 @@ B=./target/release
 { time $B/memcost --scale 0.25          ; } > results/memcost.txt 2> results/memcost.log
 { time $B/fig7   --scale 0.25           ; } > results/fig7.txt   2> results/fig7.log
 { time $B/pipeline                      ; } > /dev/null          2> results/pipeline.log
+{ time $B/kernels                       ; } > /dev/null          2> results/kernels.log
 { time $B/drift                         ; } > /dev/null          2> results/drift.log
 { time $B/serve  --scale 0.25           ; } > /dev/null          2> results/serve.log
 echo ALL_DONE

@@ -1,0 +1,119 @@
+//! Equivalence and steady-state properties of the batched
+//! gather→GEMM→scatter transform (the engine's next-messages phase).
+//!
+//! * For every conv family × aggregator × worker/shard split, an engine with
+//!   the batched transform produces bitwise-identical state to the per-node
+//!   engine. This is exact, not approximate: the GEMM kernel accumulates
+//!   every output element in the same k order as the per-node `vecmul`, and
+//!   tiling/parallelism only change which elements compute together, never
+//!   the addition order within one element.
+//! * Repeated recompute epochs (`resync`) on a hook-free engine reuse the
+//!   cached matrices and pooled temporaries — reserved bytes stay flat.
+
+use ink_graph::{DeltaBatch, DynGraph};
+use ink_gnn::{Aggregator, Model};
+use ink_tensor::init::{seeded_rng, uniform};
+use inkstream::{InkStream, UpdateConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random undirected graph as (n, edge list).
+fn arb_graph(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (8..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 10..60);
+        (Just(n), edges)
+    })
+}
+
+/// One model per conv family, all depth-2 so inter-layer messages exercise
+/// the batched next-layer message GEMM too.
+fn model_for(kind: u8, rng: &mut StdRng, agg: Aggregator) -> Model {
+    match kind % 3 {
+        0 => Model::gcn(rng, &[4, 6, 3], agg),
+        1 => Model::sage(rng, &[4, 6, 3], agg),
+        _ => Model::gin(rng, 4, 6, 3, 0.2, agg),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Batched engine == per-node engine, bitwise, across GCN/SAGE/GIN ×
+    /// all four aggregators × arbitrary worker/shard splits.
+    #[test]
+    fn batched_transform_matches_per_node_bitwise(
+        (n, raw_edges) in arb_graph(24),
+        seed in 0u64..1000,
+        combo in 0usize..12,
+        (workers, shards) in (1usize..5, 1usize..9),
+        delta_size in 1usize..8,
+    ) {
+        // 12 combos = 3 conv families × 4 aggregators.
+        let kind = (combo / 4) as u8;
+        let agg =
+            [Aggregator::Max, Aggregator::Min, Aggregator::Sum, Aggregator::Mean][combo % 4];
+        let g = DynGraph::undirected_from_edges(n, &raw_edges);
+        prop_assume!(g.num_edges() > 2);
+        let make = |cfg: UpdateConfig| {
+            let mut rng = seeded_rng(seed);
+            let x = uniform(&mut rng, n, 4, -1.0, 1.0);
+            let model = model_for(kind, &mut rng, agg);
+            InkStream::new(model, g.clone(), x, cfg).unwrap()
+        };
+        let mut per_node = make(UpdateConfig::default().per_node_transform());
+        let mut batched = make(UpdateConfig {
+            batch_threshold: 1,
+            num_workers: workers,
+            num_shards: shards,
+            parallel_threshold: 0,
+            ..UpdateConfig::default()
+        });
+        // Both engines bootstrap to the same state by construction.
+        prop_assert_eq!(per_node.output(), batched.output());
+        let mut drng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let delta = DeltaBatch::random_scenario(per_node.graph(), &mut drng, delta_size);
+        let rp = per_node.apply_delta(&delta);
+        let rb = batched.apply_delta(&delta);
+        prop_assert_eq!(rp.batched_rows(), 0);
+        prop_assert_eq!(rp.gemm_flops, 0);
+        prop_assert_eq!(batched.output(), per_node.output());
+        for l in 0..per_node.model().num_layers() {
+            prop_assert_eq!(&batched.state().m[l], &per_node.state().m[l]);
+            prop_assert_eq!(&batched.state().alpha[l], &per_node.state().alpha[l]);
+        }
+        // With threshold 1, any visited target means the batched path ran.
+        if rb.nodes_visited > 0 {
+            prop_assert!(rb.batched_rows() > 0, "threshold 1 must engage the batched path");
+        }
+    }
+}
+
+/// A recompute epoch (`resync`) on a warm hook-free engine reuses every
+/// cached matrix and pooled temporary: reserved bytes stay flat while the
+/// state is rebuilt bitwise-equal to the reference.
+#[test]
+fn recompute_epoch_is_allocation_free_once_warm() {
+    let mut rng = seeded_rng(77);
+    let g = ink_graph::generators::erdos_renyi(&mut rng, 64, 180);
+    let x = uniform(&mut rng, 64, 6, -1.0, 1.0);
+    let model = Model::sage(&mut rng, &[6, 8, 4], Aggregator::Mean);
+    let mut engine = InkStream::new(model, g, x, UpdateConfig::default()).unwrap();
+    // Warm the pools with an update round and one in-place epoch.
+    let mut drng = StdRng::seed_from_u64(99);
+    let delta = DeltaBatch::random_scenario(engine.graph(), &mut drng, 6);
+    engine.apply_delta(&delta);
+    engine.resync();
+    let warm = engine.state().reserved_bytes() + engine.scratch_bytes();
+    assert!(warm > 0);
+    for _ in 0..4 {
+        let r = engine.resync();
+        assert!(r.f32_written > 0);
+        assert_eq!(engine.output(), &engine.recompute_reference());
+    }
+    assert_eq!(
+        engine.state().reserved_bytes() + engine.scratch_bytes(),
+        warm,
+        "steady-state recompute epochs must not allocate"
+    );
+}
