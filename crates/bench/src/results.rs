@@ -49,18 +49,65 @@ pub fn write_metrics(name: &str, registry: &MetricsRegistry) -> PathBuf {
 }
 
 /// A `(p50, p90, p99, max)` duration tuple in microseconds — the common
-/// latency shape of the serve bench rows.
-pub fn latency_us(sorted_us: &[f64]) -> Json {
+/// latency shape of the serve bench rows. Samples may arrive in any order;
+/// the function sorts its own copy before indexing percentiles, so callers
+/// that forget to pre-sort get correct numbers instead of silently wrong
+/// ones.
+pub fn latency_us(samples_us: &[f64]) -> Json {
+    let mut sorted = samples_us.to_vec();
+    sorted.sort_unstable_by(f64::total_cmp);
     let pct = |p: f64| -> f64 {
-        if sorted_us.is_empty() {
+        if sorted.is_empty() {
             return 0.0;
         }
-        sorted_us[((sorted_us.len() - 1) as f64 * p).round() as usize]
+        sorted[((sorted.len() - 1) as f64 * p).round() as usize]
     };
     Json::obj([
         ("p50", inkstream::json::rounded(pct(0.50), 3)),
         ("p90", inkstream::json::rounded(pct(0.90), 3)),
         ("p99", inkstream::json::rounded(pct(0.99), 3)),
-        ("max", inkstream::json::rounded(sorted_us.last().copied().unwrap_or(0.0), 3)),
+        ("max", inkstream::json::rounded(sorted.last().copied().unwrap_or(0.0), 3)),
     ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(doc: &Json, key: &str) -> f64 {
+        let rendered = doc.pretty();
+        let tail = rendered.split(&format!("\"{key}\": ")).nth(1).expect("field present");
+        tail.split([',', '\n', '}'])
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .expect("numeric field")
+    }
+
+    #[test]
+    fn latency_us_sorts_unsorted_input() {
+        // Reverse-sorted: the old implementation indexed this directly and
+        // reported p50 > p99.
+        let doc = latency_us(&[900.0, 500.0, 100.0, 700.0, 300.0]);
+        assert_eq!(field(&doc, "p50"), 500.0);
+        assert_eq!(field(&doc, "p99"), 900.0);
+        assert_eq!(field(&doc, "max"), 900.0);
+    }
+
+    #[test]
+    fn latency_us_percentiles_are_monotone() {
+        let doc = latency_us(&[42.0, 7.0, 13.0, 99.0, 1.0, 58.0, 21.0]);
+        let (p50, p90, p99, max) =
+            (field(&doc, "p50"), field(&doc, "p90"), field(&doc, "p99"), field(&doc, "max"));
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= max);
+        assert_eq!(max, 99.0);
+    }
+
+    #[test]
+    fn latency_us_handles_empty_input() {
+        let doc = latency_us(&[]);
+        assert_eq!(field(&doc, "p50"), 0.0);
+        assert_eq!(field(&doc, "max"), 0.0);
+    }
 }

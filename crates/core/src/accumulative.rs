@@ -33,36 +33,50 @@ pub fn apply_accumulative(
     degree_delta: i32,
     compensated: bool,
 ) -> Vec<f32> {
+    let mut alpha = vec![0.0; alpha_old.len()];
+    apply_accumulative_into(agg, alpha_old, sum, degree_new, degree_delta, compensated, &mut alpha);
+    alpha
+}
+
+/// Allocation-free form of [`apply_accumulative`]: writes the new `α` into
+/// `out`.
+pub fn apply_accumulative_into(
+    agg: Aggregator,
+    alpha_old: &[f32],
+    sum: &[f32],
+    degree_new: usize,
+    degree_delta: i32,
+    compensated: bool,
+    out: &mut [f32],
+) {
     debug_assert!(agg.is_accumulative());
+    debug_assert_eq!(out.len(), alpha_old.len());
     match agg {
         Aggregator::Sum => {
-            let mut alpha = alpha_old.to_vec();
-            ink_tensor::ops::add_assign(&mut alpha, sum);
-            alpha
+            out.copy_from_slice(alpha_old);
+            ink_tensor::ops::add_assign(out, sum);
         }
         Aggregator::Mean => {
             let degree_old = degree_new as i64 - degree_delta as i64;
             debug_assert!(degree_old >= 0, "degree bookkeeping went negative");
             if degree_new == 0 {
                 // Empty-neighborhood convention: zeros.
-                return vec![0.0; alpha_old.len()];
+                out.fill(0.0);
+                return;
             }
             if compensated {
                 let d_old = degree_old as f64;
                 let inv_new = 1.0 / degree_new as f64;
-                return alpha_old
-                    .iter()
-                    .zip(sum)
-                    .map(|(&a, &s)| ((a as f64 * d_old + s as f64) * inv_new) as f32)
-                    .collect();
+                for ((o, &a), &s) in out.iter_mut().zip(alpha_old).zip(sum) {
+                    *o = ((a as f64 * d_old + s as f64) * inv_new) as f32;
+                }
+                return;
             }
             let d_old = degree_old as f32;
             let inv_new = 1.0 / degree_new as f32;
-            alpha_old
-                .iter()
-                .zip(sum)
-                .map(|(a, s)| (a * d_old + s) * inv_new)
-                .collect()
+            for ((o, &a), &s) in out.iter_mut().zip(alpha_old).zip(sum) {
+                *o = (a * d_old + s) * inv_new;
+            }
         }
         _ => unreachable!("monotonic aggregators use apply_monotonic"),
     }

@@ -44,6 +44,31 @@ pub struct UpdateConfig {
     /// below it the per-node path wins (packing the weight panel costs more
     /// than it saves).
     pub batch_threshold: usize,
+    /// Batched aggregator recomputation in the apply phase: targets that
+    /// fall off the incremental path (exposed resets, empty-old
+    /// neighborhoods, forced recomputes) are grouped by event kind × degree
+    /// class, their neighbor messages gathered into contiguous panels, and
+    /// each panel folded with one batched reduction. Bitwise identical to
+    /// the per-target scalar loop (rows fold in the same order with the
+    /// same kernels), so this is purely a throughput knob.
+    pub batched_apply: bool,
+    /// Minimum deferred-recompute count per shard before the batched apply
+    /// path engages — below it the scalar per-target loop wins.
+    pub apply_batch_threshold: usize,
+    /// Adaptive dispatch: pick sequential vs batched vs parallel execution
+    /// per update round from a calibrated cost model
+    /// ([`ink_gnn::cost::CostModel`]) instead of the static `parallel` /
+    /// `batched_*` switches. Every arm is bitwise-identical, so the model
+    /// only ever trades wall-clock. Off by default: fixed configurations
+    /// stay exactly reproducible run-over-run for benchmarks and tests.
+    pub adaptive: bool,
+    /// Rounds smaller than this many work items (directed ΔG edges + feature
+    /// seeds) skip the cost model and run sequentially — tiny updates must
+    /// never pay worker fan-out or panel packing overhead.
+    pub adaptive_min_work: usize,
+    /// How many observations the dispatcher collects per arm before it
+    /// starts exploiting the cost model.
+    pub adaptive_probes: u64,
 }
 
 impl Default for UpdateConfig {
@@ -58,6 +83,11 @@ impl Default for UpdateConfig {
             compensated: false,
             batched_transform: true,
             batch_threshold: 8,
+            batched_apply: true,
+            apply_batch_threshold: 8,
+            adaptive: false,
+            adaptive_min_work: 64,
+            adaptive_probes: 2,
         }
     }
 }
@@ -98,6 +128,21 @@ impl UpdateConfig {
     /// per-node baseline of the kernels bench).
     pub fn per_node_transform(mut self) -> Self {
         self.batched_transform = false;
+        self
+    }
+
+    /// Disables the batched apply-phase recomputation, forcing the scalar
+    /// per-target aggregation loop (equivalence tests, and the per-target
+    /// baseline of the pipeline bench).
+    pub fn per_target_apply(mut self) -> Self {
+        self.batched_apply = false;
+        self
+    }
+
+    /// Enables per-round adaptive dispatch between the sequential, batched
+    /// and parallel execution plans.
+    pub fn adaptive(mut self) -> Self {
+        self.adaptive = true;
         self
     }
 
@@ -158,6 +203,22 @@ mod tests {
         assert!(UpdateConfig::default().batched_transform);
         assert!(UpdateConfig::default().batch_threshold >= 1);
         assert!(!UpdateConfig::default().per_node_transform().batched_transform);
+    }
+
+    #[test]
+    fn batched_apply_is_on_by_default_and_can_be_disabled() {
+        assert!(UpdateConfig::default().batched_apply);
+        assert!(UpdateConfig::default().apply_batch_threshold >= 1);
+        assert!(!UpdateConfig::default().per_target_apply().batched_apply);
+    }
+
+    #[test]
+    fn adaptive_is_opt_in() {
+        let c = UpdateConfig::default();
+        assert!(!c.adaptive);
+        assert!(c.adaptive().adaptive);
+        assert!(c.adaptive_min_work > 0, "tiny rounds must short-circuit to sequential");
+        assert!(c.adaptive_probes > 0);
     }
 
     #[test]

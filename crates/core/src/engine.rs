@@ -29,18 +29,20 @@
 //! Monotonic updates are bitwise identical to full recomputation; the
 //! integration suite asserts that per aggregation function.
 
-use crate::accumulative::apply_accumulative;
+use crate::accumulative::apply_accumulative_into;
 use crate::config::UpdateConfig;
 use crate::error::InkError;
 use crate::event::{Event, EventOp};
+use crate::grouping::{recompute_sort_key, RecomputeKind};
 use crate::hooks::{UserEvent, UserHooks};
-use crate::monotonic::{apply_monotonic, Condition, MonoOutcome};
+use crate::monotonic::{apply_monotonic_into, Condition};
 use crate::pipeline::{
-    shard_of, slot_in, worker_chunk, ApplyOutcome, CondKind, ScratchPool, ShardScratch,
-    WorkerScratch,
+    shard_of, slot_in, worker_chunk, ApplyOutcome, ApplyParts, CondKind, ScratchPool,
+    ShardScratch, WorkerScratch,
 };
 use crate::stats::{LayerStats, UpdateReport};
 use ink_graph::{DeltaBatch, DynGraph, EdgeChange, EdgeOp, FxHashMap, VertexId};
+use ink_gnn::cost::{CostModel, DispatchArm};
 use ink_gnn::full::{batch_aggregate_into, batch_message_into};
 use ink_gnn::{FullState, Model};
 use ink_tensor::gemm::{gather_rows_into, gather_rows_scaled_into};
@@ -68,6 +70,10 @@ pub struct InkStream {
     hooks: Option<Box<dyn UserHooks>>,
     user_cache: Vec<Option<Matrix>>,
     scratch: ScratchPool,
+    /// Per-arm cost fits feeding the adaptive dispatcher
+    /// ([`UpdateConfig::adaptive`]). Persists across rounds so the model
+    /// keeps learning over the stream.
+    cost: CostModel,
 }
 
 impl InkStream {
@@ -121,6 +127,7 @@ impl InkStream {
             hooks,
             user_cache,
             scratch: ScratchPool::default(),
+            cost: CostModel::new(),
         })
     }
 
@@ -182,6 +189,7 @@ impl InkStream {
             hooks,
             user_cache,
             scratch: ScratchPool::default(),
+            cost: CostModel::new(),
         })
     }
 
@@ -213,6 +221,12 @@ impl InkStream {
     /// Replaces the update configuration (e.g. to switch ablation modes).
     pub fn set_config(&mut self, config: UpdateConfig) {
         self.config = config;
+    }
+
+    /// The adaptive dispatcher's cost model (sample counts and per-arm
+    /// predictions), for observability exports.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
     }
 
     /// Heap bytes reserved by the engine's reusable scratch pool. Stable
@@ -505,12 +519,48 @@ impl InkStream {
         let t0 = Instant::now();
         let k = self.model.num_layers();
         let cfg = self.config;
-        let nw = cfg.worker_count();
-        let ns = cfg.shard_count();
+
+        // Adaptive dispatch: pick this round's execution plan from the cost
+        // model. Every arm is bitwise-identical — worker/shard counts and the
+        // batched paths never change results — so the choice only trades
+        // wall-clock. Tiny rounds short-circuit to the sequential plan inside
+        // `choose` and never pay fan-out or panel packing.
+        let round_work = directed.len() + seeds0.len();
+        let arm = if cfg.adaptive {
+            Some(self.cost.choose(round_work, cfg.adaptive_min_work, cfg.adaptive_probes))
+        } else {
+            None
+        };
+        // The Sequential arm opts out of fan-out only: one worker, one
+        // shard, no rayon. It keeps the configured batched transform and
+        // apply paths (with their thresholds) because those win or tie at
+        // every round size — forcing them off would make the arm lose to a
+        // plain `sequential()` engine on the tiny rounds it exists to win.
+        // The Batched arm instead forces both batched paths on, thresholds
+        // notwithstanding, so the dispatcher can compare packing against
+        // the threshold-gated default.
+        let (nw, ns, par_enabled, batched_tf, batched_ap) = match arm {
+            Some(DispatchArm::Sequential) => {
+                (1, 1, false, cfg.batched_transform, cfg.batched_apply)
+            }
+            Some(DispatchArm::Batched) => (1, 1, false, true, true),
+            Some(DispatchArm::Parallel) | None => (
+                cfg.worker_count(),
+                cfg.shard_count(),
+                cfg.parallel,
+                cfg.batched_transform,
+                cfg.batched_apply,
+            ),
+        };
         let mut report = UpdateReport::default();
 
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.begin_round(k, nw, ns);
+        // The pool only ever grows (see `begin_round`), so after an adaptive
+        // arm switch there may be more pooled workers/shards than this
+        // round's `nw`/`ns`. Every phase below iterates only the first
+        // `nw` workers and `ns` shards — a sequential round must not pay
+        // per-shard walks over pool capacity left behind by a parallel one.
         for l in 0..k {
             scratch.old.reset_layer(l, self.model.msg_dim(l));
         }
@@ -551,7 +601,7 @@ impl InkStream {
             // out over workers. Each worker owns a contiguous ordered chunk
             // of the work lists and writes into its private arena/buckets.
             let t_generate = Instant::now();
-            for ws in &mut scratch.workers {
+            for ws in &mut scratch.workers[..nw] {
                 ws.begin(ns, dim);
             }
 
@@ -570,9 +620,10 @@ impl InkStream {
                             .copied(),
                     );
                 }
-                let par = cfg.parallel && scratch.rescale_list.len() >= cfg.parallel_threshold;
+                let par = par_enabled && scratch.rescale_list.len() >= cfg.parallel_threshold;
                 {
                     let ScratchPool { workers, rescale_list, .. } = &mut scratch;
+                    let workers = &mut workers[..nw];
                     let rescale_list = &*rescale_list;
                     let this = &*self;
                     // Stage the new message (old scaled by the weight ratio,
@@ -619,7 +670,7 @@ impl InkStream {
                 // message really changed record their old value and hooks.
                 {
                     let ScratchPool { workers, old, pending_user, .. } = &mut scratch;
-                    for ws in workers.iter() {
+                    for ws in workers[..nw].iter() {
                         for &(v, pid) in &ws.rescaled {
                             let new = ws.arena.get(pid);
                             if new != self.state.m[l].row(v as usize) {
@@ -647,9 +698,10 @@ impl InkStream {
             }
 
             let gen_work = directed.len() + scratch.changed_order.len();
-            let par_generate = cfg.parallel && gen_work >= cfg.parallel_threshold;
+            let par_generate = par_enabled && gen_work >= cfg.parallel_threshold;
             {
                 let ScratchPool { workers, old, changed_order, covered, .. } = &mut scratch;
+                let workers = &mut workers[..nw];
                 let old = &*old;
                 let changed_order = &*changed_order;
                 let covered = &*covered;
@@ -736,19 +788,20 @@ impl InkStream {
                 }
             }
             layer_stats.events_created =
-                scratch.workers.iter().map(WorkerScratch::events_emitted).sum();
+                scratch.workers[..nw].iter().map(WorkerScratch::events_emitted).sum();
             f32_written +=
-                scratch.workers.iter().map(|ws| ws.arena.len() * dim).sum::<usize>() as u64;
+                scratch.workers[..nw].iter().map(|ws| ws.arena.len() * dim).sum::<usize>() as u64;
             layer_stats.phases.generate = t_generate.elapsed();
 
             // ── Phase 2: group ────────────────────────────────────────────
             // Each shard reduces its buckets phase-major then worker-major —
             // exactly the sequential emission order restricted to the shard.
             let t_group = Instant::now();
-            let par_group = cfg.parallel && layer_stats.events_created >= cfg.parallel_threshold;
+            let par_group = par_enabled && layer_stats.events_created >= cfg.parallel_threshold;
             {
                 let ScratchPool { workers, shards, .. } = &mut scratch;
-                let workers = &*workers;
+                let workers = &workers[..nw];
+                let shards = &mut shards[..ns];
                 let run = |(s, shard): (usize, &mut ShardScratch)| {
                     shard.begin();
                     for ws in workers {
@@ -767,39 +820,46 @@ impl InkStream {
                     shards.iter_mut().enumerate().for_each(run);
                 }
             }
-            let total_targets: usize = scratch.shards.iter().map(|s| s.entries.len()).sum();
+            let total_targets: usize = scratch.shards[..ns].iter().map(|s| s.entries.len()).sum();
             layer_stats.targets = total_targets;
-            f32_read += scratch.shards.iter().map(|s| s.payload_reads).sum::<usize>() as u64;
+            f32_read += scratch.shards[..ns].iter().map(|s| s.payload_reads).sum::<usize>() as u64;
             layer_stats.phases.group = t_group.elapsed();
 
             // ── Phase 3: apply ────────────────────────────────────────────
             // Per-target incremental update / recomputation, α written into
-            // each shard's flat output buffer.
+            // each shard's flat output buffer. Two passes per shard: pass 1
+            // classifies every entry and applies the cheap incremental
+            // updates in place; entries that need a full neighborhood
+            // recomputation are deferred, grouped by event kind × degree
+            // class, gathered into contiguous panels and folded with the
+            // batched reduction kernels in pass 2.
             let t_apply = Instant::now();
-            let par_apply = cfg.parallel && total_targets >= cfg.parallel_threshold;
+            let par_apply = par_enabled && total_targets >= cfg.parallel_threshold;
             {
                 let this = &*self;
                 let ScratchPool { shards, .. } = &mut scratch;
+                let shards = &mut shards[..ns];
                 let run = |(_, shard): (usize, &mut ShardScratch)| {
-                    let (entries, buf, alpha_buf, outcomes) = shard.apply_parts();
+                    let ApplyParts {
+                        entries,
+                        buf,
+                        alpha_buf,
+                        outcomes,
+                        recompute,
+                        apply_comp,
+                        gemm,
+                        batched_apply_rows,
+                    } = shard.apply_parts();
                     alpha_buf.resize(entries.len() * dim, 0.0);
+                    // Pass 1: classify and update incrementally.
                     for (i, e) in entries.iter().enumerate() {
                         let out = &mut alpha_buf[i * dim..(i + 1) * dim];
                         let u = e.target;
                         let alpha_old = this.state.alpha[l].row(u as usize);
                         let mut reads = dim as u64;
-                        let recompute = |out: &mut [f32], reads: &mut u64| {
-                            agg.aggregate_into(
-                                this.graph
-                                    .in_neighbors(u)
-                                    .iter()
-                                    .map(|&v| this.state.m[l].row(v as usize)),
-                                out,
-                            );
-                            *reads += (this.graph.in_degree(u) * dim) as u64;
-                        };
+                        let mut deferred = None;
                         let cond = if !cfg.incremental {
-                            recompute(out, &mut reads);
+                            deferred = Some(RecomputeKind::Forced);
                             CondKind::Forced
                         } else if mono {
                             // A target whose *old* neighborhood was empty has
@@ -807,21 +867,19 @@ impl InkStream {
                             // the incremental rules don't apply there.
                             let old_deg = this.graph.in_degree(u) as i64 - e.degree_delta as i64;
                             if old_deg <= 0 {
-                                recompute(out, &mut reads);
+                                deferred = Some(RecomputeKind::EmptyOld);
                                 CondKind::Mono(Condition::ExposedReset)
                             } else {
-                                match apply_monotonic(
+                                match apply_monotonic_into(
                                     agg,
                                     alpha_old,
                                     slot_in(buf, e.del, dim),
                                     slot_in(buf, e.add, dim),
+                                    out,
                                 ) {
-                                    MonoOutcome::Updated { condition, alpha } => {
-                                        out.copy_from_slice(&alpha);
-                                        CondKind::Mono(condition)
-                                    }
-                                    MonoOutcome::Recompute => {
-                                        recompute(out, &mut reads);
+                                    Some(condition) => CondKind::Mono(condition),
+                                    None => {
+                                        deferred = Some(RecomputeKind::Exposed);
                                         CondKind::Mono(Condition::ExposedReset)
                                     }
                                 }
@@ -829,18 +887,94 @@ impl InkStream {
                         } else {
                             let sum =
                                 slot_in(buf, e.add, dim).expect("acc group always has a sum");
-                            let alpha = apply_accumulative(
+                            apply_accumulative_into(
                                 agg,
                                 alpha_old,
                                 sum,
                                 this.graph.in_degree(u),
                                 e.degree_delta,
                                 cfg.compensated,
+                                out,
                             );
-                            out.copy_from_slice(&alpha);
                             CondKind::Acc
                         };
-                        outcomes.push(ApplyOutcome { cond, reads, changed: &*out != alpha_old });
+                        if let Some(kind) = deferred {
+                            recompute
+                                .push((recompute_sort_key(kind, this.graph.in_degree(u)), i as u32));
+                            reads += (this.graph.in_degree(u) * dim) as u64;
+                        }
+                        // `changed` of deferred entries is backfilled once
+                        // their α is actually recomputed below.
+                        let changed = deferred.is_none() && &*out != alpha_old;
+                        outcomes.push(ApplyOutcome { cond, reads, changed });
+                    }
+                    if recompute.is_empty() {
+                        return;
+                    }
+                    // Pass 2: full recomputations. Each equal-key run gathers
+                    // its targets' neighbor rows (in neighbor order) into one
+                    // contiguous panel from the shard's buffer pool and folds
+                    // it with the batched kernels — bitwise identical to the
+                    // scalar loop because every target's rows still fold in
+                    // the same order with the same kernels.
+                    if batched_ap && dim > 0 && recompute.len() >= cfg.apply_batch_threshold.max(1)
+                    {
+                        recompute.sort_unstable();
+                        let mut g = 0;
+                        while g < recompute.len() {
+                            let key = recompute[g].0;
+                            let mut end = g;
+                            let mut rows = 0usize;
+                            while end < recompute.len() && recompute[end].0 == key {
+                                rows +=
+                                    this.graph.in_degree(entries[recompute[end].1 as usize].target);
+                                end += 1;
+                            }
+                            let mut panel = gemm.take(rows * dim);
+                            let mut off = 0usize;
+                            for &(_, idx) in &recompute[g..end] {
+                                let u = entries[idx as usize].target;
+                                let deg = this.graph.in_degree(u);
+                                gather_rows_into(
+                                    &this.state.m[l],
+                                    this.graph.in_neighbors(u).iter().map(|&v| v as usize),
+                                    &mut panel[off * dim..(off + deg) * dim],
+                                );
+                                off += deg;
+                            }
+                            let mut off = 0usize;
+                            for &(_, idx) in &recompute[g..end] {
+                                let i = idx as usize;
+                                let deg = this.graph.in_degree(entries[i].target);
+                                agg.aggregate_rows_into(
+                                    &panel[off * dim..(off + deg) * dim],
+                                    &mut alpha_buf[i * dim..(i + 1) * dim],
+                                    apply_comp,
+                                );
+                                off += deg;
+                            }
+                            gemm.put(panel);
+                            *batched_apply_rows += rows;
+                            g = end;
+                        }
+                    } else {
+                        for &(_, idx) in recompute.iter() {
+                            let i = idx as usize;
+                            let u = entries[i].target;
+                            agg.aggregate_into(
+                                this.graph
+                                    .in_neighbors(u)
+                                    .iter()
+                                    .map(|&v| this.state.m[l].row(v as usize)),
+                                &mut alpha_buf[i * dim..(i + 1) * dim],
+                            );
+                        }
+                    }
+                    for &(_, idx) in recompute.iter() {
+                        let i = idx as usize;
+                        let u = entries[i].target;
+                        outcomes[i].changed = alpha_buf[i * dim..(i + 1) * dim]
+                            != *this.state.alpha[l].row(u as usize);
                     }
                 };
                 if par_apply {
@@ -849,6 +983,8 @@ impl InkStream {
                     shards.iter_mut().enumerate().for_each(run);
                 }
             }
+            layer_stats.batched_apply_rows =
+                scratch.shards[..ns].iter().map(|s| s.batched_apply_rows).sum();
             layer_stats.phases.apply = t_apply.elapsed();
 
             // ── Phase 4: write ────────────────────────────────────────────
@@ -858,7 +994,7 @@ impl InkStream {
             {
                 let ScratchPool { shards, affected, next_targets, .. } = &mut scratch;
                 next_targets.clear();
-                for shard in shards.iter() {
+                for shard in shards[..ns].iter() {
                     for (i, (e, o)) in shard.entries.iter().zip(&shard.outcomes).enumerate() {
                         f32_read += o.reads;
                         match o.cond {
@@ -935,8 +1071,8 @@ impl InkStream {
             // big enough, per-node otherwise — then commit sequentially.
             let t_next = Instant::now();
             let nt = scratch.next_targets.len();
-            let par_next = cfg.parallel && nt >= cfg.parallel_threshold;
-            let batched = cfg.batched_transform
+            let par_next = par_enabled && nt >= cfg.parallel_threshold;
+            let batched = batched_tf
                 && nt >= cfg.batch_threshold.max(1)
                 && dim > 0
                 && out_dim > 0
@@ -1110,6 +1246,10 @@ impl InkStream {
         report.f32_read = f32_read;
         report.f32_written = f32_written;
         report.elapsed = t0.elapsed();
+        if let Some(arm) = arm {
+            self.cost.observe(arm, round_work, report.elapsed.as_nanos() as u64);
+            report.dispatch = Some(arm);
+        }
         self.scratch = scratch;
         report
     }
@@ -1521,6 +1661,115 @@ mod tests {
             assert!(rb.batched_rows() > 0, "{agg:?}: batched path must engage");
             assert!(rb.gemm_flops > 0, "{agg:?}: SAGE updates run GEMMs");
         }
+    }
+
+    #[test]
+    fn batched_apply_is_bitwise_equal_to_per_target() {
+        for agg in [Aggregator::Max, Aggregator::Min, Aggregator::Sum, Aggregator::Mean] {
+            // Default config exercises the exposed-reset recomputes of the
+            // monotonic path; recompute_all forces every target (including
+            // accumulative ones) through the recompute pass.
+            for base in [UpdateConfig::default(), UpdateConfig::recompute_all()] {
+                let make = |cfg: UpdateConfig| {
+                    let mut rng = seeded_rng(41);
+                    let model = Model::gcn(&mut rng, &[4, 6, 3], agg);
+                    InkStream::new(model, ring(24), feats(24, 4), cfg).unwrap()
+                };
+                // Removals drive monotonic exposed resets; the insert into a
+                // fresh target adds an empty-old recompute.
+                let delta = DeltaBatch::new(vec![
+                    EdgeChange::remove(0, 1),
+                    EdgeChange::remove(5, 6),
+                    EdgeChange::remove(12, 13),
+                    EdgeChange::insert(2, 18),
+                ]);
+                let mut scalar = make(base.per_target_apply());
+                let mut batched = make(UpdateConfig { apply_batch_threshold: 1, ..base });
+                let mut sharded = make(UpdateConfig {
+                    apply_batch_threshold: 1,
+                    num_workers: 3,
+                    num_shards: 8,
+                    parallel_threshold: 0,
+                    ..base
+                });
+                let rs = scalar.apply_delta(&delta);
+                let rb = batched.apply_delta(&delta);
+                let rp = sharded.apply_delta(&delta);
+                assert_eq!(batched.output(), scalar.output(), "{agg:?} {base:?}");
+                assert_eq!(sharded.output(), scalar.output(), "{agg:?} {base:?} sharded");
+                assert_eq!(batched.state().alpha[1], scalar.state().alpha[1], "{agg:?}");
+                assert_eq!(rs.batched_apply_rows(), 0, "{agg:?}: scalar engine must not batch");
+                if !base.incremental {
+                    assert!(
+                        rb.batched_apply_rows() > 0 && rp.batched_apply_rows() > 0,
+                        "{agg:?}: forced recomputes must take the panel path"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_dispatch_is_bitwise_equal_and_exercises_every_arm() {
+        for agg in [Aggregator::Max, Aggregator::Mean] {
+            let make = |cfg: UpdateConfig| {
+                let mut rng = seeded_rng(42);
+                let model = Model::gcn(&mut rng, &[4, 6, 3], agg);
+                InkStream::new(model, ring(32), feats(32, 4), cfg).unwrap()
+            };
+            let mut reference = make(UpdateConfig::default().sequential());
+            let mut adaptive = make(UpdateConfig {
+                adaptive_min_work: 0,
+                adaptive_probes: 1,
+                parallel_threshold: 0,
+                num_workers: 2,
+                num_shards: 4,
+                ..UpdateConfig::default().adaptive()
+            });
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..8u32 {
+                let delta = DeltaBatch::new(vec![
+                    EdgeChange::insert(i, i + 16),
+                    EdgeChange::remove(i + 8, i + 9),
+                ]);
+                reference.apply_delta(&delta);
+                let r = adaptive.apply_delta(&delta);
+                seen.insert(r.dispatch.expect("adaptive rounds must report their arm"));
+                assert_eq!(
+                    adaptive.output(),
+                    reference.output(),
+                    "{agg:?}: round {i} diverged under adaptive dispatch"
+                );
+            }
+            assert_eq!(seen.len(), 3, "{agg:?}: probing must exercise every arm, saw {seen:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_min_work_short_circuits_small_rounds_to_sequential() {
+        let mut rng = seeded_rng(43);
+        let model = Model::gcn(&mut rng, &[4, 5, 3], Aggregator::Max);
+        let mut engine = InkStream::new(
+            model,
+            ring(16),
+            feats(16, 4),
+            UpdateConfig::default().adaptive(),
+        )
+        .unwrap();
+        // One undirected insert = two directed work items, far below the
+        // default `adaptive_min_work`.
+        for i in 0..4u32 {
+            let r = engine.apply_delta(&DeltaBatch::new(vec![EdgeChange::insert(i, i + 8)]));
+            assert_eq!(r.dispatch, Some(ink_gnn::cost::DispatchArm::Sequential));
+        }
+        assert_eq!(engine.output(), &engine.recompute_reference());
+        // Non-adaptive engines never report a dispatch arm.
+        let mut rng = seeded_rng(43);
+        let model = Model::gcn(&mut rng, &[4, 5, 3], Aggregator::Max);
+        let mut fixed =
+            InkStream::new(model, ring(16), feats(16, 4), UpdateConfig::default()).unwrap();
+        let r = fixed.apply_delta(&DeltaBatch::new(vec![EdgeChange::insert(0, 8)]));
+        assert_eq!(r.dispatch, None);
     }
 
     #[test]

@@ -66,7 +66,25 @@ pub fn apply_monotonic(
     del: Option<&[f32]>,
     add: Option<&[f32]>,
 ) -> MonoOutcome {
+    let mut alpha = vec![0.0; alpha_old.len()];
+    match apply_monotonic_into(agg, alpha_old, del, add, &mut alpha) {
+        Some(condition) => MonoOutcome::Updated { condition, alpha },
+        None => MonoOutcome::Recompute,
+    }
+}
+
+/// Allocation-free form of [`apply_monotonic`]: writes the new `α` into
+/// `out` and returns the condition, or `None` for an exposed reset (in
+/// which case `out` is untouched and the caller must recompute).
+pub fn apply_monotonic_into(
+    agg: Aggregator,
+    alpha_old: &[f32],
+    del: Option<&[f32]>,
+    add: Option<&[f32]>,
+    out: &mut [f32],
+) -> Option<Condition> {
     debug_assert!(agg.is_monotonic());
+    debug_assert_eq!(out.len(), alpha_old.len());
 
     // Reset channels: D = { i : α⁻[i] == m⁻_A[i] }.
     let has_reset = |del: &[f32]| alpha_old.iter().zip(del).any(|(a, d)| a == d);
@@ -86,22 +104,21 @@ pub fn apply_monotonic(
                 None => false,
             };
             if !covered {
-                return MonoOutcome::Recompute;
+                return None;
             }
             let add = add.expect("covered implies an addition exists");
-            let mut alpha = alpha_old.to_vec();
-            agg.combine_into(&mut alpha, add);
-            return MonoOutcome::Updated { condition: Condition::CoveredReset, alpha };
+            out.copy_from_slice(alpha_old);
+            agg.combine_into(out, add);
+            return Some(Condition::CoveredReset);
         }
     }
 
     // No-reset path (including "no deletions at all").
-    let mut alpha = alpha_old.to_vec();
+    out.copy_from_slice(alpha_old);
     if let Some(add) = add {
-        agg.combine_into(&mut alpha, add);
+        agg.combine_into(out, add);
     }
-    let condition = if alpha == alpha_old { Condition::Resilient } else { Condition::NoReset };
-    MonoOutcome::Updated { condition, alpha }
+    Some(if &*out == alpha_old { Condition::Resilient } else { Condition::NoReset })
 }
 
 #[cfg(test)]

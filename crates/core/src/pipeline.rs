@@ -89,6 +89,19 @@ pub(crate) struct GroupEntry {
     pub degree_delta: i32,
 }
 
+/// The apply phase's split-borrow view of one shard: groups are read while α
+/// values, outcomes and the batched-recompute machinery are written.
+pub(crate) struct ApplyParts<'a> {
+    pub entries: &'a [GroupEntry],
+    pub buf: &'a [f32],
+    pub alpha_buf: &'a mut Vec<f32>,
+    pub outcomes: &'a mut Vec<ApplyOutcome>,
+    pub recompute: &'a mut Vec<(u32, u32)>,
+    pub apply_comp: &'a mut Vec<f32>,
+    pub gemm: &'a mut ink_tensor::GemmScratch,
+    pub batched_apply_rows: &'a mut usize,
+}
+
 /// One target shard of the group-reduce phase, plus the apply phase's
 /// per-entry outputs. All storage is recycled between rounds.
 #[derive(Default)]
@@ -104,6 +117,20 @@ pub(crate) struct ShardScratch {
     pub outcomes: Vec<ApplyOutcome>,
     pub alpha_buf: Vec<f32>,
     pub payload_reads: usize,
+    /// Entries deferred to full recomputation by the apply phase's first
+    /// pass: `(sort key, entry index)` with the key from
+    /// [`crate::grouping::recompute_sort_key`]. Sorting the pairs groups the
+    /// panel batches by event kind × degree class; the index tiebreak keeps
+    /// the order fully deterministic.
+    pub recompute: Vec<(u32, u32)>,
+    /// Reusable Neumaier channel for the batched panel folds
+    /// ([`Aggregator::aggregate_rows_into`]).
+    pub apply_comp: Vec<f32>,
+    /// Panel buffer pool for the gathered neighbor rows. Per-shard so the
+    /// apply phase stays embarrassingly parallel.
+    pub gemm: ink_tensor::GemmScratch,
+    /// Neighbor rows this shard folded through the batched path this layer.
+    pub batched_apply_rows: usize,
 }
 
 impl ShardScratch {
@@ -116,6 +143,9 @@ impl ShardScratch {
         self.outcomes.clear();
         self.alpha_buf.clear();
         self.payload_reads = 0;
+        self.recompute.clear();
+        self.apply_comp.clear();
+        self.batched_apply_rows = 0;
     }
 
     /// The payload stored in `slot`, or `None` for [`NO_SLOT`].
@@ -124,11 +154,20 @@ impl ShardScratch {
         slot_in(&self.buf, slot, dim)
     }
 
-    /// Splits the shard into `(entries, payload buffer, alpha buffer,
-    /// outcomes)` so the apply phase can read groups while writing α values
-    /// and outcomes.
-    pub fn apply_parts(&mut self) -> (&[GroupEntry], &[f32], &mut Vec<f32>, &mut Vec<ApplyOutcome>) {
-        (&self.entries, &self.buf, &mut self.alpha_buf, &mut self.outcomes)
+    /// Splits the shard into the apply phase's read/write halves so groups
+    /// can be read while α values, outcomes and the recompute batching state
+    /// are written.
+    pub fn apply_parts(&mut self) -> ApplyParts<'_> {
+        ApplyParts {
+            entries: &self.entries,
+            buf: &self.buf,
+            alpha_buf: &mut self.alpha_buf,
+            outcomes: &mut self.outcomes,
+            recompute: &mut self.recompute,
+            apply_comp: &mut self.apply_comp,
+            gemm: &mut self.gemm,
+            batched_apply_rows: &mut self.batched_apply_rows,
+        }
     }
 
     /// Reduces one bucket of events (all targeting this shard) into the
@@ -215,6 +254,9 @@ impl ShardScratch {
             + (self.buf.capacity() + self.comp.capacity() + self.alpha_buf.capacity())
                 * std::mem::size_of::<f32>()
             + self.outcomes.capacity() * std::mem::size_of::<ApplyOutcome>()
+            + self.recompute.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.apply_comp.capacity() * std::mem::size_of::<f32>()
+            + self.gemm.bytes()
     }
 }
 
@@ -239,7 +281,11 @@ impl WorkerScratch {
         self.arena.reset(dim);
         self.rescaled.clear();
         for b in [&mut self.dg, &mut self.fx] {
-            if b.len() != shards {
+            // Grow-only, like the pool itself: shrinking on an adaptive arm
+            // flip would drop bucket allocations just to re-grow them on the
+            // flip back. Buckets beyond this round's shard count are cleared
+            // too so `events_emitted` never counts a previous round's events.
+            if b.len() < shards {
                 b.resize_with(shards, Vec::new);
             }
             for bucket in b.iter_mut() {
@@ -364,11 +410,18 @@ pub(crate) struct ScratchPool {
 impl ScratchPool {
     /// Prepares the pool for a round of `layers` layers with `workers`
     /// generation workers and `shards` target shards.
+    ///
+    /// Worker and shard vectors only ever *grow*: the adaptive dispatcher
+    /// alternates between the sequential 1×1 plan and the configured fan-out,
+    /// and shrinking here would drop the idle scratches' warm allocations on
+    /// every flip. Excess workers get empty chunks from
+    /// [`worker_chunk`] and excess shards receive no targets from
+    /// [`shard_of`], so the phases can keep iterating the whole vectors.
     pub fn begin_round(&mut self, layers: usize, workers: usize, shards: usize) {
-        if self.workers.len() != workers {
+        if self.workers.len() < workers {
             self.workers.resize_with(workers, WorkerScratch::default);
         }
-        if self.shards.len() != shards {
+        if self.shards.len() < shards {
             self.shards.resize_with(shards, ShardScratch::default);
         }
         if self.pending_user.len() < layers {

@@ -35,6 +35,7 @@
 
 use crate::json::{rounded, Json};
 use crate::{InkStream, PhaseTimes, UpdateReport};
+use ink_gnn::cost::DispatchArm;
 use ink_graph::{DeltaBatch, VertexId};
 use ink_obs::{Counter, Gauge, Histogram, MetricsRegistry, Tracer};
 use std::collections::VecDeque;
@@ -269,6 +270,11 @@ pub struct ServeStats {
     pub queue_depth: u64,
     /// Deepest the ingest queue ever got.
     pub max_queue_depth: u64,
+    /// Poisoned-lock recoveries on the queue's read-only stats paths.
+    /// Non-zero means a thread panicked while holding the queue lock; the
+    /// stats/metrics endpoints kept answering instead of taking the server
+    /// down with them.
+    pub lock_poisoned: u64,
     /// Per-query service latency percentiles over a rolling window:
     /// (p50, p90, p99, max).
     pub query_latency: (Duration, Duration, Duration, Duration),
@@ -290,6 +296,7 @@ impl ServeStats {
             ("epochs", Json::from(self.epochs)),
             ("queue_depth", Json::from(self.queue_depth)),
             ("max_queue_depth", Json::from(self.max_queue_depth)),
+            ("lock_poisoned", Json::from(self.lock_poisoned)),
             ("query_latency_us", latency_json(&self.query_latency)),
         ])
     }
@@ -404,6 +411,11 @@ struct SessionInstruments {
     gemm_rows: Arc<Counter>,
     gemm_flops: Arc<Counter>,
     gemm_batch_rows: Arc<Histogram>,
+    apply_rows: Arc<Counter>,
+    apply_batch_rows: Arc<Histogram>,
+    /// Rounds executed per dispatcher arm, in [`DispatchArm::ALL`] order.
+    /// Fixed-configuration rounds increment nothing.
+    dispatch: [Arc<Counter>; 3],
 }
 
 /// Pipeline phase names, in execution order (also the tracer span names).
@@ -475,6 +487,20 @@ impl SessionInstruments {
                 "ink_gemm_batch_rows",
                 "Per-layer batched-transform row counts (batched layers only)",
             ),
+            apply_rows: r.counter(
+                "ink_apply_rows_total",
+                "Neighbor rows folded by the batched apply-phase recomputation",
+            ),
+            apply_batch_rows: r.histogram(
+                "ink_apply_batch_rows",
+                "Per-layer batched apply-phase row counts (batched layers only)",
+            ),
+            dispatch: DispatchArm::ALL.map(|arm| {
+                r.counter(
+                    &format!("ink_dispatch_{}_total", arm.name()),
+                    "Update rounds the adaptive dispatcher ran with this arm",
+                )
+            }),
         }
     }
 }
@@ -630,10 +656,18 @@ impl StreamSession {
             self.inst.affected.add(r.real_affected);
             self.inst.gemm_rows.add(r.batched_rows() as u64);
             self.inst.gemm_flops.add(r.gemm_flops);
+            self.inst.apply_rows.add(r.batched_apply_rows() as u64);
             for layer in &r.per_layer {
                 if layer.batched_rows > 0 {
                     self.inst.gemm_batch_rows.record(layer.batched_rows as u64);
                 }
+                if layer.batched_apply_rows > 0 {
+                    self.inst.apply_batch_rows.record(layer.batched_apply_rows as u64);
+                }
+            }
+            if let Some(arm) = r.dispatch {
+                let i = DispatchArm::ALL.iter().position(|&a| a == arm).expect("ALL is total");
+                self.inst.dispatch[i].inc();
             }
             self.record_phases(t, elapsed, &r.phase_times());
         }
@@ -994,6 +1028,11 @@ mod tests {
         assert!(scrape.contains("ink_gemm_rows_total"), "row counter must be registered");
         assert!(scrape.contains("ink_gemm_flops_total"), "flop counter must be registered");
         assert!(scrape.contains("ink_gemm_batch_rows"), "row histogram must be registered");
+        assert!(scrape.contains("ink_apply_rows_total"), "apply row counter must be registered");
+        assert!(scrape.contains("ink_apply_batch_rows"), "apply histogram must be registered");
+        assert!(scrape.contains("ink_dispatch_sequential_total"), "dispatch counters registered");
+        assert!(scrape.contains("ink_dispatch_batched_total"));
+        assert!(scrape.contains("ink_dispatch_parallel_total"));
     }
 
     #[test]

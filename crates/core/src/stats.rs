@@ -2,6 +2,7 @@
 //! and Tables V and VI.
 
 use crate::monotonic::Condition;
+use ink_gnn::cost::DispatchArm;
 use std::time::Duration;
 
 /// Wall-clock time spent in each phase of the per-layer update pipeline.
@@ -113,6 +114,10 @@ pub struct LayerStats {
     /// Rows the next-messages phase pushed through the batched
     /// gather→GEMM→scatter transform (0 when the per-node path ran).
     pub batched_rows: usize,
+    /// Neighbor rows the apply phase folded through the batched panel
+    /// recomputation (0 when every recompute took the scalar per-target
+    /// loop).
+    pub batched_apply_rows: usize,
     /// Per-phase wall times of this layer's pipeline pass.
     pub phases: PhaseTimes,
 }
@@ -141,6 +146,9 @@ pub struct UpdateReport {
     /// Floating-point operations spent in batched GEMM kernels during the
     /// next-messages phase (0 when every layer took the per-node path).
     pub gemm_flops: u64,
+    /// The execution plan the adaptive dispatcher chose for this round;
+    /// `None` when the engine ran with a fixed (non-adaptive) configuration.
+    pub dispatch: Option<DispatchArm>,
     /// The *worst* (most expensive) condition each monotonic target hit
     /// across layers — the per-node view behind the paper's Fig. 8. Nodes of
     /// the theoretical affected area that are absent here were never even
@@ -180,6 +188,12 @@ impl UpdateReport {
     /// Rows transformed by the batched path, summed across layers.
     pub fn batched_rows(&self) -> usize {
         self.per_layer.iter().map(|l| l.batched_rows).sum()
+    }
+
+    /// Neighbor rows folded by the batched apply-phase recomputation,
+    /// summed across layers.
+    pub fn batched_apply_rows(&self) -> usize {
+        self.per_layer.iter().map(|l| l.batched_apply_rows).sum()
     }
 
     /// Fraction of processed monotonic targets that avoided recomputation

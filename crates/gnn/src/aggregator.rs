@@ -126,6 +126,39 @@ impl Aggregator {
         self.finalize(out, degree);
     }
 
+    /// Aggregates a contiguous row-major panel of messages (`degree × dim`,
+    /// `dim = out.len()`, rows packed back-to-back) into `out`, including
+    /// [`Aggregator::finalize`]. The batched counterpart of
+    /// [`Aggregator::aggregate_into`] for the apply phase's gathered
+    /// neighbor panels.
+    ///
+    /// `comp` is the caller's reusable compensation buffer for the
+    /// accumulative (sum/mean) Neumaier pass; it is resized and zeroed here,
+    /// so steady-state callers allocate nothing. Because the panel rows are
+    /// folded strictly in panel order with the same kernels and the same
+    /// fill → fold → compensate → finalize sequence, the result is
+    /// **bitwise-identical** to `aggregate_into` over the same rows in the
+    /// same order — for all four aggregators.
+    pub fn aggregate_rows_into(self, panel: &[f32], out: &mut [f32], comp: &mut Vec<f32>) {
+        let dim = out.len();
+        debug_assert!(dim == 0 || panel.len().is_multiple_of(dim), "panel is not whole rows");
+        out.fill(self.identity());
+        let degree = panel.len().checked_div(dim).unwrap_or(0);
+        if self.is_accumulative() {
+            comp.clear();
+            comp.resize(dim, 0.0);
+            ink_tensor::reduce::fold_rows_neumaier_into(panel, dim, out, comp);
+            ink_tensor::ops::add_assign(out, comp);
+        } else {
+            match self {
+                Aggregator::Max => ink_tensor::reduce::fold_rows_max_into(panel, dim, out),
+                Aggregator::Min => ink_tensor::reduce::fold_rows_min_into(panel, dim, out),
+                Aggregator::Sum | Aggregator::Mean => unreachable!("accumulative handled above"),
+            }
+        }
+        self.finalize(out, degree);
+    }
+
     /// True when `a` wins the reduction against `b` (`A(a, b) == a`). Used by
     /// the covered-reset check: the added message must *dominate* the deleted
     /// one on every reset channel.
@@ -208,6 +241,32 @@ mod tests {
         let mut out = vec![0.0; 1];
         Aggregator::Mean.aggregate_into(msgs.iter().copied(), &mut out);
         assert_eq!(out, vec![6.0]);
+    }
+
+    #[test]
+    fn aggregate_rows_matches_aggregate_into_bitwise() {
+        // Awkward values so accumulation-order changes would show up bitwise.
+        let dim = 3;
+        let mut s = 0x5EEDu32;
+        for degree in [0usize, 1, 2, 7, 33] {
+            let panel: Vec<f32> = (0..degree * dim)
+                .map(|_| {
+                    s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                    ((s >> 8) as f32 / (1u32 << 24) as f32 - 0.5) * 3.0e5
+                })
+                .collect();
+            for a in ALL {
+                let mut want = vec![f32::NAN; dim];
+                a.aggregate_into(panel.chunks_exact(dim), &mut want);
+                let mut got = vec![f32::NAN; dim];
+                let mut comp = Vec::new();
+                a.aggregate_rows_into(&panel, &mut got, &mut comp);
+                assert!(
+                    got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "{a:?} degree {degree}: panel path diverged"
+                );
+            }
+        }
     }
 
     #[test]

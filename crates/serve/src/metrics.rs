@@ -44,6 +44,9 @@ pub struct ServerMetrics {
     queue_depth: Arc<Gauge>,
     /// Deepest the ingest queue ever got, at the last refresh.
     queue_depth_max: Arc<Gauge>,
+    /// Poisoned-lock recoveries on the queue's read-only stats paths, at the
+    /// last refresh.
+    lock_poisoned: Arc<Gauge>,
 }
 
 impl ServerMetrics {
@@ -82,6 +85,10 @@ impl ServerMetrics {
             queue_depth: registry.gauge("ink_serve_queue_depth", "Ingest queue depth"),
             queue_depth_max: registry
                 .gauge("ink_serve_queue_depth_max", "Deepest the ingest queue ever got"),
+            lock_poisoned: registry.gauge(
+                "ink_serve_lock_poisoned",
+                "Poisoned-lock recoveries on the queue's read-only stats paths",
+            ),
         }
     }
 
@@ -93,18 +100,31 @@ impl ServerMetrics {
 
     /// Refreshes the scrape-visible gauges that live with the queue and the
     /// writer rather than with a request handler.
-    pub fn set_queue_gauges(&self, epochs: u64, queue_depth: u64, max_queue_depth: u64) {
+    pub fn set_queue_gauges(
+        &self,
+        epochs: u64,
+        queue_depth: u64,
+        max_queue_depth: u64,
+        lock_poisoned: u64,
+    ) {
         self.epochs.set_u64(epochs);
         self.queue_depth.set_u64(queue_depth);
         self.queue_depth_max.set_u64(max_queue_depth);
+        self.lock_poisoned.set_u64(lock_poisoned);
     }
 
     /// Folds the counters into a [`ServeStats`]; the queue/epoch fields come
     /// from the caller (they live with the queue and the writer). Latency
     /// percentiles are histogram estimates (within one log bucket, ≤ 12.5 %
     /// relative); the max is exact.
-    pub fn serve_stats(&self, epochs: u64, queue_depth: u64, max_queue_depth: u64) -> ServeStats {
-        self.set_queue_gauges(epochs, queue_depth, max_queue_depth);
+    pub fn serve_stats(
+        &self,
+        epochs: u64,
+        queue_depth: u64,
+        max_queue_depth: u64,
+        lock_poisoned: u64,
+    ) -> ServeStats {
+        self.set_queue_gauges(epochs, queue_depth, max_queue_depth, lock_poisoned);
         let q = |p: f64| Duration::from_nanos(self.query_latency.quantile(p));
         ServeStats {
             updates_enqueued: self.updates_enqueued.get(),
@@ -118,6 +138,7 @@ impl ServerMetrics {
             epochs,
             queue_depth,
             max_queue_depth,
+            lock_poisoned,
             query_latency: (
                 q(0.50),
                 q(0.90),
@@ -142,12 +163,13 @@ mod tests {
         for i in 1..=100u64 {
             m.record_query(Duration::from_micros(i));
         }
-        let s = m.serve_stats(7, 2, 9);
+        let s = m.serve_stats(7, 2, 9, 1);
         assert_eq!(s.updates_enqueued, 5);
         assert_eq!(s.queries, 100);
         assert_eq!(s.epochs, 7);
         assert_eq!(s.queue_depth, 2);
         assert_eq!(s.max_queue_depth, 9);
+        assert_eq!(s.lock_poisoned, 1);
         assert_eq!(s.query_latency.3, Duration::from_micros(100), "max is exact");
         assert!(s.query_latency.0 <= s.query_latency.2);
         // Histogram estimates never undershoot the exact percentile and stay

@@ -19,7 +19,8 @@
 
 use ink_graph::EdgeChange;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 /// What to do with an update that arrives while the queue is full.
@@ -84,6 +85,8 @@ pub struct IngestQueue {
     ready: Condvar,
     capacity: usize,
     mode: Backpressure,
+    /// Read-only accessors recovered this many poisoned-lock acquisitions.
+    poisoned_reads: AtomicU64,
 }
 
 impl IngestQueue {
@@ -100,7 +103,22 @@ impl IngestQueue {
             ready: Condvar::new(),
             capacity,
             mode,
+            poisoned_reads: AtomicU64::new(0),
         }
+    }
+
+    /// Lock acquisition for read-only accessors. A poisoned lock means some
+    /// pusher or the writer panicked mid-operation — the queue contents may
+    /// be inconsistent, but the stats counters read here are plain integers
+    /// that are always safe to report, and a monitoring scrape must not take
+    /// the server down. Recoveries are counted so operators can see them in
+    /// [`IngestQueue::poisoned_reads`] / the `stats` document. Write paths
+    /// (push/pop) keep panicking: they would act on the inconsistent state.
+    fn read_lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e: PoisonError<_>| {
+            self.poisoned_reads.fetch_add(1, Ordering::Relaxed);
+            e.into_inner()
+        })
     }
 
     /// Submits an update batch under the configured admission policy.
@@ -186,14 +204,24 @@ impl IngestQueue {
         out
     }
 
-    /// Pending update count (excludes flush barriers).
+    /// Pending update count (excludes flush barriers). Survives a poisoned
+    /// lock — see [`IngestQueue::poisoned_reads`].
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").pending_updates
+        self.read_lock().pending_updates
     }
 
-    /// Deepest the queue ever got.
+    /// Deepest the queue ever got. Survives a poisoned lock — see
+    /// [`IngestQueue::poisoned_reads`].
     pub fn max_depth(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").max_depth
+        self.read_lock().max_depth
+    }
+
+    /// How many times a read-only accessor found the lock poisoned and
+    /// recovered instead of panicking. Non-zero means a thread panicked
+    /// while holding the queue lock; the server keeps answering `stats` and
+    /// `metrics` but the count surfaces the incident.
+    pub fn poisoned_reads(&self) -> u64 {
+        self.poisoned_reads.load(Ordering::Relaxed)
     }
 
     /// Closes the queue: further pushes return [`Admission::Closed`];
@@ -205,9 +233,10 @@ impl IngestQueue {
         self.space.notify_all();
     }
 
-    /// True once [`IngestQueue::close`] has run.
+    /// True once [`IngestQueue::close`] has run. Survives a poisoned lock —
+    /// see [`IngestQueue::poisoned_reads`].
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().expect("queue lock poisoned").closed
+        self.read_lock().closed
     }
 }
 
@@ -331,5 +360,71 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_is_rejected() {
         IngestQueue::new(0, Backpressure::Block);
+    }
+
+    #[test]
+    fn drop_oldest_never_evicts_a_flush_barrier() {
+        let q = IngestQueue::new(1, Backpressure::DropOldest);
+        q.push_updates(upd(0));
+        let (tx_a, _rx_a) = crossbeam::channel::bounded(1);
+        let (tx_b, _rx_b) = crossbeam::channel::bounded(1);
+        q.push_flush(tx_a);
+        q.push_flush(tx_b);
+        // Full queue with barriers in front of the only update: eviction must
+        // skip past both barriers and take the update.
+        assert_eq!(q.push_updates(upd(1)), Admission::AcceptedDropped { dropped: 1 });
+        let items = q.pop_batch(16, Duration::ZERO);
+        assert_eq!(items.len(), 3);
+        assert!(matches!(&items[0], QueueItem::Flush(_)), "first barrier survived");
+        assert!(matches!(&items[1], QueueItem::Flush(_)), "second barrier survived");
+        match &items[2] {
+            QueueItem::Updates(c) => assert_eq!(c[0].src, 1, "newest update admitted"),
+            _ => panic!("expected the new update last"),
+        }
+    }
+
+    #[test]
+    fn max_depth_ignores_barrier_admission() {
+        let q = IngestQueue::new(8, Backpressure::Block);
+        q.push_updates(upd(0));
+        q.push_updates(upd(1));
+        assert_eq!(q.max_depth(), 2);
+        // Barriers are control messages outside the capacity accounting;
+        // admitting them must not move the update high-water mark.
+        let (tx_a, _rx_a) = crossbeam::channel::bounded(1);
+        let (tx_b, _rx_b) = crossbeam::channel::bounded(1);
+        let (tx_c, _rx_c) = crossbeam::channel::bounded(1);
+        q.push_flush(tx_a);
+        q.push_flush(tx_b);
+        q.push_flush(tx_c);
+        assert_eq!(q.depth(), 2, "barriers are not pending updates");
+        assert_eq!(q.max_depth(), 2, "barriers must not bump the high-water mark");
+        q.pop_batch(16, Duration::ZERO);
+        q.push_updates(upd(2));
+        assert_eq!(q.max_depth(), 2, "high-water mark persists across a drain");
+        q.push_updates(upd(3));
+        q.push_updates(upd(4));
+        assert_eq!(q.max_depth(), 3, "new deeper backlog raises it");
+    }
+
+    #[test]
+    fn stats_reads_survive_a_poisoned_lock_and_count_recoveries() {
+        let q = Arc::new(IngestQueue::new(4, Backpressure::Block));
+        q.push_updates(upd(0));
+        q.push_updates(upd(1));
+        // Poison the mutex: a thread panics while holding the guard, the way
+        // a crashed pusher or writer would.
+        let q2 = q.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = q2.inner.lock().unwrap();
+            panic!("simulated crash while holding the queue lock");
+        })
+        .join();
+        assert_eq!(q.poisoned_reads(), 0, "nothing recovered yet");
+        // Read-only stats paths keep working and report the pre-crash state.
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.max_depth(), 2);
+        assert!(!q.is_closed());
+        assert_eq!(q.poisoned_reads(), 3, "each recovery is counted");
     }
 }

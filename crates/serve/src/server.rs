@@ -144,6 +144,7 @@ impl Shared {
             self.epochs.load(Ordering::Relaxed),
             self.queue.depth() as u64,
             self.queue.max_depth() as u64,
+            self.queue.poisoned_reads(),
         );
         summary
     }
@@ -316,6 +317,7 @@ fn writer_loop(
             epoch,
             shared.queue.depth() as u64,
             shared.queue.max_depth() as u64,
+            shared.queue.poisoned_reads(),
         );
         for ack in barriers {
             shared.metrics.flushes.inc();
@@ -481,6 +483,7 @@ fn answer(req: Request, shared: &Shared) -> Response {
                 shared.epochs.load(Ordering::Relaxed),
                 shared.queue.depth() as u64,
                 shared.queue.max_depth() as u64,
+                shared.queue.poisoned_reads(),
             );
             let text = shared.registry.render_prometheus();
             if text.len() > MAX_FRAME {

@@ -65,6 +65,12 @@ const PAR_MIN_FLOPS: usize = 1 << 20;
 /// outstanding at once — nested users (e.g. an MLP's ping-pong activations on
 /// top of the GEMM packing buffer) simply take more than one.
 ///
+/// Retention is bounded: checked-in capacity beyond the pool's retention
+/// limit ([`DEFAULT_RETAIN_BYTES`] unless overridden with
+/// [`GemmScratch::with_retain_limit`]) is released immediately, largest
+/// buffer first, so one pathologically large update cannot pin peak-sized
+/// allocations for the rest of the process.
+///
 /// ```
 /// use ink_tensor::gemm::GemmScratch;
 ///
@@ -76,15 +82,37 @@ const PAR_MIN_FLOPS: usize = 1 << 20;
 /// assert!(again.capacity() >= 128);
 /// # scratch.put(again);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GemmScratch {
     pool: Vec<Vec<f32>>,
+    retain_limit: usize,
+}
+
+/// Default cap on bytes a [`GemmScratch`] keeps checked in (64 MiB). Large
+/// enough that every steady-state workload in the engine reuses without
+/// reallocating; small enough that a one-off burst does not stay resident.
+pub const DEFAULT_RETAIN_BYTES: usize = 64 << 20;
+
+impl Default for GemmScratch {
+    fn default() -> Self {
+        Self { pool: Vec::new(), retain_limit: DEFAULT_RETAIN_BYTES }
+    }
 }
 
 impl GemmScratch {
     /// An empty pool; buffers are created on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty pool that retains at most `bytes` of checked-in capacity.
+    pub fn with_retain_limit(bytes: usize) -> Self {
+        Self { pool: Vec::new(), retain_limit: bytes }
+    }
+
+    /// The current retention limit in bytes.
+    pub fn retain_limit(&self) -> usize {
+        self.retain_limit
     }
 
     /// Takes a zero-filled buffer of exactly `len` elements, reusing pooled
@@ -115,9 +143,22 @@ impl GemmScratch {
         buf
     }
 
-    /// Returns a buffer to the pool for reuse. Contents are discarded.
+    /// Returns a buffer to the pool for reuse. Contents are discarded, and
+    /// pooled capacity beyond the retention limit is released on the spot
+    /// (largest buffer first), so `bytes()` never exceeds the limit after a
+    /// check-in.
     pub fn put(&mut self, buf: Vec<f32>) {
         self.pool.push(buf);
+        while self.bytes() > self.retain_limit {
+            let largest = self
+                .pool
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i)
+                .expect("bytes() > 0 implies a pooled buffer");
+            self.pool.swap_remove(largest);
+        }
     }
 
     /// Bytes retained by pooled (checked-in) buffers — the observable the
@@ -504,6 +545,35 @@ mod tests {
         assert!(b.iter().all(|&x| x == 0.0), "reissued buffers are zeroed");
         s.put(b);
         assert_eq!(s.bytes(), bytes, "no growth on smaller reuse");
+    }
+
+    #[test]
+    fn scratch_reserved_bytes_stay_under_retention_limit() {
+        // Regression: `put` used to retain unboundedly, so one huge take/put
+        // pinned the peak allocation forever.
+        let mut s = GemmScratch::with_retain_limit(1024);
+        let small = s.take(64); // 256 B — fits the limit
+        let big = s.take(100_000); // 400 kB — must not be retained
+        s.put(small);
+        s.put(big);
+        assert!(
+            s.bytes() <= s.retain_limit(),
+            "reserved {} B exceeds the {} B retention limit",
+            s.bytes(),
+            s.retain_limit()
+        );
+        // The small buffer survived the eviction (largest-first policy).
+        let again = s.take(64);
+        assert!(again.capacity() < 100_000);
+        s.put(again);
+
+        // Default pools are capped too.
+        assert_eq!(GemmScratch::new().retain_limit(), DEFAULT_RETAIN_BYTES);
+
+        // A zero-limit pool retains nothing.
+        let mut none = GemmScratch::with_retain_limit(0);
+        none.put(vec![0.0; 16]);
+        assert_eq!(none.bytes(), 0);
     }
 
     #[test]

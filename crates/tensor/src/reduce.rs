@@ -2,7 +2,16 @@
 //!
 //! GraphNorm needs per-channel mean and variance across the whole vertex set;
 //! the aggregation baselines need row-set reductions with each aggregator.
+//!
+//! The `fold_rows_*` family reduces a contiguous row-major panel
+//! (`rows × dim`, rows gathered back-to-back) into a single `dim`-wide
+//! accumulator, visiting rows strictly in panel order. They are the dense
+//! half of the engine's batched apply-phase recomputation: the gather step
+//! packs a target's neighbor messages into a panel, these kernels fold it.
+//! Because each fold touches rows in exactly the order the scalar per-target
+//! loop would, the results are bitwise-identical to folding row-by-row.
 
+use crate::ops;
 use crate::Matrix;
 
 /// Per-column mean of all rows. Returns zeros for an empty matrix.
@@ -66,6 +75,62 @@ pub fn col_mean_var_subset(m: &Matrix, rows: &[usize]) -> (Vec<f32>, Vec<f32>) {
     )
 }
 
+/// Folds every `dim`-wide row of `panel` into `out` with per-channel
+/// maximum, in row order. `out` must carry the caller's identity (e.g.
+/// `-inf`) or running value.
+pub fn fold_rows_max_into(panel: &[f32], dim: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), dim);
+    debug_assert!(dim == 0 || panel.len().is_multiple_of(dim), "panel is not whole rows");
+    if dim == 0 {
+        return;
+    }
+    for row in panel.chunks_exact(dim) {
+        ops::max_assign(out, row);
+    }
+}
+
+/// Folds every `dim`-wide row of `panel` into `out` with per-channel
+/// minimum, in row order.
+pub fn fold_rows_min_into(panel: &[f32], dim: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), dim);
+    debug_assert!(dim == 0 || panel.len().is_multiple_of(dim), "panel is not whole rows");
+    if dim == 0 {
+        return;
+    }
+    for row in panel.chunks_exact(dim) {
+        ops::min_assign(out, row);
+    }
+}
+
+/// Folds every `dim`-wide row of `panel` into `out` with plain per-channel
+/// addition, in row order.
+pub fn fold_rows_sum_into(panel: &[f32], dim: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), dim);
+    debug_assert!(dim == 0 || panel.len().is_multiple_of(dim), "panel is not whole rows");
+    if dim == 0 {
+        return;
+    }
+    for row in panel.chunks_exact(dim) {
+        ops::add_assign(out, row);
+    }
+}
+
+/// Folds every `dim`-wide row of `panel` into `out` with Neumaier-compensated
+/// addition, in row order; the running rounding error accumulates in `comp`.
+/// As with [`ops::neumaier_add_assign`], the caller folds `comp` into `out`
+/// once the stream ends.
+pub fn fold_rows_neumaier_into(panel: &[f32], dim: usize, out: &mut [f32], comp: &mut [f32]) {
+    debug_assert_eq!(out.len(), dim);
+    debug_assert_eq!(comp.len(), dim);
+    debug_assert!(dim == 0 || panel.len().is_multiple_of(dim), "panel is not whole rows");
+    if dim == 0 {
+        return;
+    }
+    for row in panel.chunks_exact(dim) {
+        ops::neumaier_add_assign(out, comp, row);
+    }
+}
+
 /// Row index of the maximum value in a slice (ties → first).
 pub fn argmax(xs: &[f32]) -> usize {
     let mut best = 0;
@@ -122,6 +187,57 @@ mod tests {
         let (mean, var) = col_mean_var_subset(&m, &[0, 2]);
         assert_eq!(mean, vec![2.0]);
         assert_eq!(var, vec![1.0]);
+    }
+
+    #[test]
+    fn fold_rows_match_scalar_loops_bitwise() {
+        // Deterministic awkward values so accumulation-order differences
+        // would actually show up bitwise.
+        let dim = 5;
+        let rows = 13;
+        let mut s = 0xC0FFEEu32;
+        let panel: Vec<f32> = (0..rows * dim)
+            .map(|_| {
+                s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((s >> 8) as f32 / (1u32 << 24) as f32 - 0.5) * 3.0
+            })
+            .collect();
+
+        let mut mx = vec![f32::NEG_INFINITY; dim];
+        fold_rows_max_into(&panel, dim, &mut mx);
+        let mut mn = vec![f32::INFINITY; dim];
+        fold_rows_min_into(&panel, dim, &mut mn);
+        let mut sum = vec![0.0; dim];
+        fold_rows_sum_into(&panel, dim, &mut sum);
+        let mut nsum = vec![0.0; dim];
+        let mut comp = vec![0.0; dim];
+        fold_rows_neumaier_into(&panel, dim, &mut nsum, &mut comp);
+
+        let mut want_mx = vec![f32::NEG_INFINITY; dim];
+        let mut want_mn = vec![f32::INFINITY; dim];
+        let mut want_sum = vec![0.0; dim];
+        let mut want_nsum = vec![0.0; dim];
+        let mut want_comp = vec![0.0; dim];
+        for row in panel.chunks_exact(dim) {
+            ops::max_assign(&mut want_mx, row);
+            ops::min_assign(&mut want_mn, row);
+            ops::add_assign(&mut want_sum, row);
+            ops::neumaier_add_assign(&mut want_nsum, &mut want_comp, row);
+        }
+        assert!(ops::eq_exact(&mx, &want_mx));
+        assert!(ops::eq_exact(&mn, &want_mn));
+        assert!(ops::eq_exact(&sum, &want_sum));
+        assert!(ops::eq_exact(&nsum, &want_nsum));
+        assert!(ops::eq_exact(&comp, &want_comp));
+    }
+
+    #[test]
+    fn fold_rows_on_empty_panel_keep_identity() {
+        let mut out = vec![f32::NEG_INFINITY; 3];
+        fold_rows_max_into(&[], 3, &mut out);
+        assert!(out.iter().all(|&x| x == f32::NEG_INFINITY));
+        let mut out = vec![0.0f32; 0];
+        fold_rows_sum_into(&[], 0, &mut out); // dim == 0 is a no-op
     }
 
     #[test]

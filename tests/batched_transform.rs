@@ -7,6 +7,11 @@
 //!   every output element in the same k order as the per-node `vecmul`, and
 //!   tiling/parallelism only change which elements compute together, never
 //!   the addition order within one element.
+//! * The same holds for the batched *apply-phase* recomputation: gathering
+//!   deferred targets' neighborhoods into panels and folding them with the
+//!   row-panel aggregator kernels replays the exact per-target reduction
+//!   order, so the batched engine also runs with `apply_batch_threshold: 1`
+//!   here while the reference engine uses `per_target_apply()`.
 //! * Repeated recompute epochs (`resync`) on a hook-free engine reuse the
 //!   cached matrices and pooled temporaries — reserved bytes stay flat.
 
@@ -61,9 +66,10 @@ proptest! {
             let model = model_for(kind, &mut rng, agg);
             InkStream::new(model, g.clone(), x, cfg).unwrap()
         };
-        let mut per_node = make(UpdateConfig::default().per_node_transform());
+        let mut per_node = make(UpdateConfig::default().per_node_transform().per_target_apply());
         let mut batched = make(UpdateConfig {
             batch_threshold: 1,
+            apply_batch_threshold: 1,
             num_workers: workers,
             num_shards: shards,
             parallel_threshold: 0,
@@ -77,6 +83,8 @@ proptest! {
         let rb = batched.apply_delta(&delta);
         prop_assert_eq!(rp.batched_rows(), 0);
         prop_assert_eq!(rp.gemm_flops, 0);
+        // Per-target apply must stay scalar.
+        prop_assert_eq!(rp.batched_apply_rows(), 0);
         prop_assert_eq!(batched.output(), per_node.output());
         for l in 0..per_node.model().num_layers() {
             prop_assert_eq!(&batched.state().m[l], &per_node.state().m[l]);
