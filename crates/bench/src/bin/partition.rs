@@ -1,0 +1,159 @@
+//! Partition-parallel engine benchmark: `PartitionedInkStream` vs. the single
+//! engine on an R-MAT community graph, at 1/2/4/8 partitions and both
+//! partitioners.
+//!
+//! Writes `results/BENCH_partition.json` with, per configuration:
+//!
+//! * mean/percentile per-batch update latency and the speedup vs. the single
+//!   engine on the identical delta stream,
+//! * cut quality (cut fraction, replication factor, balance) from
+//!   [`ink_partition::PartitionSummary`],
+//! * boundary traffic (routed boundary events, ghost-row refreshes, seeds).
+//!
+//! Each configuration's merged output is asserted bitwise-equal to the
+//! single engine before its timings are reported — a wrong answer fast is
+//! not a speedup.
+
+use ink_bench::{latency_us, scenarios, write_metrics, write_results, BenchOpts};
+use ink_graph::generators::rmat;
+use ink_graph::generators::rmat::RmatParams;
+use ink_gnn::Aggregator;
+use ink_partition::{
+    GreedyEdgeCut, HashPartitioner, PartitionConfig, PartitionedInkStream, Partitioner,
+};
+use ink_tensor::init::{seeded_rng, sparse_power_law};
+use inkstream::json::rounded;
+use inkstream::{InkStream, Json, UpdateConfig};
+use std::time::Instant;
+
+const FEAT_DIM: usize = 16;
+const SEED: u64 = 0x9A27;
+
+fn inputs(opts: &BenchOpts) -> (ink_graph::DynGraph, ink_tensor::Matrix) {
+    let n = ((4_000.0 * opts.scale) as usize).max(512);
+    let m = 4 * n;
+    let mut rng = seeded_rng(SEED);
+    let graph = rmat::rmat(&mut rng, n, m, RmatParams::default());
+    let features = sparse_power_law(&mut rng, n, FEAT_DIM, 0.2, 0.9);
+    (graph, features)
+}
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let (graph, features) = inputs(&opts);
+    let n = graph.num_vertices();
+    let batch = 100usize;
+    let ingests = if opts.quick { 5 } else { 20 };
+    let deltas = scenarios(&graph, batch, ingests, SEED ^ 0xfeed);
+    let cfg = UpdateConfig::default();
+    // Deterministic factory: every call rebuilds bitwise-identical weights,
+    // matching what `ModelKind::Gcn.build` produces for this seed.
+    let hidden = opts.hidden;
+    let factory = move || {
+        let mut rng = seeded_rng(SEED);
+        ink_gnn::Model::gcn(&mut rng, &[FEAT_DIM, hidden, hidden], Aggregator::Sum)
+    };
+    eprintln!(
+        "partition bench: |V|={n} |E|={} batch={batch} ingests={ingests} quick={}",
+        graph.num_edges(),
+        opts.quick
+    );
+
+    // Single-engine baseline on the identical stream.
+    let mut single =
+        InkStream::new(factory(), graph.clone(), features.clone(), cfg).unwrap();
+    let mut single_us: Vec<f64> = Vec::with_capacity(deltas.len());
+    for d in &deltas {
+        let t = Instant::now();
+        single.apply_delta(d);
+        single_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let single_mean = single_us.iter().sum::<f64>() / single_us.len() as f64;
+    eprintln!("  single engine: mean {single_mean:.1}µs/batch");
+
+    let mut rows = Vec::new();
+    let mut prom_registry = None;
+    for greedy in [false, true] {
+        for parts in [1usize, 2, 4, 8] {
+            let pname = if greedy { GreedyEdgeCut.name() } else { HashPartitioner.name() };
+            let pcfg = PartitionConfig { parts, update: cfg, ..Default::default() };
+            let mut parted = if greedy {
+                PartitionedInkStream::new(
+                    factory,
+                    graph.clone(),
+                    features.clone(),
+                    GreedyEdgeCut,
+                    pcfg,
+                )
+            } else {
+                PartitionedInkStream::new(
+                    factory,
+                    graph.clone(),
+                    features.clone(),
+                    HashPartitioner,
+                    pcfg,
+                )
+            }
+            .unwrap();
+
+            let mut us: Vec<f64> = Vec::with_capacity(deltas.len());
+            for d in &deltas {
+                let t = Instant::now();
+                parted.apply_delta(d);
+                us.push(t.elapsed().as_secs_f64() * 1e6);
+            }
+            assert_eq!(
+                &parted.output(),
+                single.output(),
+                "{pname}/{parts} diverged from the single engine"
+            );
+            let mean = us.iter().sum::<f64>() / us.len() as f64;
+            let summary = parted.summary();
+            let q = &summary.quality;
+            eprintln!(
+                "  {pname:>8} parts={parts}: mean {mean:.1}µs/batch \
+                 (speedup {:.2}x, cut {:.1}%, rep {:.2}x, balance {:.2})",
+                single_mean / mean,
+                q.cut_fraction * 100.0,
+                q.replication_factor,
+                q.balance,
+            );
+            rows.push(Json::obj([
+                ("partitioner", Json::from(pname)),
+                ("parts", Json::from(parts)),
+                ("latency_us", latency_us(&us)),
+                ("mean_us", rounded(mean, 3)),
+                ("speedup_vs_single", rounded(single_mean / mean, 4)),
+                ("cut_edges", Json::from(q.cut_edges)),
+                ("cut_fraction", rounded(q.cut_fraction, 5)),
+                ("replication_factor", rounded(q.replication_factor, 4)),
+                ("balance", rounded(q.balance, 4)),
+                ("boundary_events", Json::from(summary.boundary_events)),
+                ("replica_refreshes", Json::from(summary.replica_refreshes)),
+                ("mirror_seeds", Json::from(summary.mirror_seeds)),
+            ]));
+            // Export the largest greedy configuration's instrument set.
+            if greedy && parts == 8 {
+                prom_registry = Some(parted.metrics().clone());
+            }
+        }
+    }
+
+    let doc = Json::obj([
+        ("bench", Json::from("partition")),
+        ("model", Json::from("GCN")),
+        ("aggregator", Json::from("sum")),
+        ("vertices", Json::from(n)),
+        ("edges", Json::from(graph.num_edges())),
+        ("feat_dim", Json::from(FEAT_DIM)),
+        ("hidden", Json::from(opts.hidden)),
+        ("batch", Json::from(batch)),
+        ("ingests", Json::from(ingests)),
+        ("single_mean_us", rounded(single_mean, 3)),
+        ("configs", Json::Arr(rows)),
+    ]);
+    write_results("partition", &doc);
+    if let Some(registry) = prom_registry {
+        write_metrics("partition", &registry);
+    }
+}

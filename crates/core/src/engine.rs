@@ -60,6 +60,30 @@ pub struct ResyncReport {
     pub f32_written: u64,
 }
 
+/// In-flight context of one update round while it is stepped layer by layer
+/// through the round API ([`InkStream::round_begin`] …
+/// [`InkStream::round_finish`]). The scratch pool moves in here for the
+/// duration of the round and back into the engine at the end, so the
+/// zero-allocation guarantees are unchanged.
+struct RoundState {
+    directed: Vec<(VertexId, VertexId, EdgeOp)>,
+    scratch: ScratchPool,
+    report: UpdateReport,
+    t0: Instant,
+    nw: usize,
+    ns: usize,
+    par_enabled: bool,
+    batched_tf: bool,
+    batched_ap: bool,
+    arm: Option<DispatchArm>,
+    round_work: usize,
+    f32_read: u64,
+    f32_written: u64,
+    /// Wall time of the most recent [`InkStream::round_rescale`], folded
+    /// into that layer's generate-phase time by `round_process`.
+    rescale_elapsed: std::time::Duration,
+}
+
 /// The incremental GNN inference engine.
 pub struct InkStream {
     model: Model,
@@ -74,6 +98,13 @@ pub struct InkStream {
     /// ([`UpdateConfig::adaptive`]). Persists across rounds so the model
     /// keeps learning over the stream.
     cost: CostModel,
+    /// Ownership mask for partitioned operation (`None` = this engine owns
+    /// every vertex). A non-owned ("ghost") vertex carries cached messages
+    /// that mirror its owner's, but this engine never updates its α/h rows
+    /// and never generates events targeting it — the owning engine does.
+    owned: Option<Vec<bool>>,
+    /// The round currently being stepped, if any.
+    round: Option<RoundState>,
 }
 
 impl InkStream {
@@ -128,6 +159,8 @@ impl InkStream {
             user_cache,
             scratch: ScratchPool::default(),
             cost: CostModel::new(),
+            owned: None,
+            round: None,
         })
     }
 
@@ -190,6 +223,8 @@ impl InkStream {
             user_cache,
             scratch: ScratchPool::default(),
             cost: CostModel::new(),
+            owned: None,
+            round: None,
         })
     }
 
@@ -374,10 +409,10 @@ impl InkStream {
         ResyncReport { elapsed: t0.elapsed(), f32_written }
     }
 
-    /// Applies a batch of edge changes and incrementally updates all cached
-    /// state. Changes that are no-ops against the current graph (duplicate
-    /// inserts, missing removals) are skipped and counted in the report.
-    pub fn apply_delta(&mut self, delta: &DeltaBatch) -> UpdateReport {
+    /// Applies `delta`'s effective changes to the graph and expands them into
+    /// directed `(src, dst, op)` pairs (both directions for undirected
+    /// graphs). Returns the pairs plus the count of skipped no-ops.
+    fn stage_delta(&mut self, delta: &DeltaBatch) -> (Vec<(VertexId, VertexId, EdgeOp)>, usize) {
         let mut directed: Vec<(VertexId, VertexId, EdgeOp)> = Vec::with_capacity(delta.len() * 2);
         let mut skipped = 0usize;
         for c in delta.changes() {
@@ -390,6 +425,53 @@ impl InkStream {
                 skipped += 1;
             }
         }
+        (directed, skipped)
+    }
+
+    /// Writes one feature row and, for an owned vertex whose layer-0 message
+    /// actually changes, records the old message as a propagation seed (plus
+    /// any user events). Ghost vertices only get the feature row written —
+    /// their message refresh arrives from the owning engine.
+    fn stage_feature_update(
+        &mut self,
+        v: VertexId,
+        new_feat: &[f32],
+        seeds: &mut Vec<(VertexId, Vec<f32>)>,
+        user0: &mut Vec<UserEvent>,
+    ) -> Result<(), InkError> {
+        if (v as usize) >= self.graph.num_vertices() {
+            return Err(InkError::UnknownVertex(v));
+        }
+        if new_feat.len() != self.model.in_dim() {
+            return Err(InkError::ShapeMismatch {
+                detail: format!("feature len {} != {}", new_feat.len(), self.model.in_dim()),
+            });
+        }
+        self.features.set_row(v as usize, new_feat);
+        if !self.owns(v) {
+            return Ok(());
+        }
+        let conv0 = &self.model.layer(0).conv;
+        let mut new_m = conv0.message(new_feat);
+        if conv0.degree_scaled() {
+            ink_tensor::ops::scale(&mut new_m, conv0.degree_scale(self.graph.in_degree(v)));
+        }
+        let old = self.state.m[0].row(v as usize).to_vec();
+        if new_m != old {
+            self.state.m[0].set_row(v as usize, &new_m);
+            if let Some(hooks) = self.hooks.as_deref() {
+                user0.extend(hooks.user_propagate(0, v, &old, &new_m));
+            }
+            seeds.push((v, old));
+        }
+        Ok(())
+    }
+
+    /// Applies a batch of edge changes and incrementally updates all cached
+    /// state. Changes that are no-ops against the current graph (duplicate
+    /// inserts, missing removals) are skipped and counted in the report.
+    pub fn apply_delta(&mut self, delta: &DeltaBatch) -> UpdateReport {
+        let (directed, skipped) = self.stage_delta(delta);
         let mut report = self.run_layers(directed, Vec::new(), Vec::new());
         report.skipped_changes = skipped;
         report
@@ -402,30 +484,9 @@ impl InkStream {
         v: VertexId,
         new_feat: &[f32],
     ) -> Result<UpdateReport, InkError> {
-        if (v as usize) >= self.graph.num_vertices() {
-            return Err(InkError::UnknownVertex(v));
-        }
-        if new_feat.len() != self.model.in_dim() {
-            return Err(InkError::ShapeMismatch {
-                detail: format!("feature len {} != {}", new_feat.len(), self.model.in_dim()),
-            });
-        }
-        self.features.set_row(v as usize, new_feat);
-        let conv0 = &self.model.layer(0).conv;
-        let mut new_m = conv0.message(new_feat);
-        if conv0.degree_scaled() {
-            ink_tensor::ops::scale(&mut new_m, conv0.degree_scale(self.graph.in_degree(v)));
-        }
-        let old = self.state.m[0].row(v as usize).to_vec();
         let mut seeds = Vec::new();
         let mut user0 = Vec::new();
-        if new_m != old {
-            self.state.m[0].set_row(v as usize, &new_m);
-            if let Some(hooks) = self.hooks.as_deref() {
-                user0 = hooks.user_propagate(0, v, &old, &new_m);
-            }
-            seeds.push((v, old));
-        }
+        self.stage_feature_update(v, new_feat, &mut seeds, &mut user0)?;
         Ok(self.run_layers(Vec::new(), seeds, user0))
     }
 
@@ -509,13 +570,34 @@ impl InkStream {
     }
 
     /// The engine's main loop over layers (Algorithm 1), as the sharded
-    /// five-phase pipeline described in the module docs.
+    /// five-phase pipeline described in the module docs. Implemented on top
+    /// of the round-stepping API (`round_begin` … `round_finish`) so a
+    /// partitioned driver can interleave boundary-row exchanges between
+    /// layers; run back to back the steps are bitwise identical to the
+    /// monolithic pipeline they were split from.
     fn run_layers(
         &mut self,
         directed: Vec<(VertexId, VertexId, EdgeOp)>,
         seeds0: Vec<(VertexId, Vec<f32>)>,
         user0: Vec<UserEvent>,
     ) -> UpdateReport {
+        self.round_start(directed, seeds0, user0);
+        for l in 0..self.model.num_layers() {
+            self.round_rescale(l);
+            self.round_process(l);
+        }
+        self.round_finish()
+    }
+
+    /// Opens a round: picks the execution plan, seeds the scratch pool, and
+    /// derives the covered-edge set and per-vertex net degree changes.
+    fn round_start(
+        &mut self,
+        directed: Vec<(VertexId, VertexId, EdgeOp)>,
+        seeds0: Vec<(VertexId, Vec<f32>)>,
+        user0: Vec<UserEvent>,
+    ) {
+        assert!(self.round.is_none(), "a round is already in flight");
         let t0 = Instant::now();
         let k = self.model.num_layers();
         let cfg = self.config;
@@ -552,7 +634,6 @@ impl InkStream {
                 cfg.batched_apply,
             ),
         };
-        let mut report = UpdateReport::default();
 
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.begin_round(k, nw, ns);
@@ -582,10 +663,234 @@ impl InkStream {
         scratch.degree_order.extend(scratch.degree_net.iter().map(|(&v, &net)| (v, net)));
         scratch.degree_order.sort_unstable();
 
+        self.round = Some(RoundState {
+            directed,
+            scratch,
+            report: UpdateReport::default(),
+            t0,
+            nw,
+            ns,
+            par_enabled,
+            batched_tf,
+            batched_ap,
+            arm,
+            round_work,
+            f32_read: 0,
+            f32_written: 0,
+            rescale_elapsed: std::time::Duration::ZERO,
+        });
+    }
+
+    /// Opens a round from a delta plus feature updates — the entry point for
+    /// partitioned drivers that step the round layer by layer themselves
+    /// ([`InkStream::round_rescale`], [`InkStream::round_process`] per layer,
+    /// then [`InkStream::round_finish`]). Applies the delta to the graph,
+    /// writes the feature rows, and seeds propagation for *owned* vertices
+    /// only. Returns the number of skipped no-op changes.
+    ///
+    /// # Errors
+    ///
+    /// A feature update for an unknown vertex or with the wrong width fails
+    /// before any state is touched.
+    pub fn round_begin(
+        &mut self,
+        delta: &DeltaBatch,
+        feature_updates: &[(VertexId, Vec<f32>)],
+    ) -> Result<usize, InkError> {
+        assert!(self.round.is_none(), "a round is already in flight");
+        for (v, feat) in feature_updates {
+            if (*v as usize) >= self.graph.num_vertices() {
+                return Err(InkError::UnknownVertex(*v));
+            }
+            if feat.len() != self.model.in_dim() {
+                return Err(InkError::ShapeMismatch {
+                    detail: format!("feature len {} != {}", feat.len(), self.model.in_dim()),
+                });
+            }
+        }
+        let (directed, skipped) = self.stage_delta(delta);
+        let mut seeds = Vec::new();
+        let mut user0 = Vec::new();
+        for (v, feat) in feature_updates {
+            self.stage_feature_update(*v, feat, &mut seeds, &mut user0)
+                .expect("feature updates validated above");
+        }
+        self.round_start(directed, seeds, user0);
+        if let Some(rs) = self.round.as_mut() {
+            rs.report.skipped_changes = skipped;
+        }
+        Ok(skipped)
+    }
+
+    /// Degree-rescaling sub-step of layer `l` (a no-op for layers without
+    /// degree-scaled messages). Must run before [`InkStream::round_process`]
+    /// of the same layer; it is split out so a partitioned driver can
+    /// exchange the rescaled boundary rows before event generation reads
+    /// them. Only owned vertices are rescaled — ghosts receive the result
+    /// via [`InkStream::round_ingest_refresh`].
+    pub fn round_rescale(&mut self, l: usize) {
+        let mut rs = self.round.take().expect("round_rescale requires an active round");
+        let t_rescale = Instant::now();
+        let cfg = self.config;
+        let (nw, par_enabled) = (rs.nw, rs.par_enabled);
+        let ns = rs.ns;
+        let scratch = &mut rs.scratch;
+        let degree_scaled = self.model.layer(l).conv.degree_scaled();
+        let dim = self.model.msg_dim(l);
+        // Workers begin here (not in `round_process`) so the rescale stage
+        // can already stage rows into their arenas.
+        for ws in &mut scratch.workers[..nw] {
+            ws.begin(ns, dim);
+        }
+
+        if degree_scaled {
+            // Degree-scaled layers (LightGCN-style): a vertex whose
+            // degree changed has a changed message at this layer even if
+            // nothing else touched it. Candidates iterate in sorted
+            // vertex order so the recorded changes are deterministic.
+            {
+                let ScratchPool { rescale_list, degree_order, old, .. } = &mut *scratch;
+                let owned = self.owned.as_deref();
+                rescale_list.clear();
+                rescale_list.extend(
+                    degree_order
+                        .iter()
+                        .filter(|&&(v, net)| {
+                            net != 0 && !old.contains(l, v) && owns_in(owned, v)
+                        })
+                        .copied(),
+                );
+            }
+            let par = par_enabled && scratch.rescale_list.len() >= cfg.parallel_threshold;
+            {
+                let ScratchPool { workers, rescale_list, .. } = &mut *scratch;
+                let workers = &mut workers[..nw];
+                let rescale_list = &*rescale_list;
+                let this = &*self;
+                // Stage the new message (old scaled by the weight ratio,
+                // or rebuilt from upstream state when the old degree was
+                // 0 and the cached message is the zero convention).
+                let run = |(w, ws): (usize, &mut WorkerScratch)| {
+                    let conv = &this.model.layer(l).conv;
+                    for &(v, net) in
+                        &rescale_list[worker_chunk(rescale_list.len(), w, nw)]
+                    {
+                        let d_new = this.graph.in_degree(v);
+                        let d_old = (d_new as i64 - net).max(0) as usize;
+                        let pid = if d_old == 0 {
+                            let base_h = if l == 0 {
+                                this.features.row(v as usize).to_vec()
+                            } else {
+                                compute_next_hidden(
+                                    &this.model,
+                                    &this.state,
+                                    this.hooks.as_deref(),
+                                    &this.user_cache,
+                                    l - 1,
+                                    v,
+                                    d_new,
+                                )
+                            };
+                            let msg = conv.message(&base_h);
+                            ws.arena.push_scaled(&msg, conv.degree_scale(d_new))
+                        } else {
+                            let ratio =
+                                conv.degree_scale(d_new) / conv.degree_scale(d_old);
+                            ws.arena.push_scaled(this.state.m[l].row(v as usize), ratio)
+                        };
+                        ws.rescaled.push((v, pid));
+                    }
+                };
+                if par {
+                    workers.par_iter_mut().enumerate().for_each(run);
+                } else {
+                    workers.iter_mut().enumerate().for_each(run);
+                }
+            }
+            // Commit in worker order (= candidate order): vertices whose
+            // message really changed record their old value and hooks.
+            {
+                let ScratchPool { workers, old, pending_user, .. } = &mut *scratch;
+                for ws in workers[..nw].iter() {
+                    for &(v, pid) in &ws.rescaled {
+                        let new = ws.arena.get(pid);
+                        if new != self.state.m[l].row(v as usize) {
+                            old.insert(l, v, self.state.m[l].row(v as usize));
+                            if let Some(hooks) = self.hooks.as_deref() {
+                                pending_user[l].extend(hooks.user_propagate(
+                                    l,
+                                    v,
+                                    old.get(l, v).expect("just inserted"),
+                                    new,
+                                ));
+                            }
+                            self.state.m[l].set_row(v as usize, new);
+                        }
+                    }
+                }
+            }
+        }
+        rs.rescale_elapsed = t_rescale.elapsed();
+        self.round = Some(rs);
+    }
+
+    /// Exports the owned vertices whose layer-`l` message was recorded this
+    /// round (changed by seeds, rescale, a ghost-independent refresh, or the
+    /// previous layer's commit — plus unchanged-but-recorded rows when
+    /// pruning is off), each with its *current* row, in ascending vertex
+    /// order. A partitioned driver forwards the boundary subset to every
+    /// mirror via [`InkStream::round_ingest_refresh`] between
+    /// [`InkStream::round_rescale`] and [`InkStream::round_process`].
+    pub fn round_changed_rows(&self, l: usize, out: &mut Vec<(VertexId, Vec<f32>)>) {
+        let rs = self.round.as_ref().expect("round_changed_rows requires an active round");
+        let mut keys = Vec::new();
+        rs.scratch.old.keys_sorted_into(l, &mut keys);
+        let owned = self.owned.as_deref();
+        out.extend(keys.into_iter().filter(|&v| owns_in(owned, v)).map(|v| {
+            (v, self.state.m[l].row(v as usize).to_vec())
+        }));
+    }
+
+    /// Ingests a refreshed layer-`l` message row for a ghost vertex from its
+    /// owning engine: records the current row as the round's "old" value (so
+    /// this engine re-generates the same propagation events the owner's
+    /// change implies for locally-owned targets) and commits the new row.
+    /// Must run before [`InkStream::round_process`] of layer `l`.
+    pub fn round_ingest_refresh(&mut self, l: usize, v: VertexId, new_row: &[f32]) {
+        let mut rs = self.round.take().expect("round_ingest_refresh requires an active round");
+        let changed = {
+            let cur = self.state.m[l].row(v as usize);
+            rs.scratch.old.insert(l, v, cur);
+            new_row != cur
+        };
+        if changed {
+            if let Some(hooks) = self.hooks.as_deref() {
+                let old = rs.scratch.old.get(l, v).expect("just recorded");
+                rs.scratch.pending_user[l].extend(hooks.user_propagate(l, v, old, new_row));
+            }
+            self.state.m[l].set_row(v as usize, new_row);
+        }
+        self.round = Some(rs);
+    }
+
+    /// Runs the five pipeline phases of layer `l` for the current round.
+    /// [`InkStream::round_rescale`] for the same layer must have run first.
+    /// With an ownership mask installed, events and commits are restricted
+    /// to owned targets; ghost vertices only *source* events (from rows
+    /// refreshed by their owner).
+    pub fn round_process(&mut self, l: usize) {
+        let mut rs = self.round.take().expect("round_process requires an active round");
+        let k = self.model.num_layers();
+        let cfg = self.config;
+        let (nw, ns) = (rs.nw, rs.ns);
+        let (par_enabled, batched_tf, batched_ap) = (rs.par_enabled, rs.batched_tf, rs.batched_ap);
+        let rescale_elapsed = std::mem::take(&mut rs.rescale_elapsed);
         let mut f32_read: u64 = 0;
         let mut f32_written: u64 = 0;
-
-        for l in 0..k {
+        let scratch = &mut rs.scratch;
+        let directed = &rs.directed;
+        let report = &mut rs.report;
+        {
             let agg = self.model.layer(l).conv.aggregator();
             let mono = agg.is_monotonic();
             let dim = self.model.msg_dim(l);
@@ -597,110 +902,23 @@ impl InkStream {
             let mut layer_stats = LayerStats::default();
 
             // ── Phase 1: generate ─────────────────────────────────────────
-            // Degree rescaling, ΔG seeding, and effect propagation, fanned
-            // out over workers. Each worker owns a contiguous ordered chunk
-            // of the work lists and writes into its private arena/buckets.
+            // ΔG seeding and effect propagation, fanned out over workers
+            // (degree rescaling already ran in `round_rescale`). Each worker
+            // owns a contiguous ordered chunk of the work lists and writes
+            // into its private arena/buckets.
             let t_generate = Instant::now();
-            for ws in &mut scratch.workers[..nw] {
-                ws.begin(ns, dim);
-            }
-
-            if degree_scaled {
-                // Degree-scaled layers (LightGCN-style): a vertex whose
-                // degree changed has a changed message at this layer even if
-                // nothing else touched it. Candidates iterate in sorted
-                // vertex order so the recorded changes are deterministic.
-                {
-                    let ScratchPool { rescale_list, degree_order, old, .. } = &mut scratch;
-                    rescale_list.clear();
-                    rescale_list.extend(
-                        degree_order
-                            .iter()
-                            .filter(|&&(v, net)| net != 0 && !old.contains(l, v))
-                            .copied(),
-                    );
-                }
-                let par = par_enabled && scratch.rescale_list.len() >= cfg.parallel_threshold;
-                {
-                    let ScratchPool { workers, rescale_list, .. } = &mut scratch;
-                    let workers = &mut workers[..nw];
-                    let rescale_list = &*rescale_list;
-                    let this = &*self;
-                    // Stage the new message (old scaled by the weight ratio,
-                    // or rebuilt from upstream state when the old degree was
-                    // 0 and the cached message is the zero convention).
-                    let run = |(w, ws): (usize, &mut WorkerScratch)| {
-                        let conv = &this.model.layer(l).conv;
-                        for &(v, net) in
-                            &rescale_list[worker_chunk(rescale_list.len(), w, nw)]
-                        {
-                            let d_new = this.graph.in_degree(v);
-                            let d_old = (d_new as i64 - net).max(0) as usize;
-                            let pid = if d_old == 0 {
-                                let base_h = if l == 0 {
-                                    this.features.row(v as usize).to_vec()
-                                } else {
-                                    compute_next_hidden(
-                                        &this.model,
-                                        &this.state,
-                                        this.hooks.as_deref(),
-                                        &this.user_cache,
-                                        l - 1,
-                                        v,
-                                        d_new,
-                                    )
-                                };
-                                let msg = conv.message(&base_h);
-                                ws.arena.push_scaled(&msg, conv.degree_scale(d_new))
-                            } else {
-                                let ratio =
-                                    conv.degree_scale(d_new) / conv.degree_scale(d_old);
-                                ws.arena.push_scaled(this.state.m[l].row(v as usize), ratio)
-                            };
-                            ws.rescaled.push((v, pid));
-                        }
-                    };
-                    if par {
-                        workers.par_iter_mut().enumerate().for_each(run);
-                    } else {
-                        workers.iter_mut().enumerate().for_each(run);
-                    }
-                }
-                // Commit in worker order (= candidate order): vertices whose
-                // message really changed record their old value and hooks.
-                {
-                    let ScratchPool { workers, old, pending_user, .. } = &mut scratch;
-                    for ws in workers[..nw].iter() {
-                        for &(v, pid) in &ws.rescaled {
-                            let new = ws.arena.get(pid);
-                            if new != self.state.m[l].row(v as usize) {
-                                old.insert(l, v, self.state.m[l].row(v as usize));
-                                if let Some(hooks) = self.hooks.as_deref() {
-                                    pending_user[l].extend(hooks.user_propagate(
-                                        l,
-                                        v,
-                                        old.get(l, v).expect("just inserted"),
-                                        new,
-                                    ));
-                                }
-                                self.state.m[l].set_row(v as usize, new);
-                            }
-                        }
-                    }
-                }
-            }
 
             // Changed messages propagate in sorted vertex order — the
             // canonical event order every worker/shard split reproduces.
             {
-                let ScratchPool { old, changed_order, .. } = &mut scratch;
+                let ScratchPool { old, changed_order, .. } = &mut *scratch;
                 old.keys_sorted_into(l, changed_order);
             }
 
             let gen_work = directed.len() + scratch.changed_order.len();
             let par_generate = par_enabled && gen_work >= cfg.parallel_threshold;
             {
-                let ScratchPool { workers, old, changed_order, covered, .. } = &mut scratch;
+                let ScratchPool { workers, old, changed_order, covered, .. } = &mut *scratch;
                 let workers = &mut workers[..nw];
                 let old = &*old;
                 let changed_order = &*changed_order;
@@ -708,8 +926,12 @@ impl InkStream {
                 let directed = &directed[..];
                 let this = &*self;
                 let run = |(w, ws): (usize, &mut WorkerScratch)| {
-                    // ΔG events for this layer.
+                    // ΔG events for this layer. Events targeting non-owned
+                    // vertices are the owning engine's job — skip them.
                     for &(s, t, op) in &directed[worker_chunk(directed.len(), w, nw)] {
+                        if !this.owns(t) {
+                            continue;
+                        }
                         match op {
                             EdgeOp::Remove => {
                                 let old_row = old
@@ -748,7 +970,7 @@ impl InkStream {
                             let del_id = ws.arena.push(old_row);
                             let add_id = ws.arena.push(new);
                             for &x in this.graph.out_neighbors(v) {
-                                if covered.contains(&(v, x)) {
+                                if covered.contains(&(v, x)) || !this.owns(x) {
                                     continue;
                                 }
                                 let sh = shard_of(x, ns);
@@ -768,7 +990,7 @@ impl InkStream {
                         } else {
                             let diff_id = ws.arena.push_diff(new, old_row);
                             for &x in this.graph.out_neighbors(v) {
-                                if covered.contains(&(v, x)) {
+                                if covered.contains(&(v, x)) || !this.owns(x) {
                                     continue;
                                 }
                                 ws.fx[shard_of(x, ns)].push(Event {
@@ -791,7 +1013,7 @@ impl InkStream {
                 scratch.workers[..nw].iter().map(WorkerScratch::events_emitted).sum();
             f32_written +=
                 scratch.workers[..nw].iter().map(|ws| ws.arena.len() * dim).sum::<usize>() as u64;
-            layer_stats.phases.generate = t_generate.elapsed();
+            layer_stats.phases.generate = t_generate.elapsed() + rescale_elapsed;
 
             // ── Phase 2: group ────────────────────────────────────────────
             // Each shard reduces its buckets phase-major then worker-major —
@@ -799,7 +1021,7 @@ impl InkStream {
             let t_group = Instant::now();
             let par_group = par_enabled && layer_stats.events_created >= cfg.parallel_threshold;
             {
-                let ScratchPool { workers, shards, .. } = &mut scratch;
+                let ScratchPool { workers, shards, .. } = &mut *scratch;
                 let workers = &workers[..nw];
                 let shards = &mut shards[..ns];
                 let run = |(s, shard): (usize, &mut ShardScratch)| {
@@ -837,7 +1059,7 @@ impl InkStream {
             let par_apply = par_enabled && total_targets >= cfg.parallel_threshold;
             {
                 let this = &*self;
-                let ScratchPool { shards, .. } = &mut scratch;
+                let ScratchPool { shards, .. } = &mut *scratch;
                 let shards = &mut shards[..ns];
                 let run = |(_, shard): (usize, &mut ShardScratch)| {
                     let ApplyParts {
@@ -992,7 +1214,7 @@ impl InkStream {
             // events, and the merged + sorted next-layer target list.
             let t_write = Instant::now();
             {
-                let ScratchPool { shards, affected, next_targets, .. } = &mut scratch;
+                let ScratchPool { shards, affected, next_targets, .. } = &mut *scratch;
                 next_targets.clear();
                 for shard in shards[..ns].iter() {
                     for (i, (e, o)) in shard.entries.iter().zip(&shard.outcomes).enumerate() {
@@ -1037,14 +1259,21 @@ impl InkStream {
                 }
             }
 
-            // User events targeting this layer's update phase.
+            // User events targeting this layer's update phase. Events whose
+            // target this engine does not own are dropped — the owning
+            // engine derives the same events from its own copy of the
+            // change (hooks must only target vertices they were fired for).
             let user_events = std::mem::take(&mut scratch.pending_user[l]);
             if !user_events.is_empty() {
+                let owned = self.owned.as_deref();
                 let hooks = self.hooks.as_deref().expect("user events require hooks");
                 let cache =
                     self.user_cache[l].as_mut().expect("user events require a hooked layer");
                 let mut by_target: FxHashMap<VertexId, Vec<UserEvent>> = FxHashMap::default();
                 for e in user_events {
+                    if !owns_in(owned, e.target) {
+                        continue;
+                    }
                     by_target.entry(e.target).or_default().push(e);
                 }
                 for (target, evs) in by_target {
@@ -1055,9 +1284,13 @@ impl InkStream {
                 }
             }
 
-            // Self-dependence: nodes whose own message changed re-enter.
+            // Self-dependence: nodes whose own message changed re-enter —
+            // owned ones only; a ghost's owner re-enters it on its side.
             if self_dependent {
-                scratch.next_targets.extend(scratch.changed_order.iter().copied());
+                let owned = self.owned.as_deref();
+                scratch.next_targets.extend(
+                    scratch.changed_order.iter().copied().filter(|&v| owns_in(owned, v)),
+                );
             }
             scratch.next_targets.sort_unstable();
             scratch.next_targets.dedup();
@@ -1081,7 +1314,7 @@ impl InkStream {
                 layer_stats.batched_rows = nt;
                 let ScratchPool {
                     next_targets, next_buf, gather_alpha, gather_self, hidden_buf, gemm, ..
-                } = &mut scratch;
+                } = &mut *scratch;
                 next_buf.clear();
                 next_buf.resize(nt * prod_dim, 0.0);
                 let next_targets = &*next_targets;
@@ -1171,7 +1404,7 @@ impl InkStream {
                     }
                 }
             } else {
-                let ScratchPool { next_targets, next_buf, .. } = &mut scratch;
+                let ScratchPool { next_targets, next_buf, .. } = &mut *scratch;
                 next_buf.clear();
                 next_buf.resize(nt * prod_dim, 0.0);
                 let next_targets = &*next_targets;
@@ -1211,7 +1444,7 @@ impl InkStream {
             f32_written += (nt * out_dim) as u64;
 
             {
-                let ScratchPool { next_targets, next_buf, old, pending_user, .. } = &mut scratch;
+                let ScratchPool { next_targets, next_buf, old, pending_user, .. } = &mut *scratch;
                 for (&u, chunk) in next_targets.iter().zip(next_buf.chunks(prod_dim.max(1))) {
                     if is_last {
                         if chunk != self.state.h.row(u as usize) {
@@ -1241,18 +1474,118 @@ impl InkStream {
 
             report.per_layer.push(layer_stats);
         }
+        rs.f32_read += f32_read;
+        rs.f32_written += f32_written;
+        self.round = Some(rs);
+    }
 
-        report.real_affected = scratch.affected.len() as u64;
-        report.f32_read = f32_read;
-        report.f32_written = f32_written;
-        report.elapsed = t0.elapsed();
-        if let Some(arm) = arm {
-            self.cost.observe(arm, round_work, report.elapsed.as_nanos() as u64);
+    /// Closes the round: folds the totals into the report, feeds the
+    /// adaptive cost model, and returns the scratch pool to the engine.
+    pub fn round_finish(&mut self) -> UpdateReport {
+        let mut rs = self.round.take().expect("round_finish requires an active round");
+        let mut report = std::mem::take(&mut rs.report);
+        report.real_affected = rs.scratch.affected.len() as u64;
+        report.f32_read = rs.f32_read;
+        report.f32_written = rs.f32_written;
+        report.elapsed = rs.t0.elapsed();
+        if let Some(arm) = rs.arm {
+            self.cost.observe(arm, rs.round_work, report.elapsed.as_nanos() as u64);
             report.dispatch = Some(arm);
         }
-        self.scratch = scratch;
+        self.scratch = rs.scratch;
         report
     }
+
+    /// Installs (or clears, with `None`) the ownership mask for partitioned
+    /// operation. With a mask, this engine updates α/h rows and generates
+    /// events only for vertices marked `true`; everything else is a ghost
+    /// whose messages are kept fresh by its owner through
+    /// [`InkStream::round_ingest_refresh`]. The mask must have one entry per
+    /// vertex. Not allowed mid-round.
+    pub fn set_ownership(&mut self, owned: Option<Vec<bool>>) {
+        assert!(self.round.is_none(), "cannot change ownership mid-round");
+        if let Some(o) = &owned {
+            assert_eq!(o.len(), self.graph.num_vertices(), "one ownership flag per vertex");
+        }
+        self.owned = owned;
+    }
+
+    /// Appends one ownership flag after a vertex insertion
+    /// ([`InkStream::add_vertex`]). No-op when no mask is installed.
+    pub fn push_ownership(&mut self, owns: bool) {
+        if let Some(o) = self.owned.as_mut() {
+            o.push(owns);
+            assert_eq!(o.len(), self.graph.num_vertices(), "one ownership flag per vertex");
+        }
+    }
+
+    /// Whether this engine owns `v` (always true without an ownership mask).
+    #[inline]
+    pub fn owns(&self, v: VertexId) -> bool {
+        owns_in(self.owned.as_deref(), v)
+    }
+
+    /// Overwrites one cached layer-`l` message row *without* recording a
+    /// change — the replica-seeding path: when a cut edge makes a vertex
+    /// newly visible to this engine as a ghost, the partitioned driver
+    /// copies the owner's current rows in before the round begins. Outside
+    /// a round only.
+    pub fn set_message_row(&mut self, l: usize, v: VertexId, row: &[f32]) {
+        assert!(self.round.is_none(), "cannot seed replica rows mid-round");
+        self.state.m[l].set_row(v as usize, row);
+    }
+
+    /// Replaces all cached state with `state` (shape-checked against the
+    /// current graph and model) and rebuilds the user caches from its
+    /// messages. This is the partitioned resync path: one engine bootstraps
+    /// the *global* graph and every partition adopts a clone, so ghosts and
+    /// owned rows alike come out bitwise-identical to full recomputation —
+    /// a per-partition [`InkStream::resync`] would wrongly bootstrap the
+    /// local subgraph instead.
+    pub fn adopt_state(&mut self, state: FullState) -> Result<(), InkError> {
+        assert!(self.round.is_none(), "cannot adopt state mid-round");
+        let n = self.graph.num_vertices();
+        let k = self.model.num_layers();
+        if state.m.len() != k || state.alpha.len() != k {
+            return Err(InkError::ShapeMismatch {
+                detail: format!("state has {} layers, model has {k}", state.m.len()),
+            });
+        }
+        for l in 0..k {
+            let want = (n, self.model.msg_dim(l));
+            if state.m[l].shape() != want || state.alpha[l].shape() != want {
+                return Err(InkError::ShapeMismatch {
+                    detail: format!(
+                        "layer {l}: m {:?} / alpha {:?}, expected {want:?}",
+                        state.m[l].shape(),
+                        state.alpha[l].shape()
+                    ),
+                });
+            }
+        }
+        if state.h.shape() != (n, self.model.out_dim()) {
+            return Err(InkError::ShapeMismatch {
+                detail: format!(
+                    "output {:?}, expected ({n}, {})",
+                    state.h.shape(),
+                    self.model.out_dim()
+                ),
+            });
+        }
+        self.user_cache = (0..k)
+            .map(|l| self.hooks.as_deref().and_then(|h| h.init_cache(l, &state.m[l])))
+            .collect();
+        self.state = state;
+        Ok(())
+    }
+}
+
+/// Shared ownership predicate: no mask means the engine owns everything;
+/// with a mask, out-of-range vertices are not owned (the driver keeps the
+/// mask sized to the graph).
+#[inline]
+fn owns_in(owned: Option<&[bool]>, v: VertexId) -> bool {
+    owned.is_none_or(|o| o.get(v as usize).copied().unwrap_or(false))
 }
 
 /// `h_{l+1,u} = act(norm(T(α_{l,u}, m_{l,u}) + user_contribution))` for one

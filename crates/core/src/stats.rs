@@ -122,6 +122,20 @@ pub struct LayerStats {
     pub phases: PhaseTimes,
 }
 
+impl LayerStats {
+    /// Adds another layer observation into this one (counts and phase times
+    /// sum) — used when folding per-partition reports of the same layer.
+    pub fn merge(&mut self, other: &LayerStats) {
+        self.events_created += other.events_created;
+        self.targets += other.targets;
+        self.alpha_changed += other.alpha_changed;
+        self.conditions.merge(&other.conditions);
+        self.batched_rows += other.batched_rows;
+        self.batched_apply_rows += other.batched_apply_rows;
+        self.phases.merge(&other.phases);
+    }
+}
+
 /// The report returned by every engine update.
 #[derive(Clone, Debug, Default)]
 pub struct UpdateReport {
@@ -194,6 +208,44 @@ impl UpdateReport {
     /// summed across layers.
     pub fn batched_apply_rows(&self) -> usize {
         self.per_layer.iter().map(|l| l.batched_apply_rows).sum()
+    }
+
+    /// Folds another report into this one, layer by layer — the
+    /// partitioned-engine summary path, where each partition contributes one
+    /// report for the *same* logical round. Counters and per-layer stats
+    /// sum; `elapsed` takes the maximum (partitions run concurrently, so
+    /// the round's wall time is the slowest partition's); `dispatch` keeps
+    /// the first recorded arm; `per_node_condition` keeps each node's worst
+    /// condition should the same node appear in both (it normally cannot —
+    /// every target is owned by exactly one partition).
+    pub fn absorb(&mut self, other: &UpdateReport) {
+        if self.per_layer.len() < other.per_layer.len() {
+            self.per_layer.resize_with(other.per_layer.len(), LayerStats::default);
+        }
+        for (mine, theirs) in self.per_layer.iter_mut().zip(&other.per_layer) {
+            mine.merge(theirs);
+        }
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.nodes_visited += other.nodes_visited;
+        self.real_affected += other.real_affected;
+        self.output_changed += other.output_changed;
+        self.f32_read += other.f32_read;
+        self.f32_written += other.f32_written;
+        self.skipped_changes += other.skipped_changes;
+        self.gemm_flops += other.gemm_flops;
+        if self.dispatch.is_none() {
+            self.dispatch = other.dispatch;
+        }
+        for (&v, &c) in &other.per_node_condition {
+            self.per_node_condition
+                .entry(v)
+                .and_modify(|worst| {
+                    if c.severity() > worst.severity() {
+                        *worst = c;
+                    }
+                })
+                .or_insert(c);
+        }
     }
 
     /// Fraction of processed monotonic targets that avoided recomputation
@@ -282,6 +334,53 @@ mod tests {
         }
         assert_eq!(r.phase_times().apply, Duration::from_micros(14));
         assert_eq!(r.phase_times().total(), Duration::from_micros(14));
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_elapsed() {
+        let mut a = UpdateReport {
+            elapsed: Duration::from_micros(50),
+            real_affected: 3,
+            f32_read: 10,
+            ..Default::default()
+        };
+        a.per_layer.push(LayerStats { targets: 2, ..Default::default() });
+        let mut b = UpdateReport {
+            elapsed: Duration::from_micros(80),
+            real_affected: 4,
+            f32_written: 7,
+            ..Default::default()
+        };
+        b.per_layer.push(LayerStats { targets: 5, ..Default::default() });
+        b.per_layer.push(LayerStats { targets: 1, ..Default::default() });
+        b.per_node_condition.insert(9, Condition::ExposedReset);
+        a.absorb(&b);
+        assert_eq!(a.elapsed, Duration::from_micros(80));
+        assert_eq!(a.real_affected, 7);
+        assert_eq!((a.f32_read, a.f32_written), (10, 7));
+        assert_eq!(a.per_layer.len(), 2);
+        assert_eq!(a.per_layer[0].targets, 7);
+        assert_eq!(a.per_layer[1].targets, 1);
+        assert_eq!(a.per_node_condition[&9], Condition::ExposedReset);
+    }
+
+    #[test]
+    fn absorb_keeps_worst_per_node_condition() {
+        let mut a = UpdateReport::default();
+        a.per_node_condition.insert(1, Condition::NoReset);
+        let mut b = UpdateReport::default();
+        b.per_node_condition.insert(1, Condition::ExposedReset);
+        b.per_node_condition.insert(2, Condition::Resilient);
+        a.absorb(&b);
+        assert_eq!(a.per_node_condition[&1], Condition::ExposedReset);
+        assert_eq!(a.per_node_condition[&2], Condition::Resilient);
+        // Absorbing a weaker condition does not downgrade.
+        a.absorb(&{
+            let mut c = UpdateReport::default();
+            c.per_node_condition.insert(1, Condition::Resilient);
+            c
+        });
+        assert_eq!(a.per_node_condition[&1], Condition::ExposedReset);
     }
 
     #[test]

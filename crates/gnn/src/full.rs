@@ -44,6 +44,7 @@ impl Neighborhood for ink_graph::Csr {
 /// The cached intermediate state of one full inference: the paper's two
 /// checkpoints per layer (messages `m_l` and aggregated neighborhoods `α_l`)
 /// plus the final output `h`.
+#[derive(Clone)]
 pub struct FullState {
     /// `m[l]` — messages entering layer `l`'s aggregation (`n × msg_dim(l)`).
     pub m: Vec<Matrix>,

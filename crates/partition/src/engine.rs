@@ -1,0 +1,990 @@
+//! The partitioned engine: N per-partition [`InkStream`]s driven in lockstep.
+//!
+//! ## Round schedule
+//!
+//! One logical update round (a [`DeltaBatch`] and/or feature updates) runs as
+//! a bulk-synchronous sweep over the layers:
+//!
+//! 1. **Route + bookkeeping** — the delta is applied to the driver's global
+//!    replica graph (authoritative skip counts and neighbor lists), routed
+//!    onto per-partition deltas, and folded into the [`ReplicationTable`].
+//!    Brand-new mirrors get a pre-round snapshot of the owner's cached
+//!    message rows.
+//! 2. **`round_begin`** on every engine (graph mutation + seeds, owner-side
+//!    only thanks to each engine's ownership mask).
+//! 3. Per layer `l`: `round_rescale(l)` on every engine (scoped threads) →
+//!    **boundary exchange** (each owner's recorded layer-`l` rows are pushed
+//!    to every mirror via `round_ingest_refresh`) → `round_process(l)` on
+//!    every engine.
+//! 4. **`round_finish`** everywhere; the per-partition [`UpdateReport`]s fold
+//!    into one via [`UpdateReport::absorb`].
+//!
+//! ## Why this is bitwise-exact
+//!
+//! Every event a single engine would generate for a target `t` is generated
+//! on `t`'s owner, from identical inputs: ΔG events come from the routed
+//! delta slice (same relative order), and changed-message events are
+//! regenerated *locally* from refreshed ghost rows — the refresh records the
+//! pre-refresh row as the "old" value, so payloads, the covered-edge rule,
+//! and the canonical sorted-source fold order all match the monolithic
+//! pipeline. User hooks must only emit events targeting the vertex whose
+//! message changed (true for [`inkstream::LinearSelfTerm`]); mirrors fire
+//! them too, and the ownership mask drops the foreign copies.
+
+use crate::metrics::PartitionInstruments;
+use crate::partitioner::Partitioner;
+use crate::replication::ReplicationTable;
+use crate::router::DeltaRouter;
+use ink_graph::stats::{partition_quality, PartitionQuality};
+use ink_graph::{DeltaBatch, DynGraph, EdgeChange, EdgeOp, FxHashMap, VertexId};
+use ink_gnn::Model;
+use ink_obs::MetricsRegistry;
+use ink_tensor::Matrix;
+use inkstream::{
+    AuditKind, DriftAction, DriftError, DriftStats, IngestReport, InkError, InkStream,
+    PhaseTimes, ResyncReport, SessionConfig, SessionSummary, ServeStats, UpdateConfig,
+    UpdateReport, UserHooks,
+};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Factory producing one identical model per engine (models hold boxed
+/// convolutions and cannot be cloned). **Must be deterministic**: every call
+/// has to yield bitwise-identical weights, e.g. by reseeding an RNG inside
+/// the closure.
+pub type ModelFactory = Box<dyn Fn() -> Model + Send + Sync>;
+
+/// Factory producing one identical hook set per engine (same determinism
+/// contract as [`ModelFactory`]). Partitioned hooks must only emit events
+/// targeting the vertex whose message changed.
+pub type HooksFactory = Box<dyn Fn() -> Box<dyn UserHooks> + Send + Sync>;
+
+/// Tunables of the partitioned driver.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionConfig {
+    /// Number of partitions (≥ 1).
+    pub parts: usize,
+    /// Per-engine update configuration (shared by every partition).
+    pub update: UpdateConfig,
+    /// Session-layer settings: ingest batching, drift policy, latency window.
+    pub session: SessionConfig,
+    /// Step the partitions on scoped threads (`false` = serial, same
+    /// results — parallelism only trades wall-clock).
+    pub parallel: bool,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        Self {
+            parts: 2,
+            update: UpdateConfig::default(),
+            session: SessionConfig::default(),
+            parallel: true,
+        }
+    }
+}
+
+/// [`SessionSummary`] plus the partition-specific observables.
+#[derive(Clone, Debug)]
+pub struct PartitionSummary {
+    /// The folded per-partition session summary.
+    pub session: SessionSummary,
+    /// Partition count.
+    pub parts: usize,
+    /// Edge-cut quality of the *current* graph under the current assignment.
+    pub quality: PartitionQuality,
+    /// Routed changes that crossed the cut.
+    pub boundary_events: u64,
+    /// Ghost rows refreshed owner → mirror.
+    pub replica_refreshes: u64,
+    /// All-layer snapshots that seeded new mirrors.
+    pub mirror_seeds: u64,
+    /// Cumulative wall time each partition spent inside round steps.
+    pub partition_wall: Vec<Duration>,
+}
+
+impl PartitionSummary {
+    /// JSON rendering for bench artifacts, superset of the session schema.
+    pub fn to_json(&self) -> inkstream::Json {
+        use inkstream::Json;
+        Json::obj([
+            ("session", self.session.to_json()),
+            ("parts", Json::from(self.parts as u64)),
+            ("cut_edges", Json::from(self.quality.cut_edges as u64)),
+            ("replication_factor", Json::from(self.quality.replication_factor)),
+            ("balance", Json::from(self.quality.balance)),
+            ("boundary_events", Json::from(self.boundary_events)),
+            ("replica_refreshes", Json::from(self.replica_refreshes)),
+            ("mirror_seeds", Json::from(self.mirror_seeds)),
+            (
+                "partition_wall_ms",
+                Json::Arr(
+                    self.partition_wall
+                        .iter()
+                        .map(|d| Json::from(d.as_secs_f64() * 1e3))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A partition-parallel incremental engine with the same session-style
+/// surface as a single [`InkStream`] + [`inkstream::StreamSession`]. See the
+/// crate docs for the ownership model and the module docs for the round
+/// schedule.
+pub struct PartitionedInkStream {
+    engines: Vec<InkStream>,
+    router: DeltaRouter,
+    table: ReplicationTable,
+    /// Global replica: authoritative adjacency for skip counts, vertex
+    /// removal fans, audits, and resync bootstraps.
+    graph: DynGraph,
+    features: Matrix,
+    partitioner: Box<dyn Partitioner>,
+    model_factory: ModelFactory,
+    hooks_factory: Option<HooksFactory>,
+    cfg: PartitionConfig,
+    cut_edges: usize,
+
+    // Session bookkeeping (the driver is its own session layer — per-batch
+    // rounds cross all engines, so a per-engine StreamSession cannot wrap
+    // them).
+    ingests: usize,
+    changes: usize,
+    batches: u64,
+    total_affected: u64,
+    output_changed_total: u64,
+    phase_times: PhaseTimes,
+    latencies: VecDeque<Duration>,
+    drift: DriftStats,
+    sample_state: u64,
+    walls: Vec<Duration>,
+    registry: Arc<MetricsRegistry>,
+    inst: PartitionInstruments,
+}
+
+impl PartitionedInkStream {
+    /// Splits `graph` with `partitioner`, bootstraps one global full
+    /// inference, and clones the resulting state into `cfg.parts` engines.
+    ///
+    /// `model_factory` must produce bitwise-identical models on every call
+    /// (one engine each plus one for every bootstrap/resync).
+    pub fn new<F, P>(
+        model_factory: F,
+        graph: DynGraph,
+        features: Matrix,
+        partitioner: P,
+        cfg: PartitionConfig,
+    ) -> Result<Self, InkError>
+    where
+        F: Fn() -> Model + Send + Sync + 'static,
+        P: Partitioner + 'static,
+    {
+        Self::with_hooks(model_factory, graph, features, partitioner, cfg, None)
+    }
+
+    /// Like [`PartitionedInkStream::new`] with user hooks. Partition-safe
+    /// hooks must only emit events targeting the vertex whose message
+    /// changed (see [`HooksFactory`]).
+    pub fn with_hooks<F, P>(
+        model_factory: F,
+        graph: DynGraph,
+        features: Matrix,
+        partitioner: P,
+        cfg: PartitionConfig,
+        hooks_factory: Option<HooksFactory>,
+    ) -> Result<Self, InkError>
+    where
+        F: Fn() -> Model + Send + Sync + 'static,
+        P: Partitioner + 'static,
+    {
+        assert!(cfg.parts >= 1, "PartitionConfig: need at least one partition");
+        let model_factory: ModelFactory = Box::new(model_factory);
+        let parts = cfg.parts;
+        let assignment = partitioner.partition(&graph, parts);
+        assert_eq!(assignment.len(), graph.num_vertices(), "partitioner must label every vertex");
+
+        // One global bootstrap; every engine starts from a clone of its
+        // state (full-width matrices, global vertex ids).
+        let bootstrap = InkStream::with_hooks(
+            (model_factory)(),
+            graph.clone(),
+            features.clone(),
+            cfg.update,
+            hooks_factory.as_ref().map(|f| f()),
+        )?;
+        let state = bootstrap.state().clone();
+        drop(bootstrap);
+
+        let table = ReplicationTable::build(&graph, &assignment);
+        let mut engines = Vec::with_capacity(parts);
+        for p in 0..parts as u32 {
+            let sub = subgraph(&graph, &assignment, p);
+            let mut e = InkStream::from_parts(
+                (model_factory)(),
+                sub,
+                features.clone(),
+                state.clone(),
+                cfg.update,
+                hooks_factory.as_ref().map(|f| f()),
+            )?;
+            e.set_ownership(Some(assignment.iter().map(|&a| a == p).collect()));
+            engines.push(e);
+        }
+
+        let cut_edges = count_cut_edges(&graph, &assignment);
+        let registry = Arc::new(MetricsRegistry::new());
+        let inst = PartitionInstruments::register(&registry, parts);
+        inst.parts.set_u64(parts as u64);
+        inst.cut_edges.set_u64(cut_edges as u64);
+        inst.replicas.set_u64(table.total_mirrors() as u64);
+        let sample_state = cfg.session.drift.seed;
+        let router = DeltaRouter::new(assignment, parts, graph.is_directed());
+        Ok(Self {
+            engines,
+            router,
+            table,
+            graph,
+            features,
+            partitioner: Box::new(partitioner),
+            model_factory,
+            hooks_factory,
+            cfg,
+            cut_edges,
+            ingests: 0,
+            changes: 0,
+            batches: 0,
+            total_affected: 0,
+            output_changed_total: 0,
+            phase_times: PhaseTimes::default(),
+            latencies: VecDeque::new(),
+            drift: DriftStats::default(),
+            sample_state,
+            walls: vec![Duration::ZERO; parts],
+            registry,
+            inst,
+        })
+    }
+
+    /// Number of partitions.
+    pub fn parts(&self) -> usize {
+        self.cfg.parts
+    }
+
+    /// The global replica graph (authoritative adjacency).
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// The global feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Per-vertex owner labels.
+    pub fn assignment(&self) -> &[u32] {
+        self.router.assignment()
+    }
+
+    /// The partition owning `v`.
+    pub fn owner(&self, v: VertexId) -> u32 {
+        self.router.owner(v)
+    }
+
+    /// The per-partition engines (read access, e.g. for audits in tests).
+    pub fn engines(&self) -> &[InkStream] {
+        &self.engines
+    }
+
+    /// The boundary replication table.
+    pub fn replication(&self) -> &ReplicationTable {
+        &self.table
+    }
+
+    /// The driver's metrics registry (`ink_partition_*` instruments).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The merged output embeddings: every vertex's row taken from its
+    /// owning partition. Bitwise-equal to the single-engine output for the
+    /// same update stream.
+    pub fn output(&self) -> Matrix {
+        let n = self.graph.num_vertices();
+        let d = self.engines[0].model().out_dim();
+        let mut out = Matrix::zeros(n, d);
+        for v in 0..n {
+            let owner = self.router.owner(v as VertexId) as usize;
+            out.set_row(v, self.engines[owner].state().h.row(v));
+        }
+        out
+    }
+
+    /// One vertex's output embedding, read from its owner.
+    pub fn embedding(&self, v: VertexId) -> Vec<f32> {
+        self.engines[self.router.owner(v) as usize].state().h.row(v as usize).to_vec()
+    }
+
+    /// The `k` vertices most similar to `vertex` by embedding dot product,
+    /// merged across partitions: each partition scores its owned vertices
+    /// against the query row, then the candidates merge deterministically
+    /// (descending score, ties to the lower id) — the same order contract as
+    /// the single-engine serving path.
+    pub fn top_k(&self, vertex: VertexId, k: usize) -> Vec<(VertexId, f32)> {
+        let q = self.embedding(vertex);
+        let mut scored: Vec<(VertexId, f32)> = Vec::new();
+        for (p, e) in self.engines.iter().enumerate() {
+            let h = &e.state().h;
+            for v in 0..self.graph.num_vertices() as VertexId {
+                if v == vertex || self.router.owner(v) != p as u32 {
+                    continue;
+                }
+                let score: f32 = q.iter().zip(h.row(v as usize)).map(|(a, b)| a * b).sum();
+                scored.push((v, score));
+            }
+        }
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    /// Applies one batch of edge changes as a partitioned round. Same
+    /// contract as [`InkStream::apply_delta`].
+    pub fn apply_delta(&mut self, delta: &DeltaBatch) -> UpdateReport {
+        self.round(delta, &[]).expect("edge-only rounds cannot fail validation")
+    }
+
+    /// Updates one vertex's input feature everywhere (ghost copies included)
+    /// and propagates from the owner. Same contract as
+    /// [`InkStream::update_vertex_feature`].
+    pub fn update_vertex_feature(
+        &mut self,
+        v: VertexId,
+        new_feat: &[f32],
+    ) -> Result<UpdateReport, InkError> {
+        self.round(&DeltaBatch::default(), &[(v, new_feat.to_vec())])
+    }
+
+    /// Adds a vertex with `feat` and edges to `neighbors`; ownership comes
+    /// from [`Partitioner::assign_new`]. Same contract as
+    /// [`InkStream::add_vertex`].
+    pub fn add_vertex(
+        &mut self,
+        feat: &[f32],
+        neighbors: &[VertexId],
+    ) -> Result<(VertexId, UpdateReport), InkError> {
+        let in_dim = self.engines[0].model().in_dim();
+        if feat.len() != in_dim {
+            return Err(InkError::ShapeMismatch {
+                detail: format!("feature len {} != {}", feat.len(), in_dim),
+            });
+        }
+        for &n in neighbors {
+            if (n as usize) >= self.graph.num_vertices() {
+                return Err(InkError::UnknownVertex(n));
+            }
+        }
+        let part = self.partitioner.assign_new(
+            self.graph.num_vertices() as VertexId,
+            neighbors,
+            self.router.assignment(),
+            self.cfg.parts,
+        );
+        assert!((part as usize) < self.cfg.parts, "assign_new label out of range");
+        let v = self.graph.add_vertex();
+        self.features.push_row(feat);
+        // Every engine grows the same isolated vertex (identical models ⇒
+        // identical cached chain rows); only `part` owns it.
+        for (i, e) in self.engines.iter_mut().enumerate() {
+            let (ev, _) = e.add_vertex(feat, &[])?;
+            debug_assert_eq!(ev, v);
+            e.push_ownership(part == i as u32);
+        }
+        self.router.push_vertex(part);
+        let changes: Vec<EdgeChange> =
+            neighbors.iter().map(|&n| EdgeChange::insert(v, n)).collect();
+        let report = self.apply_delta(&DeltaBatch::new(changes));
+        Ok((v, report))
+    }
+
+    /// Removes all edges incident to `v` (the id slot stays, matching
+    /// [`InkStream::remove_vertex`]); mirror refcounts drop through routing,
+    /// so boundary copies retire naturally.
+    pub fn remove_vertex(&mut self, v: VertexId) -> Result<UpdateReport, InkError> {
+        if (v as usize) >= self.graph.num_vertices() {
+            return Err(InkError::UnknownVertex(v));
+        }
+        let mut changes: Vec<EdgeChange> =
+            self.graph.out_neighbors(v).iter().map(|&n| EdgeChange::remove(v, n)).collect();
+        if self.graph.is_directed() {
+            changes
+                .extend(self.graph.in_neighbors(v).iter().map(|&n| EdgeChange::remove(n, v)));
+        }
+        Ok(self.apply_delta(&DeltaBatch::new(changes)))
+    }
+
+    /// Rebuilds every partition's cached state from one fresh global
+    /// bootstrap (per-partition bootstraps would recompute ghosts from
+    /// incomplete neighborhoods). Afterwards the merged output is bitwise
+    /// equal to full recomputation.
+    pub fn resync(&mut self) -> ResyncReport {
+        let t0 = Instant::now();
+        let fresh = InkStream::with_hooks(
+            (self.model_factory)(),
+            self.graph.clone(),
+            self.features.clone(),
+            self.cfg.update,
+            self.hooks_factory.as_ref().map(|f| f()),
+        )
+        .expect("resync bootstrap shares shapes with the running engines");
+        let state = fresh.state().clone();
+        drop(fresh);
+        let mut f32_written = 0u64;
+        let per_engine: u64 = state
+            .m
+            .iter()
+            .chain(&state.alpha)
+            .chain(std::iter::once(&state.h))
+            .map(|m| (m.rows() * m.cols()) as u64)
+            .sum();
+        for e in &mut self.engines {
+            e.adopt_state(state.clone()).expect("resync state matches engine shapes");
+            f32_written += per_engine;
+        }
+        ResyncReport { elapsed: t0.elapsed(), f32_written }
+    }
+
+    /// One partitioned round: see the module docs for the schedule.
+    fn round(
+        &mut self,
+        delta: &DeltaBatch,
+        fx: &[(VertexId, Vec<f32>)],
+    ) -> Result<UpdateReport, InkError> {
+        let t0 = Instant::now();
+        // Validate feature updates before any mutation anywhere.
+        let in_dim = self.engines[0].model().in_dim();
+        for (v, feat) in fx {
+            if (*v as usize) >= self.graph.num_vertices() {
+                return Err(InkError::UnknownVertex(*v));
+            }
+            if feat.len() != in_dim {
+                return Err(InkError::ShapeMismatch {
+                    detail: format!("feature len {} != {in_dim}", feat.len()),
+                });
+            }
+            self.features.set_row(*v as usize, feat);
+        }
+
+        // Global replica: authoritative effective-change list + skip count.
+        let mut skipped = 0usize;
+        let mut effective: Vec<EdgeChange> = Vec::with_capacity(delta.len());
+        for &c in delta.changes() {
+            if self.graph.apply(c) {
+                effective.push(c);
+            } else {
+                skipped += 1;
+            }
+        }
+
+        // Fold the cut churn into the replication table. Mirrors dropped
+        // this round still receive refreshes *during* it — their engines may
+        // hold ΔG events whose payloads read the ghost's rows.
+        let directed = self.graph.is_directed();
+        let mut new_mirrors: Vec<(VertexId, u32)> = Vec::new();
+        let mut dropped: FxHashMap<VertexId, Vec<u32>> = FxHashMap::default();
+        for c in &effective {
+            let (ps, pd) = (self.router.owner(c.src), self.router.owner(c.dst));
+            if ps == pd {
+                continue;
+            }
+            self.inst.boundary_events.inc();
+            match c.op {
+                EdgeOp::Insert => {
+                    self.cut_edges += 1;
+                    if self.table.add(c.src, pd) {
+                        new_mirrors.push((c.src, pd));
+                    }
+                    if !directed && self.table.add(c.dst, ps) {
+                        new_mirrors.push((c.dst, ps));
+                    }
+                }
+                EdgeOp::Remove => {
+                    self.cut_edges -= 1;
+                    if self.table.remove(c.src, pd) {
+                        dropped.entry(c.src).or_default().push(pd);
+                    }
+                    if !directed && self.table.remove(c.dst, ps) {
+                        dropped.entry(c.dst).or_default().push(ps);
+                    }
+                }
+            }
+        }
+
+        // Seed brand-new mirrors with the owner's pre-round message rows
+        // (raw writes: no old-record, so the snapshot itself spawns no
+        // events on the mirror).
+        let k = self.engines[0].model().num_layers();
+        for &(v, q) in &new_mirrors {
+            let o = self.router.owner(v) as usize;
+            for l in 0..k {
+                let row = self.engines[o].state().m[l].row(v as usize).to_vec();
+                self.engines[q as usize].set_message_row(l, v, &row);
+            }
+            self.inst.mirror_seeds.inc();
+        }
+
+        // Open the round everywhere. Feature updates go to every engine
+        // (ghost feature rows stay fresh for audits); each engine's
+        // ownership mask decides who actually seeds propagation.
+        let routed = self.router.route(delta);
+        for (e, d) in self.engines.iter_mut().zip(&routed) {
+            e.round_begin(d, fx).expect("validated against the global replica");
+        }
+
+        // BSP sweep: rescale → boundary exchange → process, per layer.
+        let mut buf: Vec<(VertexId, Vec<f32>)> = Vec::new();
+        for l in 0..k {
+            self.step(|e| e.round_rescale(l));
+            for p in 0..self.cfg.parts {
+                buf.clear();
+                self.engines[p].round_changed_rows(l, &mut buf);
+                for (v, row) in &buf {
+                    let mut targets = self.table.mirrors_of(*v);
+                    if let Some(extra) = dropped.get(v) {
+                        targets.extend(extra);
+                        targets.sort_unstable();
+                        targets.dedup();
+                    }
+                    for &q in &targets {
+                        self.engines[q as usize].round_ingest_refresh(l, *v, row);
+                        self.inst.replica_refreshes.inc();
+                    }
+                }
+            }
+            self.step(|e| e.round_process(l));
+        }
+
+        let mut report = UpdateReport::default();
+        for e in &mut self.engines {
+            report.absorb(&e.round_finish());
+        }
+        // Partition-local skip counts double-count cross-cut no-ops; the
+        // global replica's count is authoritative. Whole-driver wall clock
+        // replaces the max-partition fold for the same reason.
+        report.skipped_changes = skipped;
+        report.elapsed = t0.elapsed();
+        self.inst.rounds.inc();
+        self.inst.cut_edges.set_u64(self.cut_edges as u64);
+        self.inst.replicas.set_u64(self.table.total_mirrors() as u64);
+        Ok(report)
+    }
+
+    /// Runs `f` over every engine — scoped threads when configured — and
+    /// accumulates per-partition wall time plus the straggler skew.
+    fn step(&mut self, f: impl Fn(&mut InkStream) + Sync) {
+        let durations: Vec<Duration> = if self.cfg.parallel && self.engines.len() > 1 {
+            let mut out = vec![Duration::ZERO; self.engines.len()];
+            std::thread::scope(|s| {
+                for (e, slot) in self.engines.iter_mut().zip(out.iter_mut()) {
+                    let f = &f;
+                    s.spawn(move || {
+                        let t = Instant::now();
+                        f(e);
+                        *slot = t.elapsed();
+                    });
+                }
+            });
+            out
+        } else {
+            self.engines
+                .iter_mut()
+                .map(|e| {
+                    let t = Instant::now();
+                    f(e);
+                    t.elapsed()
+                })
+                .collect()
+        };
+        let (mut min, mut max) = (Duration::MAX, Duration::ZERO);
+        for ((d, wall), counter) in
+            durations.iter().zip(self.walls.iter_mut()).zip(&self.inst.wall_ns)
+        {
+            *wall += *d;
+            counter.add(d.as_nanos() as u64);
+            min = min.min(*d);
+            max = max.max(*d);
+        }
+        if self.engines.len() > 1 {
+            self.inst.step_skew.record((max - min).as_nanos() as u64);
+        }
+    }
+
+    /// Applies a delta split into `max_batch` chunks, then runs whichever
+    /// audit the drift policy schedules — the partitioned analogue of
+    /// [`inkstream::StreamSession::ingest`], with audits running per
+    /// partition on owned vertices plus a mirror-consistency sweep.
+    pub fn ingest(&mut self, delta: &DeltaBatch) -> Result<IngestReport, DriftError> {
+        let t0 = Instant::now();
+        let mut report = IngestReport::default();
+        for chunk in delta.changes().chunks(self.cfg.session.max_batch) {
+            let batch = DeltaBatch::new(chunk.to_vec());
+            let t = Instant::now();
+            let r = self.apply_delta(&batch);
+            let elapsed = t.elapsed();
+            if self.latencies.len() == self.cfg.session.latency_window {
+                self.latencies.pop_front();
+            }
+            self.latencies.push_back(elapsed);
+            self.batches += 1;
+            report.batches += 1;
+            report.skipped += r.skipped_changes;
+            report.changes_applied += chunk.len() - r.skipped_changes;
+            report.output_changed += r.output_changed;
+            self.total_affected += r.real_affected;
+            self.phase_times.merge(&r.phase_times());
+        }
+        self.ingests += 1;
+        self.changes += report.changes_applied;
+        self.output_changed_total += report.output_changed;
+
+        if let Some(err) = self.run_audit(&mut report) {
+            report.elapsed = t0.elapsed();
+            return Err(DriftError { report, ..err });
+        }
+        report.elapsed = t0.elapsed();
+        Ok(report)
+    }
+
+    /// Spot audit: sampled vertices audited on their owners. Full audit:
+    /// every vertex audited on its owner, plus every ghost message row
+    /// checked against the owner's copy (a partition-only failure mode a
+    /// vertex-level audit cannot see).
+    fn run_audit(&mut self, report: &mut IngestReport) -> Option<DriftError> {
+        use ink_tensor::ops::nan_max;
+        let policy = self.cfg.session.drift;
+        let spot_enabled = policy.spot_every.is_some();
+        let full_enabled = policy.full_every.is_some();
+        if !spot_enabled && !full_enabled {
+            return None;
+        }
+        let due_full = policy.full_every.is_some_and(|e| self.ingests.is_multiple_of(e));
+        let due_spot =
+            !due_full && policy.spot_every.is_some_and(|e| self.ingests.is_multiple_of(e));
+        if !due_full && !due_spot {
+            return None;
+        }
+        let t_audit = Instant::now();
+        let diff = if due_full {
+            self.drift.full_audits += 1;
+            report.audit = Some(AuditKind::Full);
+            let mut worst = 0.0f32;
+            for v in 0..self.graph.num_vertices() as VertexId {
+                let owner = self.router.owner(v) as usize;
+                worst = nan_max(worst, self.engines[owner].audit_vertex(v));
+            }
+            worst = nan_max(worst, self.mirror_deviation());
+            worst
+        } else {
+            self.drift.spot_audits += 1;
+            report.audit = Some(AuditKind::Spot);
+            let n = self.graph.num_vertices() as u64;
+            let mut worst = 0.0f32;
+            for _ in 0..policy.spot_samples {
+                let v = (splitmix64(&mut self.sample_state) % n.max(1)) as VertexId;
+                let owner = self.router.owner(v) as usize;
+                worst = nan_max(worst, self.engines[owner].audit_vertex(v));
+            }
+            worst
+        };
+        report.audit_time = t_audit.elapsed();
+        self.drift.audit_time += report.audit_time;
+        report.verified_diff = Some(diff);
+        if diff.is_nan() {
+            self.drift.nan_detected += 1;
+        } else {
+            self.drift.max_deviation = self.drift.max_deviation.max(diff);
+        }
+        let breached = diff.is_nan() || diff > policy.tolerance;
+        report.drift_breached = breached;
+        if !breached {
+            return None;
+        }
+        self.drift.breaches += 1;
+        match policy.action {
+            DriftAction::Warn => None,
+            DriftAction::Resync => {
+                let r = self.resync();
+                self.drift.resyncs += 1;
+                self.drift.resync_time += r.elapsed;
+                report.resynced = true;
+                None
+            }
+            DriftAction::Fail => Some(DriftError {
+                max_diff: diff,
+                tolerance: policy.tolerance,
+                report: IngestReport::default(),
+            }),
+        }
+    }
+
+    /// Worst absolute difference between any ghost message row and its
+    /// owner's authoritative copy — 0.0 when every mirror is coherent.
+    pub fn mirror_deviation(&self) -> f32 {
+        use ink_tensor::ops::nan_max;
+        let k = self.engines[0].model().num_layers();
+        let mut worst = 0.0f32;
+        for v in 0..self.graph.num_vertices() as VertexId {
+            let owner = self.router.owner(v) as usize;
+            for q in self.table.mirrors_of(v) {
+                for l in 0..k {
+                    let a = self.engines[owner].state().m[l].row(v as usize);
+                    let b = self.engines[q as usize].state().m[l].row(v as usize);
+                    for (x, y) in a.iter().zip(b) {
+                        worst = nan_max(worst, (x - y).abs());
+                    }
+                }
+            }
+        }
+        worst
+    }
+
+    /// Rolling summary: the [`SessionSummary`] fold over every partition
+    /// plus the partition-specific observables.
+    pub fn summary(&self) -> PartitionSummary {
+        let mut sorted: Vec<Duration> = self.latencies.iter().copied().collect();
+        sorted.sort_unstable();
+        let session = SessionSummary {
+            ingests: self.ingests,
+            changes: self.changes,
+            latency: (
+                percentile_of(&sorted, 0.50),
+                percentile_of(&sorted, 0.90),
+                percentile_of(&sorted, 0.99),
+                sorted.last().copied().unwrap_or_default(),
+            ),
+            avg_real_affected: self.total_affected as f64 / self.batches.max(1) as f64,
+            phase_times: self.phase_times,
+            drift: self.drift,
+            serve: ServeStats::default(),
+        };
+        PartitionSummary {
+            session,
+            parts: self.cfg.parts,
+            quality: partition_quality(&self.graph, self.router.assignment(), self.cfg.parts),
+            boundary_events: self.inst.boundary_events.get(),
+            replica_refreshes: self.inst.replica_refreshes.get(),
+            mirror_seeds: self.inst.mirror_seeds.get(),
+            partition_wall: self.walls.clone(),
+        }
+    }
+}
+
+/// The edges partition `p` needs: in-edges of owned vertices (directed), or
+/// all edges incident to an owned vertex (undirected). Insertion replays the
+/// global edge order, so neighbor lists — and therefore recompute fold
+/// orders — match the single engine's.
+fn subgraph(g: &DynGraph, assignment: &[u32], p: u32) -> DynGraph {
+    let mut sub = DynGraph::new(g.num_vertices(), g.is_directed());
+    for (u, v) in g.edges() {
+        let keep = if g.is_directed() {
+            assignment[v as usize] == p
+        } else {
+            assignment[u as usize] == p || assignment[v as usize] == p
+        };
+        if keep {
+            sub.insert_edge(u, v);
+        }
+    }
+    sub
+}
+
+/// Cut edges of `g` under `assignment` (undirected edges count once).
+fn count_cut_edges(g: &DynGraph, assignment: &[u32]) -> usize {
+    g.edges()
+        .iter()
+        .filter(|&&(u, v)| assignment[u as usize] != assignment[v as usize])
+        .count()
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile_of(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+/// SplitMix64 — the spot-audit sampling stream (same generator as the
+/// single-engine session, so identical policies sample identical vertices).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::{GreedyEdgeCut, HashPartitioner};
+    use ink_gnn::Aggregator;
+    use ink_graph::generators::erdos_renyi;
+    use ink_tensor::init::{seeded_rng, uniform};
+
+    fn gcn(seed: u64) -> Model {
+        let mut rng = seeded_rng(seed);
+        Model::gcn(&mut rng, &[4, 6, 3], Aggregator::Sum)
+    }
+
+    fn setup(parts: usize) -> (InkStream, PartitionedInkStream) {
+        let mut rng = seeded_rng(42);
+        let g = erdos_renyi(&mut rng, 24, 60);
+        let x = uniform(&mut rng, 24, 4, -1.0, 1.0);
+        let single = InkStream::new(gcn(7), g.clone(), x.clone(), UpdateConfig::default()).unwrap();
+        let parted = PartitionedInkStream::new(
+            || gcn(7),
+            g,
+            x,
+            HashPartitioner,
+            PartitionConfig { parts, ..Default::default() },
+        )
+        .unwrap();
+        (single, parted)
+    }
+
+    #[test]
+    fn bootstrap_matches_single_engine() {
+        let (single, parted) = setup(3);
+        assert_eq!(&parted.output(), single.output());
+    }
+
+    #[test]
+    fn delta_round_is_bitwise_equal() {
+        let (mut single, mut parted) = setup(4);
+        let delta = DeltaBatch::new(vec![
+            EdgeChange::insert(0, 13),
+            EdgeChange::insert(5, 21),
+            EdgeChange::remove(0, 13),
+            EdgeChange::insert(2, 17),
+        ]);
+        let rs = single.apply_delta(&delta);
+        let rp = parted.apply_delta(&delta);
+        assert_eq!(&parted.output(), single.output());
+        assert_eq!(rs.skipped_changes, rp.skipped_changes);
+        assert_eq!(rs.output_changed, rp.output_changed);
+        assert_eq!(parted.mirror_deviation(), 0.0);
+    }
+
+    #[test]
+    fn feature_update_on_boundary_vertex_matches() {
+        let (mut single, mut parted) = setup(3);
+        // Pick a replicated boundary vertex so mirrors must refresh.
+        let v = (0..24u32)
+            .find(|&v| !parted.replication().mirrors_of(v).is_empty())
+            .expect("hash split of an ER graph has boundary vertices");
+        let feat = vec![0.9, -0.4, 0.2, 0.7];
+        single.update_vertex_feature(v, &feat).unwrap();
+        parted.update_vertex_feature(v, &feat).unwrap();
+        assert_eq!(&parted.output(), single.output());
+        assert_eq!(parted.mirror_deviation(), 0.0);
+    }
+
+    #[test]
+    fn add_and_remove_vertex_match_single_engine() {
+        let (mut single, mut parted) = setup(2);
+        let feat = vec![0.1, 0.2, -0.3, 0.4];
+        let (vs, _) = single.add_vertex(&feat, &[1, 9, 17]).unwrap();
+        let (vp, _) = parted.add_vertex(&feat, &[1, 9, 17]).unwrap();
+        assert_eq!(vs, vp);
+        assert_eq!(&parted.output(), single.output());
+        single.remove_vertex(3).unwrap();
+        parted.remove_vertex(3).unwrap();
+        assert_eq!(&parted.output(), single.output());
+    }
+
+    #[test]
+    fn serial_and_parallel_stepping_agree() {
+        let mut rng = seeded_rng(5);
+        let g = erdos_renyi(&mut rng, 20, 45);
+        let x = uniform(&mut rng, 20, 4, -1.0, 1.0);
+        let mk = |parallel| {
+            PartitionedInkStream::new(
+                || gcn(3),
+                g.clone(),
+                x.clone(),
+                GreedyEdgeCut,
+                PartitionConfig { parts: 3, parallel, ..Default::default() },
+            )
+            .unwrap()
+        };
+        let (mut a, mut b) = (mk(true), mk(false));
+        let delta = DeltaBatch::new(vec![EdgeChange::insert(0, 11), EdgeChange::remove(1, 2)]);
+        a.apply_delta(&delta);
+        b.apply_delta(&delta);
+        assert_eq!(a.output(), b.output());
+    }
+
+    #[test]
+    fn top_k_matches_merged_output_order() {
+        let (_, parted) = setup(3);
+        let items = parted.top_k(0, 5);
+        assert_eq!(items.len(), 5);
+        let out = parted.output();
+        let q = out.row(0).to_vec();
+        let mut expect: Vec<(u32, f32)> = (1..24u32)
+            .map(|v| (v, q.iter().zip(out.row(v as usize)).map(|(a, b)| a * b).sum()))
+            .collect();
+        expect.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        expect.truncate(5);
+        assert_eq!(items, expect);
+    }
+
+    #[test]
+    fn ingest_chunks_audits_and_summarizes() {
+        let (_, mut parted) = setup(2);
+        parted.cfg.session.max_batch = 2;
+        parted.cfg.session.drift = inkstream::DriftPolicy::full(1, 1e-3);
+        let delta = DeltaBatch::new(vec![
+            EdgeChange::insert(0, 7),
+            EdgeChange::insert(3, 15),
+            EdgeChange::remove(0, 7),
+        ]);
+        let r = parted.ingest(&delta).unwrap();
+        assert_eq!(r.batches, 2);
+        assert_eq!(r.audit, Some(AuditKind::Full));
+        assert!(!r.drift_breached, "diff {:?}", r.verified_diff);
+        let s = parted.summary();
+        assert_eq!(s.session.ingests, 1);
+        assert_eq!(s.parts, 2);
+        assert_eq!(s.session.drift.full_audits, 1);
+        assert!(s.partition_wall.iter().any(|d| !d.is_zero()));
+    }
+
+    #[test]
+    fn resync_restores_bitwise_reference() {
+        let (mut single, mut parted) = setup(3);
+        let delta = DeltaBatch::new(vec![EdgeChange::insert(2, 19), EdgeChange::insert(4, 9)]);
+        single.apply_delta(&delta);
+        parted.apply_delta(&delta);
+        parted.resync();
+        assert_eq!(&parted.output(), &single.recompute_reference());
+    }
+
+    #[test]
+    fn single_partition_degenerates_cleanly() {
+        let (mut single, mut parted) = setup(1);
+        let delta = DeltaBatch::new(vec![EdgeChange::insert(0, 9)]);
+        single.apply_delta(&delta);
+        parted.apply_delta(&delta);
+        assert_eq!(&parted.output(), single.output());
+        assert_eq!(parted.replication().total_mirrors(), 0);
+    }
+}

@@ -15,4 +15,5 @@ B=./target/release
 { time $B/kernels                       ; } > /dev/null          2> results/kernels.log
 { time $B/drift                         ; } > /dev/null          2> results/drift.log
 { time $B/serve  --scale 0.25           ; } > /dev/null          2> results/serve.log
+{ time $B/partition --scale 0.25        ; } > /dev/null          2> results/partition.log
 echo ALL_DONE
