@@ -1,29 +1,53 @@
-//! Serving-layer load generator: throughput and latency of the `ink-serve`
-//! TCP front end under concurrent clients.
+//! Serving data-plane load generator: sustained update/query throughput of
+//! the `ink-serve` readiness loop under a thousand-client, Zipf-skewed mix.
 //!
-//! Sweeps client counts × all three backpressure modes over one engine
-//! (reused across configurations — [`ServerHandle::shutdown`] hands the
-//! session back). Each configuration splits the clients into updaters
-//! (streaming edge-change batches) and queriers (embedding + top-k reads
-//! running until the updaters finish), and records client-observed latency
-//! percentiles, throughput, and the server's own `ServeStats`. Output goes
-//! to `results/BENCH_serve.json` via the shared writer.
+//! Two phases against the same engine:
+//!
+//! * **v1 baseline** — a handful of strict request/response clients, one
+//!   `Update` frame (16 edge ops) per round trip. This is the PR 3 serving
+//!   model and the denominator of the reported speedup.
+//! * **v2 data plane** — 1k+ concurrent connections multiplexed by the
+//!   readiness loop, driven by a few worker threads. Every connection
+//!   pipelines `Batch` frames (8 updates × 16 edge ops + 2 reads each);
+//!   update endpoints and query vertices are Zipf-distributed so a small
+//!   set of celebrity vertices absorbs most traffic, as in production
+//!   feeds. Coalescing in the writer collapses the hot-edge churn into
+//!   small net batches — the InkStream serving story end to end.
+//!
+//! Output goes to `results/BENCH_serve.json` (+ `.prom`) via the shared
+//! writer; the schema is documented in EXPERIMENTS.md. Set
+//! `INK_BENCH_MIN_UPDATES_PER_S` to a float to turn the run into a smoke
+//! gate: the process exits non-zero when the v2 sustained edge-op
+//! throughput lands below the floor.
 
+use ink_bench::workload::Zipf;
 use ink_bench::{latency_us, write_metrics, write_results, BenchOpts, ModelKind};
 use ink_graph::generators::erdos_renyi;
 use ink_graph::EdgeChange;
 use ink_gnn::Aggregator;
-use ink_serve::{Backpressure, InkClient, InkServer, ServeConfig, ServerHandle};
+use ink_serve::{InkClient, InkServer, Request, Response, ServeConfig, ServerHandle};
 use ink_tensor::init::{seeded_rng, sparse_power_law};
 use inkstream::{InkStream, Json, StreamSession, UpdateConfig};
-use rand::RngExt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::io;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const FEAT_DIM: usize = 16;
 const SEED: u64 = 0x5E12E;
+/// Edge ops per `Update` request — the PR 3 baseline unit, kept so the
+/// speedup ratio compares like with like.
 const BATCH: usize = 16;
+/// Update slots per v2 `Batch` frame.
+const FRAME_UPDATES: usize = 8;
+/// Read slots per v2 `Batch` frame.
+const FRAME_QUERIES: usize = 2;
+/// `Batch` frames in flight per connection.
+const PIPELINE: usize = 4;
+/// Zipf exponent of the vertex popularity distribution.
+const ZIPF_EXPONENT: f64 = 1.1;
 
 fn us(d: Duration) -> f64 {
     d.as_secs_f64() * 1e6
@@ -37,15 +61,43 @@ fn build_session(n: usize, edges: usize, opts: &BenchOpts) -> StreamSession {
     StreamSession::new(InkStream::new(model, graph, features, UpdateConfig::default()).unwrap())
 }
 
-/// A random churn batch: alternating inserts and removes over random pairs.
-fn random_batch(rng: &mut impl RngExt, n: u32) -> Vec<EdgeChange> {
+/// The churn universe: a fixed pool of candidate edges whose popularity is
+/// Zipf-distributed. Celebrity edges flap (insert/remove) constantly while
+/// tail edges change rarely — the traffic shape the writer's coalescing
+/// window is designed for: repeated flips of one canonical edge collapse
+/// to at most one net change per epoch.
+struct EdgePool {
+    edges: Vec<(u32, u32)>,
+    zipf: Zipf,
+}
+
+impl EdgePool {
+    fn new(n: u32, size: usize, exponent: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vertex_zipf = Zipf::new(n as usize, exponent);
+        let edges = (0..size)
+            .map(|_| {
+                let src = vertex_zipf.sample(&mut rng) as u32;
+                let mut dst = vertex_zipf.sample(&mut rng) as u32;
+                if dst == src {
+                    dst = (dst + 1) % n;
+                }
+                (src, dst)
+            })
+            .collect();
+        Self { edges, zipf: Zipf::new(size, exponent) }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> (u32, u32) {
+        self.edges[self.zipf.sample(rng)]
+    }
+}
+
+/// A churn batch over the hot pool: alternating inserts and removes.
+fn pool_batch(rng: &mut StdRng, pool: &EdgePool) -> Vec<EdgeChange> {
     (0..BATCH)
         .map(|i| {
-            let src = rng.random_range(0..n);
-            let mut dst = rng.random_range(0..n);
-            if dst == src {
-                dst = (dst + 1) % n;
-            }
+            let (src, dst) = pool.sample(rng);
             if i % 2 == 0 {
                 EdgeChange::insert(src, dst)
             } else {
@@ -55,69 +107,164 @@ fn random_batch(rng: &mut impl RngExt, n: u32) -> Vec<EdgeChange> {
         .collect()
 }
 
-struct ConfigResult {
-    update_lat_us: Vec<f64>,
-    query_lat_us: Vec<f64>,
-    updates_sent: u64,
-    queries_sent: u64,
-    rejections_seen: u64,
+/// One v2 `Batch` frame: hot-edge updates plus Zipf-addressed reads (every
+/// 32nd frame trades one embedding read for a top-k).
+fn build_frame(rng: &mut StdRng, pool: &EdgePool, zipf: &Zipf, round: usize) -> Vec<Request> {
+    let mut reqs = Vec::with_capacity(FRAME_UPDATES + FRAME_QUERIES);
+    for _ in 0..FRAME_UPDATES {
+        reqs.push(Request::Update(pool_batch(rng, pool)));
+    }
+    for q in 0..FRAME_QUERIES {
+        let v = zipf.sample(rng) as u32;
+        if q == 0 && round.is_multiple_of(32) {
+            reqs.push(Request::TopK { vertex: v, k: 8 });
+        } else {
+            reqs.push(Request::Embedding(v));
+        }
+    }
+    reqs
+}
+
+#[derive(Default)]
+struct WorkerOut {
+    frame_lat_us: Vec<f64>,
+    acks: u64,
+    rejections: u64,
+    errors: u64,
+    queries: u64,
+}
+
+/// One worker thread driving `conns` pipelined connections round-robin:
+/// each round collects one response per connection (once the pipeline is
+/// primed) and queues the next frame, so every connection keeps
+/// [`PIPELINE`] frames in flight without a thread per client.
+fn v2_worker(
+    addr: std::net::SocketAddr,
+    conns: usize,
+    frames_each: usize,
+    pool: Arc<EdgePool>,
+    zipf: Arc<Zipf>,
+    seed: u64,
+) -> io::Result<WorkerOut> {
+    let mut clients = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        clients.push(InkClient::connect(addr)?);
+    }
+    // Handshake once per worker: the server must speak v2 for this phase.
+    let hello = clients[0].hello()?;
+    assert_eq!(hello.version, 2, "v2 phase requires a v2 server");
+    let mut pending: Vec<VecDeque<Instant>> = (0..conns).map(|_| VecDeque::new()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = WorkerOut::default();
+    for round in 0..frames_each + PIPELINE {
+        for (i, client) in clients.iter_mut().enumerate() {
+            if round >= PIPELINE {
+                let t0 = pending[i].pop_front().expect("pipeline accounting");
+                match client.recv()? {
+                    Response::Batch(slots) => {
+                        for slot in slots {
+                            match slot {
+                                Response::Ack { .. } => out.acks += 1,
+                                Response::Rejected { .. } => out.rejections += 1,
+                                Response::Embedding { .. } | Response::TopK { .. } => {
+                                    out.queries += 1
+                                }
+                                _ => out.errors += 1,
+                            }
+                        }
+                    }
+                    _ => out.errors += 1,
+                }
+                out.frame_lat_us.push(us(t0.elapsed()));
+            }
+            if round < frames_each {
+                client.queue(&Request::Batch(build_frame(&mut rng, &pool, &zipf, round)))?;
+                pending[i].push_back(Instant::now());
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct V2Result {
+    out: WorkerOut,
+    wall: Duration,
+    shard_max_depths: Vec<usize>,
+}
+
+/// The v2 phase: `clients` connections split across `workers` threads.
+fn run_v2(
+    handle: &ServerHandle,
+    clients: usize,
+    workers: usize,
+    frames_each: usize,
+    pool: &Arc<EdgePool>,
+    zipf: &Arc<Zipf>,
+) -> V2Result {
+    let addr = handle.local_addr();
+    let per_worker = clients / workers;
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..workers)
+        .map(|w| {
+            let pool = pool.clone();
+            let zipf = zipf.clone();
+            std::thread::spawn(move || {
+                v2_worker(addr, per_worker, frames_each, pool, zipf, SEED ^ ((w as u64 + 1) << 16))
+            })
+        })
+        .collect();
+    let mut out = WorkerOut::default();
+    for t in threads {
+        let part = t.join().expect("v2 worker panicked").expect("v2 worker I/O failed");
+        out.frame_lat_us.extend(part.frame_lat_us);
+        out.acks += part.acks;
+        out.rejections += part.rejections;
+        out.errors += part.errors;
+        out.queries += part.queries;
+    }
+    // Barrier: everything admitted is applied before the clock stops, so
+    // the reported rate is *sustained* (engine included), not just enqueue.
+    let mut flusher = InkClient::connect(addr).expect("flush connect");
+    flusher.flush().expect("flush");
+    let wall = t0.elapsed();
+    let (_, shard_max_depths) = handle.shard_depths();
+    out.frame_lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    V2Result { out, wall, shard_max_depths }
+}
+
+struct V1Result {
+    lat_us: Vec<f64>,
+    frames: u64,
     wall: Duration,
 }
 
-/// One configuration: `clients` concurrent connections against `handle`,
-/// ~half updaters sending `updates_each` batches, the rest querying until
-/// the updaters finish.
-fn run_config(
+/// The v1 baseline: strict request/response, one update frame per round
+/// trip per client — the PR 3 serving model.
+fn run_v1(
     handle: &ServerHandle,
     clients: usize,
     updates_each: usize,
-    n: u32,
-    seed: u64,
-) -> ConfigResult {
+    pool: &Arc<EdgePool>,
+) -> V1Result {
     let addr = handle.local_addr();
-    let updaters = (clients / 2).max(1);
-    let done = Arc::new(AtomicBool::new(false));
     let t0 = Instant::now();
-
-    let update_threads: Vec<_> = (0..updaters)
+    let threads: Vec<_> = (0..clients)
         .map(|c| {
-            std::thread::spawn(move || -> std::io::Result<(Vec<f64>, u64)> {
-                let mut rng = seeded_rng(seed ^ (c as u64 + 1));
+            let pool = pool.clone();
+            std::thread::spawn(move || -> io::Result<Vec<f64>> {
+                let mut rng = StdRng::seed_from_u64(SEED ^ (0x9000 + c as u64));
                 let mut client = InkClient::connect(addr)?;
                 let mut lat = Vec::with_capacity(updates_each);
-                let mut rejections = 0u64;
                 for _ in 0..updates_each {
-                    let batch = random_batch(&mut rng, n);
+                    let batch = pool_batch(&mut rng, &pool);
                     let t = Instant::now();
                     loop {
                         match client.update(batch.clone())? {
                             Ok(_) => break,
                             Err(retry_ms) => {
-                                rejections += 1;
-                                std::thread::sleep(Duration::from_millis(retry_ms.max(1).into()));
+                                std::thread::sleep(Duration::from_millis(retry_ms.max(1).into()))
                             }
                         }
-                    }
-                    lat.push(us(t.elapsed()));
-                }
-                Ok((lat, rejections))
-            })
-        })
-        .collect();
-    let query_threads: Vec<_> = (updaters..clients)
-        .map(|c| {
-            let done = done.clone();
-            std::thread::spawn(move || -> std::io::Result<Vec<f64>> {
-                let mut rng = seeded_rng(seed ^ (0x100 + c as u64));
-                let mut client = InkClient::connect(addr)?;
-                let mut lat = Vec::new();
-                while !done.load(Ordering::Relaxed) {
-                    let v = rng.random_range(0..n);
-                    let t = Instant::now();
-                    if lat.len() % 4 == 0 {
-                        client.top_k(v, 8)?;
-                    } else {
-                        client.embedding(v)?;
                     }
                     lat.push(us(t.elapsed()));
                 }
@@ -125,118 +272,155 @@ fn run_config(
             })
         })
         .collect();
-
-    let mut update_lat_us = Vec::new();
-    let mut rejections_seen = 0u64;
-    for t in update_threads {
-        let (lat, rej) = t.join().expect("updater panicked").expect("updater I/O failed");
-        update_lat_us.extend(lat);
-        rejections_seen += rej;
+    let mut lat_us = Vec::new();
+    for t in threads {
+        lat_us.extend(t.join().expect("v1 client panicked").expect("v1 client I/O failed"));
     }
-    done.store(true, Ordering::Relaxed);
-    let mut query_lat_us = Vec::new();
-    for t in query_threads {
-        query_lat_us.extend(t.join().expect("querier panicked").expect("querier I/O failed"));
-    }
-    // Barrier: the config's updates are all applied before the next starts.
     let mut flusher = InkClient::connect(addr).expect("flush connect");
     flusher.flush().expect("flush");
     let wall = t0.elapsed();
-
-    let updates_sent = update_lat_us.len() as u64;
-    let queries_sent = query_lat_us.len() as u64;
-    update_lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    query_lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    ConfigResult { update_lat_us, query_lat_us, updates_sent, queries_sent, rejections_seen, wall }
-}
-
-fn mode_name(mode: Backpressure) -> &'static str {
-    match mode {
-        Backpressure::Block => "block",
-        Backpressure::Reject { .. } => "reject",
-        Backpressure::DropOldest => "drop_oldest",
-    }
+    let frames = lat_us.len() as u64;
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    V1Result { lat_us, frames, wall }
 }
 
 fn main() {
     let opts = BenchOpts::from_env();
     let n = ((10_000.0 * opts.scale) as usize).max(1_000);
     let edges = 3 * n;
-    let updates_each = if opts.quick { 40 } else { 150 };
-    let client_counts: &[usize] = &[2, 4, 8];
-    let modes =
-        [Backpressure::Block, Backpressure::Reject { retry_after_ms: 5 }, Backpressure::DropOldest];
+    let (clients, workers, frames_each) = if opts.quick { (256, 2, 12) } else { (1024, 2, 40) };
+    let v1_clients = 8;
+    let v1_updates_each = if opts.quick { 50 } else { 200 };
+    let zipf = Arc::new(Zipf::new(n, ZIPF_EXPONENT));
+    // Hot churn universe: ~4k candidate edges, Zipf-popular. Small enough
+    // that the writer's coalescing window sees the same canonical edge flip
+    // many times per drain — the production follow/unfollow-churn shape.
+    let pool = Arc::new(EdgePool::new(n as u32, 4096, ZIPF_EXPONENT, SEED ^ 0xED6E));
 
     eprintln!(
-        "serve bench: |V|={n} |E|={edges} hidden={} batch={BATCH} updates/client={updates_each}",
-        opts.hidden
+        "serve bench: |V|={n} |E|={edges} zipf_s={ZIPF_EXPONENT} \
+         v2: {clients} clients x {frames_each} frames ({FRAME_UPDATES}upd+{FRAME_QUERIES}qry, \
+         batch={BATCH}, pipeline={PIPELINE}) | v1 baseline: {v1_clients} clients x {v1_updates_each}"
     );
     let mut session = Some(build_session(n, edges, &opts));
 
-    let mut rows = Vec::new();
-    for &mode in &modes {
-        for (ci, &clients) in client_counts.iter().enumerate() {
-            let config = ServeConfig {
-                // Small queue so the sweep actually exercises admission
-                // control instead of never filling up.
-                queue_capacity: 4,
-                backpressure: mode,
-                ..ServeConfig::default()
-            };
-            let handle = InkServer::bind("127.0.0.1:0", session.take().unwrap(), config)
-                .expect("bind server");
-            let r = run_config(
-                &handle,
-                clients,
-                updates_each,
-                n as u32,
-                SEED ^ ((ci as u64 + 1) << 8),
-            );
-            let (sess, summary) = handle.shutdown().expect("shutdown");
-            session = Some(sess);
+    // ---- Phase 1: v1 strict request/response baseline (PR 3 model). ----
+    let v1_config = ServeConfig { queue_capacity: 64, ..ServeConfig::default() };
+    let handle =
+        InkServer::bind("127.0.0.1:0", session.take().unwrap(), v1_config).expect("bind v1");
+    let v1 = run_v1(&handle, v1_clients, v1_updates_each, &pool);
+    let (sess, v1_summary) = handle.shutdown().expect("v1 shutdown");
+    session = Some(sess);
+    let v1_secs = v1.wall.as_secs_f64();
+    let v1_frames_per_s = v1.frames as f64 / v1_secs;
+    let v1_ops_per_s = v1_frames_per_s * BATCH as f64;
+    eprintln!(
+        "  v1 baseline: {} frames in {v1_secs:.2}s -> {v1_frames_per_s:.0} frames/s \
+         ({v1_ops_per_s:.0} edge-ops/s)",
+        v1.frames
+    );
 
-            let secs = r.wall.as_secs_f64();
-            let up_tput = r.updates_sent as f64 / secs;
-            let q_tput = r.queries_sent as f64 / secs;
-            eprintln!(
-                "  mode={} clients={clients}: {} updates ({up_tput:.0}/s), {} queries \
-                 ({q_tput:.0}/s), {} rejections, coalesce {} -> {}",
-                mode_name(mode),
-                r.updates_sent,
-                r.queries_sent,
-                r.rejections_seen,
-                summary.serve.events_received,
-                summary.serve.events_applied,
-            );
-            rows.push(Json::obj([
-                ("mode", Json::from(mode_name(mode))),
-                ("clients", Json::from(clients)),
-                ("updates", Json::from(r.updates_sent)),
-                ("queries", Json::from(r.queries_sent)),
-                ("client_rejections", Json::from(r.rejections_seen)),
-                ("wall_s", inkstream::json::rounded(secs, 3)),
-                ("update_throughput_per_s", inkstream::json::rounded(up_tput, 1)),
-                ("query_throughput_per_s", inkstream::json::rounded(q_tput, 1)),
-                ("update_latency_us", latency_us(&r.update_lat_us)),
-                ("query_latency_us", latency_us(&r.query_lat_us)),
-                ("server", summary.serve.to_json()),
-            ]));
-        }
-    }
+    // ---- Phase 2: v2 pipelined batch data plane at 1k+ clients. ----
+    let v2_config = ServeConfig {
+        queue_capacity: 4096,
+        shards: 8,
+        max_drain: 2048,
+        ..ServeConfig::default()
+    };
+    let handle = InkServer::bind("127.0.0.1:0", session.take().unwrap(), v2_config.clone())
+        .expect("bind v2");
+    let v2 = run_v2(&handle, clients, workers, frames_each, &pool, &zipf);
+    let (sess, v2_summary) = handle.shutdown().expect("v2 shutdown");
+    session = Some(sess);
+
+    let v2_secs = v2.wall.as_secs_f64();
+    let v2_ops = v2.out.acks * BATCH as u64;
+    let v2_ops_per_s = v2_ops as f64 / v2_secs;
+    let v2_queries_per_s = v2.out.queries as f64 / v2_secs;
+    let speedup = v2_ops_per_s / v1_ops_per_s;
+    // PR 3's recorded result: ~807 update frames/s x 16 edge ops.
+    let pr3_reference_ops_per_s = 807.0 * BATCH as f64;
+    eprintln!(
+        "  v2 data plane: {} acks ({v2_ops} edge-ops) + {} reads in {v2_secs:.2}s -> \
+         {v2_ops_per_s:.0} edge-ops/s, {v2_queries_per_s:.0} reads/s, \
+         {} rejections, {} errors",
+        v2.out.acks, v2.out.queries, v2.out.rejections, v2.out.errors
+    );
+    eprintln!(
+        "  speedup: {speedup:.1}x vs in-run v1 baseline, {:.1}x vs PR 3 reference \
+         ({pr3_reference_ops_per_s:.0} edge-ops/s); applied after coalescing: {} of {}",
+        v2_ops_per_s / pr3_reference_ops_per_s,
+        v2_summary.serve.events_applied,
+        v2_summary.serve.events_received,
+    );
 
     let doc = Json::obj([
         ("bench", Json::from("serve")),
+        ("protocol_version", Json::from(2u64)),
         ("model", Json::from("GCN")),
         ("aggregator", Json::from("max")),
         ("graph", Json::obj([("vertices", Json::from(n)), ("edges", Json::from(edges))])),
+        ("zipf_exponent", inkstream::json::rounded(ZIPF_EXPONENT, 2)),
         ("batch", Json::from(BATCH)),
-        ("updates_per_client", Json::from(updates_each)),
-        ("queue_capacity", Json::from(4u64)),
-        ("configs", Json::Arr(rows)),
+        (
+            "baseline_v1",
+            Json::obj([
+                ("clients", Json::from(v1_clients)),
+                ("updates_per_client", Json::from(v1_updates_each)),
+                ("update_frames", Json::from(v1.frames)),
+                ("wall_s", inkstream::json::rounded(v1_secs, 3)),
+                ("update_frames_per_s", inkstream::json::rounded(v1_frames_per_s, 1)),
+                ("edge_ops_per_s", inkstream::json::rounded(v1_ops_per_s, 1)),
+                ("update_latency_us", latency_us(&v1.lat_us)),
+                ("server", v1_summary.serve.to_json()),
+            ]),
+        ),
+        (
+            "v2",
+            Json::obj([
+                ("clients", Json::from(clients)),
+                ("worker_threads", Json::from(workers)),
+                ("frames_per_client", Json::from(frames_each)),
+                ("frame_updates", Json::from(FRAME_UPDATES)),
+                ("frame_queries", Json::from(FRAME_QUERIES)),
+                ("pipeline_depth", Json::from(PIPELINE)),
+                ("queue_capacity", Json::from(v2_config.queue_capacity)),
+                ("shards", Json::from(v2_config.shards)),
+                ("max_drain", Json::from(v2_config.max_drain)),
+                ("update_acks", Json::from(v2.out.acks)),
+                ("edge_ops", Json::from(v2_ops)),
+                ("queries", Json::from(v2.out.queries)),
+                ("rejections", Json::from(v2.out.rejections)),
+                ("errors", Json::from(v2.out.errors)),
+                ("wall_s", inkstream::json::rounded(v2_secs, 3)),
+                ("edge_ops_per_s", inkstream::json::rounded(v2_ops_per_s, 1)),
+                ("queries_per_s", inkstream::json::rounded(v2_queries_per_s, 1)),
+                ("frame_latency_us", latency_us(&v2.out.frame_lat_us)),
+                (
+                    "per_shard_depth_max",
+                    Json::Arr(v2.shard_max_depths.iter().map(|&d| Json::from(d)).collect()),
+                ),
+                ("server", v2_summary.serve.to_json()),
+            ]),
+        ),
+        ("speedup_vs_v1", inkstream::json::rounded(speedup, 2)),
+        ("pr3_reference_edge_ops_per_s", inkstream::json::rounded(pr3_reference_ops_per_s, 1)),
+        (
+            "speedup_vs_pr3_reference",
+            inkstream::json::rounded(v2_ops_per_s / pr3_reference_ops_per_s, 2),
+        ),
     ]);
     write_results("serve", &doc);
-    // The session's registry accumulated the whole sweep (pipeline, drift
-    // auditor and serving-layer instruments alike); freeze it next to the
-    // JSON.
     write_metrics("serve", session.as_ref().expect("sweep returns the session").metrics());
+
+    // Smoke-gate mode: fail the run when sustained v2 update throughput
+    // lands below the floor (used by CI's serve smoke job).
+    if let Ok(floor) = std::env::var("INK_BENCH_MIN_UPDATES_PER_S") {
+        let floor: f64 = floor.parse().expect("INK_BENCH_MIN_UPDATES_PER_S must be a float");
+        if v2_ops_per_s < floor {
+            eprintln!("FAIL: v2 sustained {v2_ops_per_s:.0} edge-ops/s < floor {floor:.0}");
+            std::process::exit(1);
+        }
+        eprintln!("throughput floor OK: {v2_ops_per_s:.0} >= {floor:.0} edge-ops/s");
+    }
 }

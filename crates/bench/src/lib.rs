@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! # ink-bench
 //!
 //! The benchmark harness regenerating every table and figure of the

@@ -114,6 +114,65 @@ pub fn scenario_count(delta_g: usize, quick: bool) -> usize {
     }
 }
 
+/// A Zipf(`s`) sampler over `0..n` with a precomputed CDF — models the
+/// hot-vertex skew of production query/update mixes (a small set of
+/// celebrity vertices absorbs most of the traffic). Sampling is one `u64`
+/// draw plus a binary search; the distribution is exact, not an
+/// approximation.
+///
+/// ```
+/// use ink_bench::workload::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(1000, 1.1);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let draws: Vec<usize> = (0..5000).map(|_| zipf.sample(&mut rng)).collect();
+/// assert!(draws.iter().all(|&v| v < 1000));
+/// // Rank 0 is the hottest key by a wide margin.
+/// let hits0 = draws.iter().filter(|&&v| v == 0).count();
+/// let hits500 = draws.iter().filter(|&&v| v == 500).count();
+/// assert!(hits0 > 50 * hits500.max(1) / 10, "zipf head must dominate the tail");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over ranks `0..n` with frequency `∝ 1/(rank+1)^exponent`.
+    /// `exponent = 0` degenerates to uniform; production traffic models
+    /// typically use 0.9–1.2.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank in `0..n` (rank 0 is the hottest).
+    pub fn sample(&self, rng: &mut impl rand::RngCore) -> usize {
+        // 53 uniform mantissa bits → u in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf has no NaN")) {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
 /// Generates `count` independent graph-changing scenarios against the base
 /// snapshot (each evenly split between insertion and removal).
 pub fn scenarios(
@@ -172,6 +231,24 @@ mod tests {
         assert_eq!(scenario_count(100, false), 5);
         assert_eq!(scenario_count(10_000, false), 1);
         assert_eq!(scenario_count(10, true), 2);
+    }
+
+    #[test]
+    fn zipf_is_deterministic_skewed_and_in_range() {
+        let zipf = Zipf::new(100, 1.1);
+        let mut a = rand::rngs::StdRng::seed_from_u64(3);
+        let mut b = rand::rngs::StdRng::seed_from_u64(3);
+        let da: Vec<usize> = (0..2000).map(|_| zipf.sample(&mut a)).collect();
+        let db: Vec<usize> = (0..2000).map(|_| zipf.sample(&mut b)).collect();
+        assert_eq!(da, db, "same seed, same stream");
+        assert!(da.iter().all(|&v| v < 100));
+        let head: usize = da.iter().filter(|&&v| v < 10).count();
+        assert!(head > da.len() / 2, "top-10% of ranks should absorb most draws, got {head}");
+        // Exponent 0 is uniform: the head holds roughly its fair share.
+        let flat = Zipf::new(100, 0.0);
+        let df: Vec<usize> = (0..2000).map(|_| flat.sample(&mut a)).collect();
+        let flat_head = df.iter().filter(|&&v| v < 10).count();
+        assert!((100..400).contains(&flat_head), "uniform head share was {flat_head}");
     }
 
     #[test]

@@ -312,14 +312,24 @@ impl PartitionedInkStream {
     /// owning partition. Bitwise-equal to the single-engine output for the
     /// same update stream.
     pub fn output(&self) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.output_into(&mut out);
+        out
+    }
+
+    /// Writes the merged output into `out` (resized when the shape differs),
+    /// so a caller republishing every epoch — the serving writer — reuses
+    /// one gather target instead of allocating a fresh matrix per epoch.
+    pub fn output_into(&self, out: &mut Matrix) {
         let n = self.graph.num_vertices();
         let d = self.engines[0].model().out_dim();
-        let mut out = Matrix::zeros(n, d);
+        if out.rows() != n || out.cols() != d {
+            *out = Matrix::zeros(n, d);
+        }
         for v in 0..n {
             let owner = self.router.owner(v as VertexId) as usize;
             out.set_row(v, self.engines[owner].state().h.row(v));
         }
-        out
     }
 
     /// One vertex's output embedding, read from its owner.

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! # ink-partition
 //!
 //! Partition-parallel incremental inference: [`PartitionedInkStream`] splits

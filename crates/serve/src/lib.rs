@@ -34,13 +34,16 @@
 #![deny(missing_docs)]
 
 pub mod client;
+mod conn;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod shard;
 
-pub use client::InkClient;
+pub use client::{InkClient, ServerHello};
 pub use metrics::ServerMetrics;
-pub use protocol::{DecodeError, Request, Response, MAX_FRAME};
+pub use protocol::{DecodeError, Request, Response, MAX_FRAME, PROTOCOL_VERSION};
 pub use queue::{Admission, Backpressure, IngestQueue, QueueItem};
-pub use server::{InkServer, ServeConfig, ServerHandle};
+pub use server::{InkServer, PartitionedServerHandle, ServeConfig, ServerHandle};
+pub use shard::{Drained, ShardPush, ShardedIngest};

@@ -35,6 +35,15 @@ pub struct ServerMetrics {
     pub flushes: Arc<Counter>,
     /// Transient `accept()` failures the listener retried past.
     pub accept_errors: Arc<Counter>,
+    /// v2 `Batch` container frames decoded.
+    pub batches: Arc<Counter>,
+    /// Requests carried inside `Batch` containers.
+    pub batched_requests: Arc<Counter>,
+    /// Connection stalls from Block backpressure (a full shard paused one
+    /// connection's frame processing until the next drain).
+    pub stalls: Arc<Counter>,
+    /// Live client connections.
+    pub connections: Arc<Gauge>,
     /// Per-query service latency in nanoseconds.
     query_latency: Arc<Histogram>,
     /// Last published snapshot epoch (gauge mirror of the writer's counter,
@@ -77,6 +86,17 @@ impl ServerMetrics {
                 "ink_serve_accept_errors_total",
                 "Transient accept() failures the listener retried past",
             ),
+            batches: registry
+                .counter("ink_serve_batch_frames_total", "v2 Batch container frames decoded"),
+            batched_requests: registry.counter(
+                "ink_serve_batched_requests_total",
+                "Requests carried inside v2 Batch containers",
+            ),
+            stalls: registry.counter(
+                "ink_serve_conn_stalls_total",
+                "Connection stalls from Block backpressure (full shard paused one connection)",
+            ),
+            connections: registry.gauge("ink_serve_connections", "Live client connections"),
             query_latency: registry.histogram(
                 "ink_serve_query_latency_ns",
                 "Per-query service latency in nanoseconds",

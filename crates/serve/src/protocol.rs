@@ -1,4 +1,4 @@
-//! The wire protocol.
+//! The wire protocol (v2 — see `docs/PROTOCOL.md` for the normative spec).
 //!
 //! Every message is one *frame*: a little-endian `u32` payload length, then
 //! the payload — a one-byte tag followed by tag-specific fields (all
@@ -9,7 +9,7 @@
 //! frame    := len:u32 payload[len]
 //! payload  := tag:u8 body
 //!
-//! requests                              responses
+//! v1 requests                           v1 responses
 //!   0x01 Update    n:u32 (src:u32         0x81 Ack        epoch:u64
 //!        dst:u32 op:u8){n}                0x82 Rejected   retry_after_ms:u32
 //!   0x02 Embedding v:u32                  0x83 Embedding  epoch:u64 d:u32 f32{d}
@@ -20,16 +20,33 @@
 //!   0x07 TraceDump                        0x87 Flushed    epoch:u64
 //!                                         0x88 Metrics    len:u32 text-utf8
 //!                                         0x89 TraceDump  len:u32 json-utf8
+//! v2 requests                           v2 responses
+//!   0x08 Hello     max_version:u16        0x8A Hello      version:u16
+//!   0x09 Batch     n:u32                       vertices:u64 feat_dim:u32
+//!        (len:u32 payload[len]){n}             shards:u16 epoch:u64
+//!                                         0x8B Batch      n:u32
+//!                                              (len:u32 payload[len]){n}
 //! ```
 //!
 //! `op` is 0 for insert, 1 for remove. The `Ack` epoch is the snapshot epoch
 //! at admission time — the update lands in some strictly later epoch; send
 //! `Flush` to wait for it.
 //!
-//! Decoding returns a typed [`DecodeError`]; in particular an unrecognized
-//! tag surfaces as [`DecodeError::UnknownTag`], so version skew (an old peer
-//! receiving a `Metrics`/`TraceDump` message it predates) fails loudly with
-//! the offending tag instead of a generic parse error.
+//! **Pipelining.** Responses are sent strictly in request order on every
+//! connection, so a client may write any number of frames before reading the
+//! matching responses. `Batch` additionally packs many requests into one
+//! frame (one syscall, one length check) and is answered by one `Batch`
+//! response carrying the per-request answers in order. Only data-plane
+//! requests (`Update`, `Embedding`, `TopK`) ride inside a batch; control
+//! requests (`Flush`, `Stats`, ...) in a batch slot are answered with an
+//! in-slot `Error`, and a *nested* `Batch` fails to decode.
+//!
+//! **Version skew.** Decoding returns a typed [`DecodeError`]; an
+//! unrecognized tag surfaces as [`DecodeError::UnknownTag`], so version skew
+//! (an old peer receiving a v2 `Hello`/`Batch` it predates) fails loudly
+//! with the offending tag instead of a generic parse error. A v2 client
+//! probes with `Hello` and falls back to v1 framing when the server answers
+//! with an error instead of `Hello`.
 
 use ink_graph::{EdgeChange, EdgeOp, VertexId};
 use std::fmt;
@@ -38,6 +55,10 @@ use std::io::{self, Read, Write};
 /// Hard cap on a frame payload (16 MiB): rejects hostile lengths before
 /// allocating, while letting ~1M-edge update batches through.
 pub const MAX_FRAME: usize = 16 << 20;
+
+/// Protocol revision spoken by this build. Revision 2 adds `Hello`
+/// negotiation and `Batch` container frames on top of the v1 tag set.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Why a payload failed to decode.
 ///
@@ -101,6 +122,15 @@ pub enum Request {
     Metrics,
     /// The server's span ring as Chrome `trace_event` JSON.
     TraceDump,
+    /// v2 — version/capability negotiation. Carries the highest protocol
+    /// revision the client speaks; answered with [`Response::Hello`].
+    Hello {
+        /// Highest protocol revision the client supports.
+        max_version: u16,
+    },
+    /// v2 — many data-plane requests in one frame, answered by one
+    /// [`Response::Batch`] with the per-request answers in order.
+    Batch(Vec<Request>),
 }
 
 /// A server-to-client message.
@@ -155,6 +185,27 @@ pub enum Response {
         /// Chrome `trace_event` JSON (object form with `traceEvents`).
         json: String,
     },
+    /// v2 — answer to [`Request::Hello`]: the negotiated revision plus the
+    /// capacity facts a client needs up front.
+    Hello {
+        /// Protocol revision the server will speak on this connection
+        /// (`min(server_max, client_max)`).
+        version: u16,
+        /// Vertex-id bound for updates and queries.
+        num_vertices: u64,
+        /// Output embedding width (floats per `Embedding` response).
+        feat_dim: u32,
+        /// Ingest shard count (capacity-planning hint).
+        shards: u16,
+        /// Snapshot epoch at the time of the handshake.
+        epoch: u64,
+    },
+    /// v2 — per-request answers for a [`Request::Batch`], in request order.
+    Batch(Vec<Response>),
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
 }
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -177,6 +228,10 @@ impl Take<'_> {
         let (&b, rest) = self.0.split_first().ok_or(DecodeError::Short)?;
         self.0 = rest;
         Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.chunk::<2>()?))
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
@@ -231,13 +286,20 @@ impl Request {
     /// Serialises the request payload (without the length prefix).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Appends the request payload to `buf` — the allocation-free sibling of
+    /// [`Request::encode`] for callers that own a reusable buffer.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
         match self {
             Request::Update(changes) => {
                 buf.push(0x01);
-                put_u32(&mut buf, changes.len() as u32);
+                put_u32(buf, changes.len() as u32);
                 for c in changes {
-                    put_u32(&mut buf, c.src);
-                    put_u32(&mut buf, c.dst);
+                    put_u32(buf, c.src);
+                    put_u32(buf, c.dst);
                     buf.push(match c.op {
                         EdgeOp::Insert => 0,
                         EdgeOp::Remove => 1,
@@ -246,19 +308,33 @@ impl Request {
             }
             Request::Embedding(v) => {
                 buf.push(0x02);
-                put_u32(&mut buf, *v);
+                put_u32(buf, *v);
             }
             Request::TopK { vertex, k } => {
                 buf.push(0x03);
-                put_u32(&mut buf, *vertex);
-                put_u32(&mut buf, *k);
+                put_u32(buf, *vertex);
+                put_u32(buf, *k);
             }
             Request::Stats => buf.push(0x04),
             Request::Flush => buf.push(0x05),
             Request::Metrics => buf.push(0x06),
             Request::TraceDump => buf.push(0x07),
+            Request::Hello { max_version } => {
+                buf.push(0x08);
+                put_u16(buf, *max_version);
+            }
+            Request::Batch(reqs) => {
+                buf.push(0x09);
+                put_u32(buf, reqs.len() as u32);
+                for req in reqs {
+                    let at = buf.len();
+                    put_u32(buf, 0); // length backpatched below
+                    req.encode_into(buf);
+                    let len = (buf.len() - at - 4) as u32;
+                    buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
+                }
+            }
         }
-        buf
     }
 
     /// Parses a request payload.
@@ -289,6 +365,23 @@ impl Request {
             0x05 => Request::Flush,
             0x06 => Request::Metrics,
             0x07 => Request::TraceDump,
+            0x08 => Request::Hello { max_version: t.u16()? },
+            0x09 => {
+                let n = t.u32()? as usize;
+                if n.saturating_mul(5) > payload.len() {
+                    return Err(bad(format!("batch claims {n} requests, frame too small")));
+                }
+                let mut reqs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let len = t.u32()? as usize;
+                    let sub = t.bytes(len)?;
+                    if sub.first() == Some(&0x09) {
+                        return Err(bad("nested batch"));
+                    }
+                    reqs.push(Request::decode(sub)?);
+                }
+                Request::Batch(reqs)
+            }
             tag => return Err(DecodeError::UnknownTag(tag)),
         };
         t.finish()?;
@@ -300,58 +393,77 @@ impl Response {
     /// Serialises the response payload (without the length prefix).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Appends the response payload to `buf` — the allocation-free sibling
+    /// of [`Response::encode`]; the server encodes straight into connection
+    /// write buffers through this.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
         match self {
             Response::Ack { epoch } => {
                 buf.push(0x81);
-                put_u64(&mut buf, *epoch);
+                put_u64(buf, *epoch);
             }
             Response::Rejected { retry_after_ms } => {
                 buf.push(0x82);
-                put_u32(&mut buf, *retry_after_ms);
+                put_u32(buf, *retry_after_ms);
             }
-            Response::Embedding { epoch, values } => {
-                buf.push(0x83);
-                put_u64(&mut buf, *epoch);
-                put_u32(&mut buf, values.len() as u32);
-                for &x in values {
-                    put_f32(&mut buf, x);
-                }
-            }
+            Response::Embedding { epoch, values } => encode_embedding(buf, *epoch, values),
             Response::TopK { epoch, items } => {
                 buf.push(0x84);
-                put_u64(&mut buf, *epoch);
-                put_u32(&mut buf, items.len() as u32);
+                put_u64(buf, *epoch);
+                put_u32(buf, items.len() as u32);
                 for &(v, s) in items {
-                    put_u32(&mut buf, v);
-                    put_f32(&mut buf, s);
+                    put_u32(buf, v);
+                    put_f32(buf, s);
                 }
             }
             Response::Stats { json } => {
                 buf.push(0x85);
-                put_u32(&mut buf, json.len() as u32);
+                put_u32(buf, json.len() as u32);
                 buf.extend_from_slice(json.as_bytes());
             }
             Response::Error { message } => {
                 buf.push(0x86);
-                put_u32(&mut buf, message.len() as u32);
+                put_u32(buf, message.len() as u32);
                 buf.extend_from_slice(message.as_bytes());
             }
             Response::Flushed { epoch } => {
                 buf.push(0x87);
-                put_u64(&mut buf, *epoch);
+                put_u64(buf, *epoch);
             }
             Response::Metrics { text } => {
                 buf.push(0x88);
-                put_u32(&mut buf, text.len() as u32);
+                put_u32(buf, text.len() as u32);
                 buf.extend_from_slice(text.as_bytes());
             }
             Response::TraceDump { json } => {
                 buf.push(0x89);
-                put_u32(&mut buf, json.len() as u32);
+                put_u32(buf, json.len() as u32);
                 buf.extend_from_slice(json.as_bytes());
             }
+            Response::Hello { version, num_vertices, feat_dim, shards, epoch } => {
+                buf.push(0x8A);
+                put_u16(buf, *version);
+                put_u64(buf, *num_vertices);
+                put_u32(buf, *feat_dim);
+                put_u16(buf, *shards);
+                put_u64(buf, *epoch);
+            }
+            Response::Batch(resps) => {
+                buf.push(0x8B);
+                put_u32(buf, resps.len() as u32);
+                for resp in resps {
+                    let at = buf.len();
+                    put_u32(buf, 0); // length backpatched below
+                    resp.encode_into(buf);
+                    let len = (buf.len() - at - 4) as u32;
+                    buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
+                }
+            }
         }
-        buf
     }
 
     /// Parses a response payload.
@@ -395,6 +507,29 @@ impl Response {
                 let n = t.u32()? as usize;
                 Response::TraceDump { json: t.utf8(n, "trace dump")? }
             }
+            0x8A => Response::Hello {
+                version: t.u16()?,
+                num_vertices: t.u64()?,
+                feat_dim: t.u32()?,
+                shards: t.u16()?,
+                epoch: t.u64()?,
+            },
+            0x8B => {
+                let n = t.u32()? as usize;
+                if n.saturating_mul(5) > payload.len() {
+                    return Err(bad(format!("batch claims {n} responses, frame too small")));
+                }
+                let mut resps = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let len = t.u32()? as usize;
+                    let sub = t.bytes(len)?;
+                    if sub.first() == Some(&0x8B) {
+                        return Err(bad("nested batch"));
+                    }
+                    resps.push(Response::decode(sub)?);
+                }
+                Response::Batch(resps)
+            }
             tag => return Err(DecodeError::UnknownTag(tag)),
         };
         t.finish()?;
@@ -402,11 +537,53 @@ impl Response {
     }
 }
 
+/// Appends an `Embedding` response payload built directly from a borrowed
+/// row — the zero-copy read path: the server never materialises a `Vec<f32>`
+/// or a `Response` for the hot query, it serialises the snapshot row
+/// straight into the connection's write buffer.
+pub fn encode_embedding(buf: &mut Vec<u8>, epoch: u64, values: &[f32]) {
+    buf.push(0x83);
+    put_u64(buf, epoch);
+    put_u32(buf, values.len() as u32);
+    buf.reserve(values.len() * 4);
+    for &x in values {
+        put_f32(buf, x);
+    }
+}
+
+/// Appends one length-prefixed frame to `out`, with the payload produced by
+/// `build` written in place (no intermediate payload allocation). The length
+/// prefix is backpatched after `build` runs. Errors with `InvalidInput` —
+/// and leaves `out` exactly as it was — when the payload exceeds
+/// [`MAX_FRAME`].
+pub fn append_frame(out: &mut Vec<u8>, build: impl FnOnce(&mut Vec<u8>)) -> io::Result<()> {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    build(out);
+    let len = out.len() - start - 4;
+    if len > MAX_FRAME {
+        out.truncate(start);
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload of {len} bytes exceeds MAX_FRAME ({MAX_FRAME})"),
+        ));
+    }
+    out[start..start + 4].copy_from_slice(&(len as u32).to_le_bytes());
+    Ok(())
+}
+
 /// Writes one length-prefixed frame. Errors with `InvalidInput` when the
 /// payload exceeds [`MAX_FRAME`] — sending it anyway would make the peer's
 /// `read_frame` reject the length as hostile and tear the connection down
 /// with no diagnostic on this side.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    write_frame_noflush(w, payload)?;
+    w.flush()
+}
+
+/// [`write_frame`] without the trailing flush — the pipelining building
+/// block: queue many frames, then flush the writer once.
+pub fn write_frame_noflush(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     if payload.len() > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -414,8 +591,7 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
         ));
     }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
+    w.write_all(payload)
 }
 
 /// Reads one length-prefixed frame. `Ok(None)` on a clean EOF at a frame
@@ -464,6 +640,13 @@ mod tests {
         roundtrip_req(Request::Flush);
         roundtrip_req(Request::Metrics);
         roundtrip_req(Request::TraceDump);
+        roundtrip_req(Request::Hello { max_version: 2 });
+        roundtrip_req(Request::Batch(vec![
+            Request::Update(vec![EdgeChange::insert(1, 2)]),
+            Request::Embedding(3),
+            Request::TopK { vertex: 0, k: 4 },
+        ]));
+        roundtrip_req(Request::Batch(vec![]));
     }
 
     #[test]
@@ -477,6 +660,18 @@ mod tests {
         roundtrip_resp(Response::Flushed { epoch: 11 });
         roundtrip_resp(Response::Metrics { text: "# TYPE x counter\nx 1\n".into() });
         roundtrip_resp(Response::TraceDump { json: "{\"traceEvents\":[]}".into() });
+        roundtrip_resp(Response::Hello {
+            version: 2,
+            num_vertices: 1 << 33,
+            feat_dim: 64,
+            shards: 8,
+            epoch: 17,
+        });
+        roundtrip_resp(Response::Batch(vec![
+            Response::Ack { epoch: 1 },
+            Response::Embedding { epoch: 1, values: vec![0.5] },
+            Response::Error { message: "slot error".into() },
+        ]));
     }
 
     #[test]
@@ -515,6 +710,10 @@ mod tests {
         let mut lying = vec![0x01];
         lying.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(Request::decode(&lying).is_err());
+        // Same for a batch header lying about its request count.
+        let mut lying = vec![0x09];
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&lying).is_err());
     }
 
     #[test]
@@ -524,6 +723,25 @@ mod tests {
         buf.extend_from_slice(&1u32.to_le_bytes());
         buf.extend_from_slice(&2u32.to_le_bytes());
         buf.push(7); // not 0/1
+        assert!(Request::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn nested_batches_fail_to_decode() {
+        let inner = Request::Batch(vec![Request::Stats]);
+        let outer = Request::Batch(vec![inner]);
+        assert!(matches!(Request::decode(&outer.encode()), Err(DecodeError::Malformed(_))));
+        let inner = Response::Batch(vec![Response::Ack { epoch: 0 }]);
+        let outer = Response::Batch(vec![inner]);
+        assert!(matches!(Response::decode(&outer.encode()), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn batch_sub_payload_with_lying_length_is_rejected() {
+        let mut buf = vec![0x09];
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one sub-request ...
+        buf.extend_from_slice(&100u32.to_le_bytes()); // ... claiming 100 bytes
+        buf.push(0x04); // but only 1 present
         assert!(Request::decode(&buf).is_err());
     }
 
@@ -538,6 +756,25 @@ mod tests {
         assert_eq!(read_frame(&mut r).unwrap().unwrap(), a);
         assert_eq!(read_frame(&mut r).unwrap().unwrap(), b);
         assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn append_frame_matches_write_frame() {
+        let resp = Response::TopK { epoch: 4, items: vec![(9, 1.5), (2, 0.0)] };
+        let mut via_writer = Vec::new();
+        write_frame(&mut via_writer, &resp.encode()).unwrap();
+        let mut via_append = Vec::new();
+        append_frame(&mut via_append, |buf| resp.encode_into(buf)).unwrap();
+        assert_eq!(via_writer, via_append);
+    }
+
+    #[test]
+    fn zero_copy_embedding_encoding_matches_the_enum_path() {
+        let values = vec![1.5f32, -0.25, f32::NAN, 0.0];
+        let mut direct = Vec::new();
+        encode_embedding(&mut direct, 7, &values);
+        let enum_path = Response::Embedding { epoch: 7, values: values.clone() }.encode();
+        assert_eq!(direct, enum_path, "borrowed-row path is byte-identical");
     }
 
     #[test]
@@ -556,6 +793,12 @@ mod tests {
         assert!(wire.is_empty(), "nothing hits the wire on refusal");
         // At the cap exactly is still fine.
         assert!(write_frame(&mut io::sink(), &vec![0u8; MAX_FRAME]).is_ok());
+        // The in-place framer refuses the same way and restores the buffer.
+        let mut out = vec![0xAB];
+        let err = append_frame(&mut out, |buf| buf.extend_from_slice(&vec![0u8; MAX_FRAME + 1]))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert_eq!(out, vec![0xAB], "buffer restored on refusal");
     }
 
     #[test]

@@ -1,54 +1,92 @@
-//! The threaded TCP server.
+//! The readiness-based TCP server.
 //!
-//! Thread layout (no async runtime — std::net blocking I/O, matching the
-//! offline shims):
+//! Thread layout (no async runtime — non-blocking `std::net` sockets driven
+//! by the workspace `mio` shim, epoll on Linux with a portable `poll`
+//! fallback):
 //!
-//! * **accept thread** — non-blocking `accept` loop; spawns one handler
-//!   thread per connection,
-//! * **handler threads** — decode frames, answer queries straight from the
-//!   current [`inkstream::snapshot::EmbeddingSnapshot`] (never touching the
-//!   engine), and submit updates/flushes to the [`IngestQueue`],
-//! * **writer thread** — the only thread that owns the [`StreamSession`]:
-//!   drains the queue, coalesces everything pending into one net
-//!   [`DeltaBatch`], applies it through the sharded pipeline, and publishes
-//!   a fresh snapshot epoch.
+//! * **event-loop thread** — one thread multiplexes the listener and every
+//!   client connection through [`mio::Poll`]. It assembles frames from
+//!   partial reads ([`crate::conn::Conn`]), decodes requests (protocol v1
+//!   frames and v2 [`Request::Batch`] containers alike), answers queries
+//!   straight from the current
+//!   [`inkstream::snapshot::EmbeddingSnapshot`] — embedding rows are
+//!   serialized directly from the snapshot buffer into the connection's
+//!   write queue, no intermediate `Response` allocation — and routes
+//!   updates into the [`ShardedIngest`] queue. Pipelined responses go out
+//!   strictly in request order per connection.
+//! * **writer thread** — the only thread that owns the engine backend
+//!   (a [`StreamSession`] or a [`PartitionedInkStream`]): drains a
+//!   ticket-ordered prefix of the sharded queue, coalesces it into one net
+//!   [`DeltaBatch`], applies it, and publishes a fresh snapshot epoch. It
+//!   parks on the queue's condvar between drains (no polling) and signals
+//!   the event loop through a [`mio::Waker`] when flush barriers resolve or
+//!   shard space frees up.
 //!
 //! Readers therefore never block on an in-flight update: a query served
-//! mid-apply simply sees the previous epoch. [`ServerHandle::shutdown`]
-//! closes the queue, lets the writer drain what was admitted, writes a
-//! checkpoint (when configured) and returns the session for inspection.
+//! mid-apply simply sees the previous epoch. Backpressure is
+//! per-connection — a full shard under [`Backpressure::Block`] parks the
+//! offending connection's half-processed frame ([`crate::conn::PendingFrame`])
+//! and pauses reading it, while every other connection keeps being served.
+//! [`ServerHandle::shutdown`] closes the queue, lets the writer drain what
+//! was admitted, delivers the final flush acks, writes a checkpoint (when
+//! configured) and returns the session for inspection.
+//!
+//! The wire format is specified normatively in `docs/PROTOCOL.md`.
 
+use crate::conn::{Conn, PendingFrame};
 use crate::metrics::ServerMetrics;
-use crate::protocol::{read_frame, write_frame, Request, Response, MAX_FRAME};
-use crate::queue::{Admission, Backpressure, IngestQueue, QueueItem};
-use ink_graph::DeltaBatch;
+use crate::protocol::{
+    append_frame, encode_embedding, Request, Response, MAX_FRAME, PROTOCOL_VERSION,
+};
+use crate::queue::Backpressure;
+use crate::shard::{Drained, ShardPush, ShardedIngest};
+use ink_graph::{DeltaBatch, EdgeChange};
 use ink_obs::{MetricsRegistry, Tracer};
+use ink_partition::PartitionedInkStream;
+use ink_tensor::Matrix;
 use inkstream::snapshot::{EmbeddingSnapshot, SnapshotPublisher, SnapshotReader};
 use inkstream::{SessionSummary, StreamSession};
+use mio::{Events, Interest, Poll, Token, Waker};
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Server tunables.
+/// Poll token of the TCP listener.
+const LISTENER: usize = 0;
+/// Poll token of the writer-thread waker.
+const WAKER: usize = 1;
+/// First token handed to a client connection.
+const FIRST_CONN: usize = 2;
+
+/// How long the writer parks on the ingest condvar before re-checking for
+/// shutdown. Pushes wake it immediately; this only bounds idle latency of
+/// the close signal.
+const WRITER_PARK: Duration = Duration::from_millis(250);
+
+/// Server tunables. See the README "Serving" section for a capacity-planning
+/// guide relating these to client counts and update rates.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Ingest queue capacity (pending update batches).
+    /// Total ingest capacity in pending update batches, split evenly across
+    /// `shards` (each shard holds `ceil(queue_capacity / shards)`).
     pub queue_capacity: usize,
-    /// What happens to updates arriving while the queue is full.
+    /// What happens to updates arriving while their shard is full.
     pub backpressure: Backpressure,
     /// Maximum update batches drained (and coalesced) into one epoch.
     pub max_drain: usize,
+    /// Ingest shard count. Admission contention distributes across shards
+    /// while the writer still applies one globally ordered stream.
+    pub shards: usize,
     /// Where the shutdown checkpoint goes (`None` disables it).
     pub checkpoint_path: Option<PathBuf>,
-    /// Cadence of the writer's queue poll and the accept loop's
-    /// non-blocking retry sleep. Handler reads are fully blocking (a
-    /// timeout mid-frame would desync the stream); shutdown unblocks them
-    /// by closing their sockets instead.
+    /// Upper bound on one event-loop tick: the poll timeout used when no
+    /// I/O is ready. Wakeups (new completions, freed shard space, shutdown)
+    /// arrive eagerly through the waker; this only bounds the idle tick.
     pub poll_interval: Duration,
 }
 
@@ -58,70 +96,22 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             backpressure: Backpressure::Block,
             max_drain: 32,
+            shards: 4,
             checkpoint_path: None,
             poll_interval: Duration::from_millis(50),
         }
     }
 }
 
-/// Live connection sockets, so shutdown can close them and unblock handler
-/// threads parked in blocking reads. Handler reads carry no timeout — a
-/// timeout firing mid-frame would discard partially consumed bytes and
-/// desync the framing — so closing the socket is the only wakeup.
-#[derive(Default)]
-struct ConnRegistry {
-    inner: Mutex<ConnRegistryInner>,
-}
-
-#[derive(Default)]
-struct ConnRegistryInner {
-    next_id: u64,
-    conns: HashMap<u64, TcpStream>,
-    closed: bool,
-}
-
-impl ConnRegistry {
-    /// Registers a connection's socket handle. `None` once the registry is
-    /// closed — the caller must drop the connection instead of serving it
-    /// (covers the race where `accept` lands a socket during shutdown).
-    fn register(&self, stream: &TcpStream) -> Option<u64> {
-        let Ok(handle) = stream.try_clone() else { return None };
-        let mut inner = self.inner.lock().expect("conn registry lock poisoned");
-        if inner.closed {
-            return None;
-        }
-        let id = inner.next_id;
-        inner.next_id += 1;
-        inner.conns.insert(id, handle);
-        Some(id)
-    }
-
-    fn deregister(&self, id: u64) {
-        self.inner.lock().expect("conn registry lock poisoned").conns.remove(&id);
-    }
-
-    /// Closes every registered socket (unblocking its handler thread) and
-    /// refuses future registrations.
-    fn close_all(&self) {
-        let mut inner = self.inner.lock().expect("conn registry lock poisoned");
-        inner.closed = true;
-        for stream in inner.conns.values() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        inner.conns.clear();
-    }
-}
-
-/// Everything the threads share.
+/// Everything the two threads share.
 struct Shared {
-    queue: IngestQueue,
-    conns: ConnRegistry,
+    ingest: ShardedIngest,
     metrics: ServerMetrics,
     /// The session's registry (the serve instruments are registered into it
     /// too), rendered by the `Metrics` request.
     registry: Arc<MetricsRegistry>,
-    /// The session's span tracer; request handlers add `serve`-category
-    /// spans, and the `TraceDump` request dumps the ring.
+    /// The span tracer; request handlers add `serve`-category spans, and
+    /// the `TraceDump` request dumps the ring.
     tracer: Arc<Tracer>,
     reader: SnapshotReader,
     /// Refreshed by the writer after every epoch; the `stats` request folds
@@ -131,8 +121,12 @@ struct Shared {
     shutdown: AtomicBool,
     /// Vertex-id bound for validating updates before they reach the graph.
     num_vertices: u64,
+    /// Output embedding width, reported by `Hello`.
+    feat_dim: u32,
     directed: bool,
     poll_interval: Duration,
+    /// Wakes the event loop out of `poll` (writer → loop signal).
+    waker: Arc<Waker>,
 }
 
 impl Shared {
@@ -142,26 +136,65 @@ impl Shared {
         let mut summary = self.summary.lock().expect("summary lock poisoned").clone();
         summary.serve = self.metrics.serve_stats(
             self.epochs.load(Ordering::Relaxed),
-            self.queue.depth() as u64,
-            self.queue.max_depth() as u64,
-            self.queue.poisoned_reads(),
+            self.ingest.depth(),
+            self.ingest.max_depth(),
+            0,
         );
         summary
     }
 }
 
-/// A running server. Dropping the handle without calling
-/// [`ServerHandle::shutdown`] aborts the process-local threads detached —
-/// call `shutdown` for a graceful drain.
-pub struct ServerHandle {
-    addr: SocketAddr,
-    shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
-    writer_thread: Option<JoinHandle<StreamSession>>,
-    checkpoint_path: Option<PathBuf>,
+/// The engine side of the writer thread: one single-threaded session or one
+/// partition-parallel driver. Both apply the identical globally ordered,
+/// globally coalesced batch stream, so the published snapshots are bitwise
+/// equal either way.
+enum BackendKind {
+    /// A [`StreamSession`] (single engine).
+    Single(Box<StreamSession>),
+    /// A [`PartitionedInkStream`] plus the scratch matrix its merged output
+    /// is gathered into before each publish.
+    Partitioned {
+        /// The partition-parallel driver.
+        part: Box<PartitionedInkStream>,
+        /// Reused gather target (avoids a fresh `Matrix` per epoch).
+        scratch: Matrix,
+    },
 }
 
-/// The entry point: bind, spawn the thread set, return the handle.
+impl BackendKind {
+    fn ingest(&mut self, batch: &DeltaBatch) {
+        match self {
+            // A Fail drift policy surfaces through the summary's breach
+            // counters; the serving loop keeps going either way (the batch
+            // was applied before the audit ran).
+            BackendKind::Single(session) => {
+                let _ = session.ingest(batch);
+            }
+            BackendKind::Partitioned { part, .. } => {
+                let _ = part.ingest(batch);
+            }
+        }
+    }
+
+    fn publish(&mut self, publisher: &mut SnapshotPublisher, epoch: u64) {
+        match self {
+            BackendKind::Single(session) => publisher.publish(session.engine().output(), epoch),
+            BackendKind::Partitioned { part, scratch } => {
+                part.output_into(scratch);
+                publisher.publish(scratch, epoch);
+            }
+        }
+    }
+
+    fn summary(&self) -> SessionSummary {
+        match self {
+            BackendKind::Single(session) => session.summary(),
+            BackendKind::Partitioned { part, .. } => part.summary().session,
+        }
+    }
+}
+
+/// The entry point: bind, spawn the thread pair, return a handle.
 pub struct InkServer;
 
 impl InkServer {
@@ -172,289 +205,710 @@ impl InkServer {
         session: StreamSession,
         config: ServeConfig,
     ) -> io::Result<ServerHandle> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
-
-        let engine = session.engine();
-        let (publisher, reader) =
-            SnapshotPublisher::new(engine.output().clone());
+        let bootstrap = session.engine().output().clone();
         let registry = session.metrics().clone();
         let tracer = session.tracer().clone();
-        let shared = Arc::new(Shared {
-            queue: IngestQueue::new(config.queue_capacity, config.backpressure),
-            conns: ConnRegistry::default(),
-            metrics: ServerMetrics::register(&registry),
+        let num_vertices = session.engine().graph().num_vertices() as u64;
+        let directed = session.engine().graph().is_directed();
+        let initial = session.summary();
+        let inner = bind_inner(
+            addr,
+            BackendKind::Single(Box::new(session)),
+            bootstrap,
             registry,
             tracer,
-            reader,
-            summary: Mutex::new(session.summary()),
-            epochs: AtomicU64::new(0),
-            shutdown: AtomicBool::new(false),
-            num_vertices: engine.graph().num_vertices() as u64,
-            directed: engine.graph().is_directed(),
-            poll_interval: config.poll_interval,
-        });
-
-        let writer_thread = {
-            let shared = shared.clone();
-            let max_drain = config.max_drain;
-            std::thread::Builder::new()
-                .name("ink-serve-writer".into())
-                .spawn(move || writer_loop(session, publisher, shared, max_drain))?
-        };
-        let accept_thread = {
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name("ink-serve-accept".into())
-                .spawn(move || accept_loop(listener, shared))?
-        };
-
-        Ok(ServerHandle {
-            addr,
-            shared,
-            accept_thread: Some(accept_thread),
-            writer_thread: Some(writer_thread),
-            checkpoint_path: config.checkpoint_path,
-        })
+            initial,
+            num_vertices,
+            directed,
+            config,
+        )?;
+        Ok(ServerHandle { inner })
     }
+
+    /// Starts serving a [`PartitionedInkStream`] on `addr`: the same wire
+    /// protocol and snapshot semantics as [`InkServer::bind`], with the
+    /// writer thread driving the per-partition engines instead of one
+    /// session. Published epochs stay bitwise identical to the
+    /// single-engine server fed the same update stream.
+    pub fn bind_partitioned(
+        addr: impl ToSocketAddrs,
+        part: PartitionedInkStream,
+        config: ServeConfig,
+    ) -> io::Result<PartitionedServerHandle> {
+        let bootstrap = part.output();
+        let registry = part.metrics().clone();
+        let tracer = Arc::new(Tracer::new(4096));
+        let num_vertices = part.graph().num_vertices() as u64;
+        let directed = part.graph().is_directed();
+        let initial = part.summary().session;
+        let scratch = bootstrap.clone();
+        let inner = bind_inner(
+            addr,
+            BackendKind::Partitioned { part: Box::new(part), scratch },
+            bootstrap,
+            registry,
+            tracer,
+            initial,
+            num_vertices,
+            directed,
+            config,
+        )?;
+        Ok(PartitionedServerHandle { inner })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bind_inner(
+    addr: impl ToSocketAddrs,
+    backend: BackendKind,
+    bootstrap: Matrix,
+    registry: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
+    initial_summary: SessionSummary,
+    num_vertices: u64,
+    directed: bool,
+    config: ServeConfig,
+) -> io::Result<HandleInner> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shards = config.shards.max(1);
+    let per_shard = config.queue_capacity.div_ceil(shards).max(1);
+    let feat_dim = bootstrap.cols() as u32;
+    let (publisher, reader) = SnapshotPublisher::new(bootstrap);
+    let poll = Poll::new()?;
+    poll.register(&listener, Token(LISTENER), Interest::READABLE)?;
+    let waker = Arc::new(Waker::new(&poll, Token(WAKER))?);
+    let (completions_tx, completions_rx) = crossbeam::channel::bounded(1024);
+    let shared = Arc::new(Shared {
+        ingest: ShardedIngest::new(shards, per_shard, config.backpressure),
+        metrics: ServerMetrics::register(&registry),
+        registry,
+        tracer,
+        reader,
+        summary: Mutex::new(initial_summary),
+        epochs: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
+        num_vertices,
+        feat_dim,
+        directed,
+        poll_interval: config.poll_interval,
+        waker,
+    });
+    let writer_thread = {
+        let shared = shared.clone();
+        let max_drain = config.max_drain;
+        std::thread::Builder::new()
+            .name("ink-serve-writer".into())
+            .spawn(move || writer_loop(backend, publisher, shared, max_drain, completions_tx))?
+    };
+    let event_thread = {
+        let shared = shared.clone();
+        std::thread::Builder::new().name("ink-serve-loop".into()).spawn(move || {
+            EventLoop {
+                poll,
+                listener,
+                conns: HashMap::new(),
+                next_token: FIRST_CONN,
+                shared,
+                completions: completions_rx,
+                flush_waiters: HashMap::new(),
+                next_flush_id: 0,
+            }
+            .run()
+        })?
+    };
+    Ok(HandleInner {
+        addr,
+        shared,
+        event_thread: Some(event_thread),
+        writer_thread: Some(writer_thread),
+        checkpoint_path: config.checkpoint_path,
+    })
+}
+
+/// The running-server state common to both handle flavours.
+struct HandleInner {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    event_thread: Option<JoinHandle<()>>,
+    writer_thread: Option<JoinHandle<BackendKind>>,
+    checkpoint_path: Option<PathBuf>,
+}
+
+impl HandleInner {
+    /// Graceful drain: close the queue, let the writer apply everything
+    /// admitted and publish the final epoch, then stop the event loop
+    /// (which delivers the final flush acks and best-effort writes before
+    /// the sockets drop).
+    fn shutdown_backend(&mut self) -> io::Result<(BackendKind, SessionSummary)> {
+        self.shared.ingest.close();
+        let writer = self.writer_thread.take().expect("shutdown runs once");
+        let backend =
+            writer.join().map_err(|_| io::Error::other("ink-serve writer thread panicked"))?;
+        // Flag the loop only after the writer has drained — its last flush
+        // completions are already in the channel, so the loop's exit pass
+        // cannot miss them.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.shared.waker.wake();
+        if let Some(ev) = self.event_thread.take() {
+            ev.join().map_err(|_| io::Error::other("ink-serve event loop panicked"))?;
+        }
+        let summary = self.shared.stats_summary();
+        Ok((backend, summary))
+    }
+}
+
+impl Drop for HandleInner {
+    fn drop(&mut self) {
+        // Un-graceful path: stop the threads so tests that panic don't hang.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.ingest.close();
+        let _ = self.shared.waker.wake();
+    }
+}
+
+/// A running single-session server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] stops the threads without draining — call
+/// `shutdown` for a graceful drain.
+pub struct ServerHandle {
+    inner: HandleInner,
 }
 
 impl ServerHandle {
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.addr
     }
 
     /// Current snapshot epoch.
     pub fn epoch(&self) -> u64 {
-        self.shared.epochs.load(Ordering::Relaxed)
+        self.inner.shared.epochs.load(Ordering::Relaxed)
     }
 
     /// Live summary (same document the `stats` request serves).
     pub fn summary(&self) -> SessionSummary {
-        self.shared.stats_summary()
+        self.inner.shared.stats_summary()
+    }
+
+    /// Per-shard ingest depths `(current, high-water)` — the
+    /// capacity-planning view of queue pressure (a single hot shard with
+    /// idle siblings means the workload hashes to one canonical edge
+    /// neighbourhood; raise `queue_capacity` rather than `shards`).
+    pub fn shard_depths(&self) -> (Vec<usize>, Vec<usize>) {
+        (
+            self.inner.shared.ingest.per_shard_depths(),
+            self.inner.shared.ingest.per_shard_max_depths(),
+        )
     }
 
     /// Graceful shutdown: stop admitting work, drain the queue through the
     /// writer, publish the final epoch, write the checkpoint (when
     /// configured) and return the session with the final summary.
     pub fn shutdown(mut self) -> io::Result<(StreamSession, SessionSummary)> {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.queue.close();
-        let writer = self.writer_thread.take().expect("shutdown runs once");
-        let session = writer.join().map_err(|_| {
-            io::Error::other("ink-serve writer thread panicked")
-        })?;
-        // The queue has drained and every flush barrier is answered; now
-        // close the sockets so handler threads blocked in reads wake up
-        // and exit before the accept thread joins them.
-        self.shared.conns.close_all();
-        if let Some(accept) = self.accept_thread.take() {
-            accept.join().map_err(|_| io::Error::other("ink-serve accept thread panicked"))?;
-        }
-        if let Some(path) = &self.checkpoint_path {
+        let (backend, summary) = self.inner.shutdown_backend()?;
+        let BackendKind::Single(session) = backend else {
+            unreachable!("single-session handle owns a single-session backend");
+        };
+        if let Some(path) = &self.inner.checkpoint_path {
             let mut f = std::fs::File::create(path)?;
             inkstream::checkpoint::save(session.engine(), &mut f)?;
         }
-        let summary = self.shared.stats_summary();
-        Ok((session, summary))
+        Ok((*session, summary))
     }
 }
 
-impl Drop for ServerHandle {
-    fn drop(&mut self) {
-        // Un-graceful path: stop the threads so tests that panic don't hang.
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.queue.close();
-        self.shared.conns.close_all();
+/// A running partition-parallel server (from [`InkServer::bind_partitioned`]).
+pub struct PartitionedServerHandle {
+    inner: HandleInner,
+}
+
+impl PartitionedServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Current snapshot epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.shared.epochs.load(Ordering::Relaxed)
+    }
+
+    /// Live summary (same document the `stats` request serves).
+    pub fn summary(&self) -> SessionSummary {
+        self.inner.shared.stats_summary()
+    }
+
+    /// Per-shard ingest depths `(current, high-water)`; see
+    /// [`ServerHandle::shard_depths`].
+    pub fn shard_depths(&self) -> (Vec<usize>, Vec<usize>) {
+        (
+            self.inner.shared.ingest.per_shard_depths(),
+            self.inner.shared.ingest.per_shard_max_depths(),
+        )
+    }
+
+    /// Graceful shutdown; returns the partition driver with the final
+    /// summary. (Checkpointing is a single-engine feature — resync a fresh
+    /// partition set from a checkpointed session instead.)
+    pub fn shutdown(mut self) -> io::Result<(PartitionedInkStream, SessionSummary)> {
+        let (backend, summary) = self.inner.shutdown_backend()?;
+        let BackendKind::Partitioned { part, .. } = backend else {
+            unreachable!("partitioned handle owns a partitioned backend");
+        };
+        Ok((*part, summary))
     }
 }
 
-/// The single thread that owns the engine.
+/// The single thread that owns the engine backend.
 fn writer_loop(
-    mut session: StreamSession,
+    mut backend: BackendKind,
     mut publisher: SnapshotPublisher,
     shared: Arc<Shared>,
     max_drain: usize,
-) -> StreamSession {
+    completions: crossbeam::channel::Sender<(u64, u64)>,
+) -> BackendKind {
     loop {
-        let items = shared.queue.pop_batch(max_drain, shared.poll_interval);
-        if items.is_empty() {
-            if shared.queue.is_closed() {
-                return session;
-            }
-            continue;
-        }
-
-        let mut changes = Vec::new();
-        let mut barriers = Vec::new();
-        for item in items {
-            match item {
-                QueueItem::Updates(c) => changes.extend(c),
-                QueueItem::Flush(ack) => barriers.push(ack),
-            }
-        }
-
+        let Drained { changes, batches, flushes, finished } =
+            shared.ingest.drain(max_drain, WRITER_PARK);
         if !changes.is_empty() {
             let _span = shared.tracer.span("serve", "epoch");
             let received = changes.len() as u64;
             let batch = DeltaBatch::new(changes).coalesce(shared.directed);
             shared.metrics.events_received.add(received);
             shared.metrics.events_applied.add(batch.len() as u64);
-            // A Fail drift policy surfaces through the summary's breach
-            // counters; the serving loop keeps going either way (the batch
-            // was applied before the audit ran).
-            let _ = session.ingest(&batch);
+            backend.ingest(&batch);
             let epoch = shared.epochs.load(Ordering::Relaxed) + 1;
-            publisher.publish(session.engine().output(), epoch);
+            backend.publish(&mut publisher, epoch);
             shared.epochs.store(epoch, Ordering::SeqCst);
-            *shared.summary.lock().expect("summary lock poisoned") = session.summary();
+            *shared.summary.lock().expect("summary lock poisoned") = backend.summary();
         }
 
         let epoch = shared.epochs.load(Ordering::Relaxed);
-        shared.metrics.set_queue_gauges(
-            epoch,
-            shared.queue.depth() as u64,
-            shared.queue.max_depth() as u64,
-            shared.queue.poisoned_reads(),
-        );
-        for ack in barriers {
+        shared.metrics.set_queue_gauges(epoch, shared.ingest.depth(), shared.ingest.max_depth(), 0);
+        let mut wake = batches > 0; // freed shard space: stalled conns can retry
+        for flush_id in flushes {
             shared.metrics.flushes.inc();
-            let _ = ack.send(epoch); // a vanished flusher is not an error
+            wake = true;
+            if let Err(crossbeam::channel::TrySendError::Full(item)) =
+                completions.try_send((flush_id, epoch))
+            {
+                // Channel full: wake the loop so it drains, then block.
+                let _ = shared.waker.wake();
+                let _ = completions.send(item); // a vanished loop is shutdown
+            }
+        }
+        if wake {
+            let _ = shared.waker.wake();
+        }
+        if finished {
+            return backend;
         }
     }
 }
 
-/// Non-blocking accept loop; exits once shutdown is flagged.
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    while !shared.shutdown.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let shared = shared.clone();
-                if let Ok(h) = std::thread::Builder::new()
-                    .name("ink-serve-conn".into())
-                    .spawn(move || handle_connection(stream, shared))
-                {
-                    handlers.push(h);
+/// The one-thread readiness loop multiplexing the listener, the waker and
+/// every client connection.
+struct EventLoop {
+    poll: Poll,
+    listener: TcpListener,
+    conns: HashMap<usize, Conn>,
+    next_token: usize,
+    shared: Arc<Shared>,
+    /// Writer → loop: `(flush_id, epoch)` per resolved barrier.
+    completions: crossbeam::channel::Receiver<(u64, u64)>,
+    /// Which connection waits on which flush barrier.
+    flush_waiters: HashMap<u64, usize>,
+    next_flush_id: u64,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events = Events::with_capacity(1024);
+        loop {
+            let _ = self.poll.poll(&mut events, Some(self.shared.poll_interval));
+            let fired: Vec<(usize, bool, bool)> =
+                events.iter().map(|e| (e.token().0, e.is_readable(), e.is_writable())).collect();
+            for (token, readable, writable) in fired {
+                match token {
+                    LISTENER => self.accept_ready(),
+                    WAKER => {} // byte already drained by the poll shim
+                    token => self.conn_ready(token, readable, writable),
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(shared.poll_interval.min(Duration::from_millis(10)));
-            }
-            Err(_) => {
-                // Per-connection failures (ECONNABORTED, ECONNRESET) and
-                // resource exhaustion (EMFILE) surface from accept() on
-                // Linux; none invalidate the listener, so count them and
-                // keep accepting. The shutdown flag bounds the loop, so
-                // retrying even a persistent error cannot hang the server.
-                shared.metrics.accept_errors.inc();
-                std::thread::sleep(shared.poll_interval.min(Duration::from_millis(10)));
+            // Run the writer-signalled work every tick (not only on waker
+            // events) so progress never depends on wakeup delivery.
+            self.drain_completions();
+            self.retry_stalled();
+            if self.shared.shutdown.load(Ordering::Relaxed) {
+                // The writer has exited: every completion is already in the
+                // channel. Deliver them, flush what the sockets accept, go.
+                self.drain_completions();
+                let tokens: Vec<usize> = self.conns.keys().copied().collect();
+                for token in tokens {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.write_ready();
+                    }
+                }
+                return;
             }
         }
-        handlers.retain(|h| !h.is_finished());
     }
-    for h in handlers {
-        let _ = h.join();
+
+    /// Accepts everything pending on the listener (level-triggered, so a
+    /// backlog left behind re-fires the next tick).
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let mut conn = Conn::new(stream, token);
+                    if self.poll.register(&conn.stream, Token(token), Interest::READABLE).is_ok() {
+                        conn.registered = (true, false);
+                        self.conns.insert(token, conn);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    // Per-connection failures (ECONNABORTED, ECONNRESET) and
+                    // resource exhaustion (EMFILE) surface from accept();
+                    // none invalidate the listener, so count and move on.
+                    self.shared.metrics.accept_errors.inc();
+                    break;
+                }
+            }
+        }
+        self.shared.metrics.connections.set_u64(self.conns.len() as u64);
     }
-}
 
-/// One connection: register the socket so shutdown can close it, then run
-/// the frame loop until EOF or error.
-fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
-    // A registration refusal means shutdown already closed the registry —
-    // drop the socket instead of serving a connection nothing can unblock.
-    let Some(conn_id) = shared.conns.register(&stream) else { return };
-    serve_connection(stream, &shared);
-    shared.conns.deregister(conn_id);
-}
+    /// One connection's readiness: read what's there, write what fits, then
+    /// advance its request pipeline.
+    fn conn_ready(&mut self, token: usize, readable: bool, writable: bool) {
+        {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            if readable {
+                conn.fill_read_buf();
+            }
+            if writable {
+                conn.write_ready();
+            }
+        }
+        self.advance(token);
+    }
 
-/// The frame loop. Reads block with no timeout: `read_frame` uses
-/// `read_exact`, and a timeout firing mid-frame would discard the bytes
-/// already consumed and desync the stream. Shutdown wakes blocked reads by
-/// closing the socket through the [`ConnRegistry`], which surfaces here as
-/// EOF or a connection error.
-fn serve_connection(stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let mut writer = BufWriter::new(stream);
-
-    loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(p)) => p,
-            Ok(None) => return, // clean EOF (peer hung up, or shutdown closed us)
-            Err(_) => return,
-        };
-        let response = match Request::decode(&payload) {
-            Ok(req) => answer(req, shared),
-            Err(e) => Response::Error { message: format!("bad request: {e}") },
-        };
-        if write_frame(&mut writer, &response.encode()).is_err() {
+    /// Drives a connection as far as it can go: finish a stalled frame,
+    /// parse and answer buffered frames, write, then reconcile poll
+    /// interest and lifecycle.
+    fn advance(&mut self, token: usize) {
+        loop {
+            let shared = &self.shared;
+            let flush_waiters = &mut self.flush_waiters;
+            let next_flush_id = &mut self.next_flush_id;
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            if conn.dead {
+                break;
+            }
+            if conn.pending.is_some() && !drive(shared, conn, flush_waiters, next_flush_id, false) {
+                break; // still stalled on a full shard
+            }
+            match conn.next_frame(MAX_FRAME) {
+                Ok(Some(payload)) => {
+                    process_frame(shared, conn, flush_waiters, next_flush_id, &payload)
+                }
+                Ok(None) => break,
+                Err(()) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        conn.write_ready();
+        if conn.dead || (conn.peer_eof && conn.pending.is_none() && conn.is_drained()) {
+            self.close_conn(token);
             return;
         }
+        self.sync_interest(token);
+    }
+
+    /// Delivers resolved flush barriers to their waiting connections.
+    fn drain_completions(&mut self) {
+        let mut touched = Vec::new();
+        while let Ok((flush_id, epoch)) = self.completions.try_recv() {
+            let Some(token) = self.flush_waiters.remove(&flush_id) else { continue };
+            if let Some(conn) = self.conns.get_mut(&token) {
+                let _ = conn.complete_flush(flush_id, |buf| {
+                    append_frame(buf, |b| Response::Flushed { epoch }.encode_into(b))
+                });
+                touched.push(token);
+            }
+        }
+        for token in touched {
+            self.advance(token);
+        }
+    }
+
+    /// Gives every admission-stalled connection another try (shard space
+    /// may have freed up after a writer drain).
+    fn retry_stalled(&mut self) {
+        let stalled: Vec<usize> =
+            self.conns.iter().filter(|(_, c)| c.pending.is_some()).map(|(t, _)| *t).collect();
+        for token in stalled {
+            self.advance(token);
+        }
+    }
+
+    /// Reconciles the connection's poll registration with what it currently
+    /// wants, reregistering only on change.
+    fn sync_interest(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        let want = (conn.wants_read(), conn.wants_write());
+        if want == conn.registered {
+            return;
+        }
+        let interest = match want {
+            (true, true) => Some(Interest::READABLE | Interest::WRITABLE),
+            (true, false) => Some(Interest::READABLE),
+            (false, true) => Some(Interest::WRITABLE),
+            (false, false) => None,
+        };
+        match interest {
+            Some(i) => {
+                let ok = if conn.registered == (false, false) {
+                    self.poll.register(&conn.stream, Token(token), i).is_ok()
+                } else {
+                    self.poll.reregister(&conn.stream, Token(token), i).is_ok()
+                };
+                if ok {
+                    conn.registered = want;
+                }
+            }
+            None => {
+                let _ = self.poll.deregister(&conn.stream);
+                conn.registered = (false, false);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, token: usize) {
+        if let Some(conn) = self.conns.remove(&token) {
+            // A barrier queued on a dying connection must not leave a
+            // dangling waiter.
+            for id in conn.queued_flush_ids() {
+                self.flush_waiters.remove(&id);
+            }
+            if conn.registered != (false, false) {
+                let _ = self.poll.deregister(&conn.stream);
+            }
+            self.shared.metrics.connections.set_u64(self.conns.len() as u64);
+        }
     }
 }
 
-/// Computes the response for one request.
-fn answer(req: Request, shared: &Shared) -> Response {
-    match req {
-        Request::Update(changes) => {
-            let _span = shared.tracer.span("serve", "update");
-            if let Some(c) = changes
-                .iter()
-                .find(|c| c.src as u64 >= shared.num_vertices || c.dst as u64 >= shared.num_vertices || c.src == c.dst)
-            {
-                return Response::Error {
-                    message: format!(
-                        "invalid edge {} -> {} (graph has {} vertices)",
-                        c.src, c.dst, shared.num_vertices
-                    ),
-                };
+/// Decodes one frame and starts answering it. A decode failure answers with
+/// an `Error` frame and keeps the connection (framing is still intact — the
+/// length prefix was valid).
+fn process_frame(
+    shared: &Shared,
+    conn: &mut Conn,
+    flush_waiters: &mut HashMap<u64, usize>,
+    next_flush_id: &mut u64,
+    payload: &[u8],
+) {
+    match Request::decode(payload) {
+        Err(e) => {
+            push_frame(conn, |b| {
+                Response::Error { message: format!("bad request: {e}") }.encode_into(b)
+            });
+        }
+        Ok(Request::Batch(reqs)) => {
+            shared.metrics.batches.inc();
+            shared.metrics.batched_requests.add(reqs.len() as u64);
+            conn.pending =
+                Some(PendingFrame { reqs, next: 0, body: Vec::new(), count: 0, is_batch: true });
+            drive(shared, conn, flush_waiters, next_flush_id, true);
+        }
+        Ok(req) => {
+            conn.pending = Some(PendingFrame {
+                reqs: vec![req],
+                next: 0,
+                body: Vec::new(),
+                count: 0,
+                is_batch: false,
+            });
+            drive(shared, conn, flush_waiters, next_flush_id, true);
+        }
+    }
+}
+
+/// Advances the connection's pending frame. Returns `false` when it stalled
+/// on a full shard (Block backpressure) — the frame stays parked in
+/// `conn.pending` and the loop retries after the next writer drain.
+fn drive(
+    shared: &Shared,
+    conn: &mut Conn,
+    flush_waiters: &mut HashMap<u64, usize>,
+    next_flush_id: &mut u64,
+    fresh: bool,
+) -> bool {
+    let Some(mut p) = conn.pending.take() else { return true };
+    while p.next < p.reqs.len() {
+        let req = &p.reqs[p.next];
+        if p.is_batch {
+            match req {
+                Request::Update(changes) => match admit(shared, changes) {
+                    None => {
+                        if fresh {
+                            shared.metrics.stalls.inc();
+                        }
+                        conn.pending = Some(p);
+                        return false;
+                    }
+                    Some(resp) => {
+                        encode_slot(&mut p.body, &mut p.count, |b| resp.encode_into(b));
+                    }
+                },
+                Request::Embedding(_) | Request::TopK { .. } => {
+                    encode_slot(&mut p.body, &mut p.count, |b| answer_query_into(shared, req, b));
+                }
+                _ => {
+                    encode_slot(&mut p.body, &mut p.count, |b| {
+                        Response::Error { message: "request not batchable".into() }.encode_into(b)
+                    });
+                }
             }
-            match shared.queue.push_updates(changes) {
-                Admission::Accepted => {
-                    shared.metrics.updates_enqueued.inc();
-                    Response::Ack { epoch: shared.epochs.load(Ordering::Relaxed) }
+        } else {
+            match req {
+                Request::Update(changes) => match admit(shared, changes) {
+                    None => {
+                        if fresh {
+                            shared.metrics.stalls.inc();
+                        }
+                        conn.pending = Some(p);
+                        return false;
+                    }
+                    Some(resp) => push_frame(conn, |b| resp.encode_into(b)),
+                },
+                Request::Flush => {
+                    let id = *next_flush_id;
+                    *next_flush_id += 1;
+                    if shared.ingest.push_flush(id) {
+                        flush_waiters.insert(id, conn.token);
+                        conn.push_flush_marker(id);
+                    } else {
+                        push_frame(conn, |b| {
+                            Response::Error { message: "server is shutting down".into() }
+                                .encode_into(b)
+                        });
+                    }
                 }
-                Admission::AcceptedDropped { dropped } => {
-                    shared.metrics.updates_enqueued.inc();
-                    shared.metrics.updates_dropped.add(dropped);
-                    Response::Ack { epoch: shared.epochs.load(Ordering::Relaxed) }
+                Request::Hello { max_version } => {
+                    let resp = Response::Hello {
+                        version: PROTOCOL_VERSION.min(*max_version),
+                        num_vertices: shared.num_vertices,
+                        feat_dim: shared.feat_dim,
+                        shards: shared.ingest.shards() as u16,
+                        epoch: shared.epochs.load(Ordering::Relaxed),
+                    };
+                    push_frame(conn, |b| resp.encode_into(b));
                 }
-                Admission::Rejected { retry_after_ms } => {
-                    shared.metrics.updates_rejected.inc();
-                    Response::Rejected { retry_after_ms }
+                Request::Batch(_) => {
+                    // Decode rejects nested batches; unreachable in practice.
+                    push_frame(conn, |b| {
+                        Response::Error { message: "nested batch".into() }.encode_into(b)
+                    });
                 }
-                Admission::Closed => Response::Error { message: "server is shutting down".into() },
+                _ => push_frame(conn, |b| answer_query_into(shared, req, b)),
             }
         }
+        p.next += 1;
+    }
+    if p.is_batch {
+        let count = p.count;
+        let body = std::mem::take(&mut p.body);
+        let pushed = conn.push_bytes(|out| {
+            append_frame(out, |b| {
+                b.push(0x8B);
+                b.extend_from_slice(&count.to_le_bytes());
+                b.extend_from_slice(&body);
+            })
+        });
+        if pushed.is_err() {
+            push_frame(conn, |b| {
+                Response::Error { message: "batch response exceeds the frame limit".into() }
+                    .encode_into(b)
+            });
+        }
+    }
+    true
+}
+
+/// Validates and routes one update. `None` means the target shard is full
+/// under Block backpressure — stall the connection.
+fn admit(shared: &Shared, changes: &[EdgeChange]) -> Option<Response> {
+    let _span = shared.tracer.span("serve", "update");
+    if let Some(c) = changes.iter().find(|c| {
+        c.src as u64 >= shared.num_vertices || c.dst as u64 >= shared.num_vertices || c.src == c.dst
+    }) {
+        return Some(Response::Error {
+            message: format!(
+                "invalid edge {} -> {} (graph has {} vertices)",
+                c.src, c.dst, shared.num_vertices
+            ),
+        });
+    }
+    match shared.ingest.try_push_updates(changes, shared.directed) {
+        ShardPush::Accepted { .. } => {
+            shared.metrics.updates_enqueued.inc();
+            Some(Response::Ack { epoch: shared.epochs.load(Ordering::Relaxed) })
+        }
+        ShardPush::AcceptedDropped { dropped } => {
+            shared.metrics.updates_enqueued.inc();
+            shared.metrics.updates_dropped.add(dropped);
+            Some(Response::Ack { epoch: shared.epochs.load(Ordering::Relaxed) })
+        }
+        ShardPush::Rejected { retry_after_ms } => {
+            shared.metrics.updates_rejected.inc();
+            Some(Response::Rejected { retry_after_ms })
+        }
+        ShardPush::Full => None,
+        ShardPush::Closed => {
+            Some(Response::Error { message: "server is shutting down".into() })
+        }
+    }
+}
+
+/// Serializes the answer to a read-only request directly into `buf`
+/// (frame-payload bytes, no length prefix). Embedding rows go straight from
+/// the snapshot buffer to the wire — no intermediate `Response` allocation.
+fn answer_query_into(shared: &Shared, req: &Request, buf: &mut Vec<u8>) {
+    match req {
         Request::Embedding(v) => {
             let _span = shared.tracer.span("serve", "embedding");
             let t = Instant::now();
             let snap = shared.reader.load();
-            let resp = if (v as usize) < snap.embeddings.rows() {
-                Response::Embedding {
-                    epoch: snap.epoch,
-                    values: snap.embeddings.row(v as usize).to_vec(),
-                }
+            if (*v as usize) < snap.embeddings.rows() {
+                encode_embedding(buf, snap.epoch, snap.embeddings.row(*v as usize));
             } else {
                 Response::Error {
                     message: format!("vertex {v} out of range ({} rows)", snap.embeddings.rows()),
                 }
-            };
+                .encode_into(buf);
+            }
             shared.metrics.record_query(t.elapsed());
-            resp
         }
         Request::TopK { vertex, k } => {
             let _span = shared.tracer.span("serve", "top_k");
             let t = Instant::now();
             let snap = shared.reader.load();
-            let resp = if (vertex as usize) < snap.embeddings.rows() {
-                Response::TopK { epoch: snap.epoch, items: top_k(&snap, vertex, k as usize) }
+            if (*vertex as usize) < snap.embeddings.rows() {
+                Response::TopK { epoch: snap.epoch, items: top_k(&snap, *vertex, *k as usize) }
+                    .encode_into(buf);
             } else {
                 Response::Error {
                     message: format!(
@@ -462,17 +916,17 @@ fn answer(req: Request, shared: &Shared) -> Response {
                         snap.embeddings.rows()
                     ),
                 }
-            };
+                .encode_into(buf);
+            }
             shared.metrics.record_query(t.elapsed());
-            resp
         }
         Request::Stats => {
             let _span = shared.tracer.span("serve", "stats");
             let json = shared.stats_summary().to_json().compact();
             if json.len() > MAX_FRAME {
-                Response::Error { message: "stats document too large".into() }
+                Response::Error { message: "stats document too large".into() }.encode_into(buf);
             } else {
-                Response::Stats { json }
+                Response::Stats { json }.encode_into(buf);
             }
         }
         Request::Metrics => {
@@ -481,39 +935,53 @@ fn answer(req: Request, shared: &Shared) -> Response {
             // scrape reflects this instant, not the last epoch.
             shared.metrics.set_queue_gauges(
                 shared.epochs.load(Ordering::Relaxed),
-                shared.queue.depth() as u64,
-                shared.queue.max_depth() as u64,
-                shared.queue.poisoned_reads(),
+                shared.ingest.depth(),
+                shared.ingest.max_depth(),
+                0,
             );
             let text = shared.registry.render_prometheus();
             if text.len() > MAX_FRAME {
-                Response::Error { message: "metrics document too large".into() }
+                Response::Error { message: "metrics document too large".into() }.encode_into(buf);
             } else {
-                Response::Metrics { text }
+                Response::Metrics { text }.encode_into(buf);
             }
         }
         Request::TraceDump => {
             let _span = shared.tracer.span("serve", "trace_dump");
             let json = shared.tracer.dump_chrome_trace();
             if json.len() > MAX_FRAME {
-                Response::Error { message: "trace dump too large".into() }
+                Response::Error { message: "trace dump too large".into() }.encode_into(buf);
             } else {
-                Response::TraceDump { json }
+                Response::TraceDump { json }.encode_into(buf);
             }
         }
-        Request::Flush => {
-            let (tx, rx) = crossbeam::channel::bounded(1);
-            match shared.queue.push_flush(tx) {
-                Admission::Closed => {
-                    Response::Error { message: "server is shutting down".into() }
-                }
-                _ => match rx.recv() {
-                    Ok(epoch) => Response::Flushed { epoch },
-                    Err(_) => Response::Error { message: "flush barrier lost".into() },
-                },
-            }
+        _ => {
+            Response::Error { message: "unsupported request".into() }.encode_into(buf);
         }
     }
+}
+
+/// Appends one framed response built by `build`; an over-limit frame is
+/// replaced by a (small) error frame so the stream never desyncs.
+fn push_frame(conn: &mut Conn, build: impl FnOnce(&mut Vec<u8>)) {
+    if conn.push_bytes(|out| append_frame(out, build)).is_err() {
+        let _ = conn.push_bytes(|out| {
+            append_frame(out, |b| {
+                Response::Error { message: "response exceeds the frame limit".into() }
+                    .encode_into(b)
+            })
+        });
+    }
+}
+
+/// Appends one length-prefixed response slot to a batch body.
+fn encode_slot(body: &mut Vec<u8>, count: &mut u32, f: impl FnOnce(&mut Vec<u8>)) {
+    let at = body.len();
+    body.extend_from_slice(&[0u8; 4]);
+    f(body);
+    let len = (body.len() - at - 4) as u32;
+    body[at..at + 4].copy_from_slice(&len.to_le_bytes());
+    *count += 1;
 }
 
 /// The `k` vertices most similar to `vertex` by embedding dot product
@@ -560,5 +1028,15 @@ mod tests {
         let snap = EmbeddingSnapshot { epoch: 1, embeddings: m };
         let items = top_k(&snap, 0, 2);
         assert_eq!(items, vec![(1, 2.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn per_shard_capacity_splits_the_total() {
+        let cfg = ServeConfig { queue_capacity: 10, shards: 4, ..ServeConfig::default() };
+        let shards = cfg.shards.max(1);
+        assert_eq!(cfg.queue_capacity.div_ceil(shards).max(1), 3);
+        // Degenerate configs still get a working queue.
+        let tiny = ServeConfig { queue_capacity: 0, shards: 0, ..ServeConfig::default() };
+        assert_eq!(tiny.queue_capacity.div_ceil(tiny.shards.max(1)).max(1), 1);
     }
 }

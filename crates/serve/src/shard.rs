@@ -1,0 +1,517 @@
+//! Sharded ingest: per-shard bounded queues with a global admission ticket.
+//!
+//! The readiness-based server admits updates from one event-loop thread and
+//! drains them from one writer thread, so the queue's job is not raw lock
+//! throughput — it is *ordering* and *admission control* at high fan-in:
+//!
+//! * Every admitted item gets a **global ticket** from one atomic counter,
+//!   then lands in the shard chosen by the canonical form of its first edge
+//!   (`(min, max)` for undirected graphs), so a hot edge always queues
+//!   behind its own earlier updates.
+//! * The writer drains by repeatedly popping the globally smallest front
+//!   ticket across shards. The drained set is therefore always a *ticket
+//!   prefix* of everything admitted, and concatenating in ticket order
+//!   reconstructs exactly the arrival order a single FIFO queue would have
+//!   seen — this is the invariant that keeps the served embeddings bitwise
+//!   identical to a single-threaded replay of the same stream (the
+//!   loopback tests assert it at every epoch).
+//! * Flush barriers live in a ticket-stamped control lane that is never
+//!   subject to capacity, and a barrier releases only once every shard's
+//!   front ticket is beyond it.
+//!
+//! Admission is non-blocking ([`ShardPush::Full`] instead of parking) so
+//! the event loop can stall just the submitting connection rather than the
+//! whole I/O thread; the writer parks on a condvar and is woken by the next
+//! push — no timed polling on the idle path.
+//!
+//! ```
+//! use ink_serve::shard::{Drained, ShardPush, ShardedIngest};
+//! use ink_serve::Backpressure;
+//! use ink_graph::EdgeChange;
+//! use std::time::Duration;
+//!
+//! // Four shards, two pending batches each, shedding load when full.
+//! let q = ShardedIngest::new(4, 2, Backpressure::Reject { retry_after_ms: 5 });
+//! assert!(matches!(
+//!     q.try_push_updates(&[EdgeChange::insert(0, 1)], false),
+//!     ShardPush::Accepted { .. }
+//! ));
+//! assert!(matches!(
+//!     q.try_push_updates(&[EdgeChange::insert(2, 3)], false),
+//!     ShardPush::Accepted { .. }
+//! ));
+//! q.push_flush(7); // flush id 7, always admitted
+//!
+//! let d: Drained = q.drain(16, Duration::ZERO);
+//! assert_eq!(d.changes.len(), 2); // global-FIFO order across shards
+//! assert_eq!(d.flushes, vec![7]); // releasable once the drain is published
+//! ```
+
+use crate::queue::Backpressure;
+use ink_graph::EdgeChange;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// The verdict on one non-blocking push.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ShardPush {
+    /// Admitted with this global ticket.
+    Accepted {
+        /// Position in the global admission order.
+        ticket: u64,
+    },
+    /// Admitted after evicting older batches from the same shard
+    /// ([`Backpressure::DropOldest`]).
+    AcceptedDropped {
+        /// Update batches evicted to make room.
+        dropped: u64,
+    },
+    /// Turned away ([`Backpressure::Reject`]); retry after the hint.
+    Rejected {
+        /// Backoff hint in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The target shard is at capacity under [`Backpressure::Block`]: the
+    /// caller should stall this producer and retry after the writer's next
+    /// drain (the server parks the connection, not the event loop).
+    Full,
+    /// The queue is closed (server shutting down).
+    Closed,
+}
+
+/// One writer-side drain: a ticket-prefix of everything admitted.
+#[derive(Debug, Default)]
+pub struct Drained {
+    /// Edge changes concatenated in global admission order.
+    pub changes: Vec<EdgeChange>,
+    /// Update batches drained (pre-concatenation).
+    pub batches: usize,
+    /// Flush ids whose barriers are now behind every queued update; ack
+    /// them after publishing the epoch that contains `changes`.
+    pub flushes: Vec<u64>,
+    /// True once the queue is closed *and* fully drained — the writer's
+    /// exit condition.
+    pub finished: bool,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    /// `(ticket, changes)` in admission order; front ticket is the shard
+    /// minimum because tickets are drawn under the shard lock.
+    items: VecDeque<(u64, Vec<EdgeChange>)>,
+    max_depth: usize,
+}
+
+#[derive(Debug, Default)]
+struct Signal {
+    /// Bumped on every push/close so waiters can detect missed wakeups.
+    seq: u64,
+}
+
+/// A sharded MPSC ingest queue with global-ticket ordering.
+///
+/// See the [module docs](self) for the ordering invariant and a usage
+/// example.
+#[derive(Debug)]
+pub struct ShardedIngest {
+    shards: Vec<Mutex<Shard>>,
+    /// `(ticket, flush_id)` in ticket order — the control lane.
+    barriers: Mutex<VecDeque<(u64, u64)>>,
+    /// Next global ticket. Drawn while holding the target shard (or
+    /// barrier) lock, so tickets are monotonic within each lane.
+    ticket: AtomicU64,
+    signal: Mutex<Signal>,
+    ready: Condvar,
+    per_shard_capacity: usize,
+    mode: Backpressure,
+    closed: AtomicBool,
+    /// Global pending-batch count (sum of shard depths), for O(1) stats.
+    depth: AtomicU64,
+    /// Global high-water mark of `depth`.
+    max_depth: AtomicU64,
+}
+
+impl ShardedIngest {
+    /// A queue of `shards` independent lanes admitting at most
+    /// `per_shard_capacity` pending update batches each.
+    ///
+    /// # Panics
+    ///
+    /// If `shards` or `per_shard_capacity` is 0.
+    pub fn new(shards: usize, per_shard_capacity: usize, mode: Backpressure) -> Self {
+        assert!(shards >= 1, "ShardedIngest: need at least one shard");
+        assert!(per_shard_capacity >= 1, "ShardedIngest: per-shard capacity must be at least 1");
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            barriers: Mutex::new(VecDeque::new()),
+            ticket: AtomicU64::new(0),
+            signal: Mutex::new(Signal::default()),
+            ready: Condvar::new(),
+            per_shard_capacity,
+            mode,
+            closed: AtomicBool::new(false),
+            depth: AtomicU64::new(0),
+            max_depth: AtomicU64::new(0),
+        }
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a batch routes to: a canonical-edge hash of its first
+    /// change (`(min, max)` when undirected), so one edge's update stream
+    /// always serialises through one lane.
+    pub fn shard_of(&self, changes: &[EdgeChange], directed: bool) -> usize {
+        let Some(c) = changes.first() else { return 0 };
+        let (a, b) = if directed || c.src <= c.dst { (c.src, c.dst) } else { (c.dst, c.src) };
+        // SplitMix64 finalizer over the packed edge — cheap and well mixed.
+        let mut h = ((a as u64) << 32) | b as u64;
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (h ^ (h >> 31)) as usize % self.shards.len()
+    }
+
+    /// Submits one update batch without ever blocking. See [`ShardPush`]
+    /// for the verdicts; [`ShardPush::Full`] (Block mode, shard at
+    /// capacity) means "stall this producer and retry after the next
+    /// drain". Takes a slice so a stalling caller keeps ownership for the
+    /// retry; the batch is copied only on admission.
+    pub fn try_push_updates(&self, changes: &[EdgeChange], directed: bool) -> ShardPush {
+        if self.closed.load(Ordering::SeqCst) {
+            return ShardPush::Closed;
+        }
+        let idx = self.shard_of(changes, directed);
+        let mut dropped = 0u64;
+        {
+            let mut shard = self.shards[idx].lock().expect("shard lock poisoned");
+            if shard.items.len() >= self.per_shard_capacity {
+                match self.mode {
+                    Backpressure::Block => return ShardPush::Full,
+                    Backpressure::Reject { retry_after_ms } => {
+                        return ShardPush::Rejected { retry_after_ms }
+                    }
+                    Backpressure::DropOldest => {
+                        while shard.items.len() >= self.per_shard_capacity {
+                            shard.items.pop_front();
+                            dropped += 1;
+                        }
+                    }
+                }
+            }
+            let ticket = self.ticket.fetch_add(1, Ordering::SeqCst);
+            shard.items.push_back((ticket, changes.to_vec()));
+            let len = shard.items.len();
+            shard.max_depth = shard.max_depth.max(len);
+            let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1 - dropped;
+            self.depth.fetch_sub(dropped, Ordering::Relaxed);
+            self.max_depth.fetch_max(depth, Ordering::Relaxed);
+            if dropped == 0 {
+                self.notify();
+                return ShardPush::Accepted { ticket };
+            }
+        }
+        self.notify();
+        ShardPush::AcceptedDropped { dropped }
+    }
+
+    /// Submits a flush barrier (always admitted — barriers are control
+    /// messages outside the capacity accounting). Returns `false` when the
+    /// queue is closed. The barrier's `flush_id` comes back from
+    /// [`ShardedIngest::drain`] once every update admitted before it has
+    /// been drained.
+    pub fn push_flush(&self, flush_id: u64) -> bool {
+        if self.closed.load(Ordering::SeqCst) {
+            return false;
+        }
+        {
+            let mut barriers = self.barriers.lock().expect("barrier lock poisoned");
+            let ticket = self.ticket.fetch_add(1, Ordering::SeqCst);
+            barriers.push_back((ticket, flush_id));
+        }
+        self.notify();
+        true
+    }
+
+    /// Drains up to `max_batches` update batches as a global ticket-prefix,
+    /// waiting up to `timeout` for the first item. The returned
+    /// [`Drained::changes`] are in exact global admission order;
+    /// [`Drained::flushes`] are the barriers now behind every queued update.
+    pub fn drain(&self, max_batches: usize, timeout: Duration) -> Drained {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let seq = self.signal.lock().expect("signal lock poisoned").seq;
+            let drained = self.try_drain(max_batches);
+            if !drained.changes.is_empty() || !drained.flushes.is_empty() || drained.finished {
+                return drained;
+            }
+            // Nothing yet: park until the next push/close bumps the signal
+            // (no timed polling — the idle writer costs zero CPU), but honour
+            // the caller's timeout so shutdown paths stay bounded.
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return drained;
+            }
+            let guard = self.signal.lock().expect("signal lock poisoned");
+            let (_guard, timeout_result) = self
+                .ready
+                .wait_timeout_while(guard, deadline - now, |s| {
+                    s.seq == seq && !self.closed.load(Ordering::SeqCst)
+                })
+                .expect("signal lock poisoned");
+            if timeout_result.timed_out() {
+                return self.try_drain(max_batches);
+            }
+        }
+    }
+
+    /// One non-waiting drain pass.
+    fn try_drain(&self, max_batches: usize) -> Drained {
+        let mut guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned"))
+            .collect();
+        let mut items: Vec<(u64, Vec<EdgeChange>)> = Vec::new();
+        while items.len() < max_batches.max(1) {
+            // Pop the globally smallest front ticket so the drained set is
+            // always a ticket-prefix of everything admitted.
+            let next = guards
+                .iter()
+                .enumerate()
+                .filter_map(|(i, g)| g.items.front().map(|(t, _)| (*t, i)))
+                .min();
+            let Some((_, idx)) = next else { break };
+            items.push(guards[idx].items.pop_front().expect("front checked"));
+        }
+        // The smallest undrained ticket bounds which barriers may release.
+        let remaining_min = guards
+            .iter()
+            .filter_map(|g| g.items.front().map(|(t, _)| *t))
+            .min()
+            .unwrap_or(u64::MAX);
+        drop(guards);
+        if !items.is_empty() {
+            self.depth.fetch_sub(items.len() as u64, Ordering::Relaxed);
+        }
+
+        let mut flushes = Vec::new();
+        {
+            let mut barriers = self.barriers.lock().expect("barrier lock poisoned");
+            while barriers.front().is_some_and(|(t, _)| *t < remaining_min) {
+                let (_, flush_id) = barriers.pop_front().expect("front checked");
+                flushes.push(flush_id);
+            }
+        }
+
+        let batches = items.len();
+        let mut changes = Vec::with_capacity(items.iter().map(|(_, c)| c.len()).sum());
+        for (_, c) in items {
+            changes.extend(c);
+        }
+        let finished = self.closed.load(Ordering::SeqCst)
+            && remaining_min == u64::MAX
+            && changes.is_empty()
+            && self.barriers.lock().expect("barrier lock poisoned").is_empty();
+        Drained { changes, batches, flushes, finished }
+    }
+
+    /// Pending update batches across all shards.
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Deepest the queue (summed across shards) ever got.
+    pub fn max_depth(&self) -> u64 {
+        self.max_depth.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard pending depths — the bench artifact's shard-balance view.
+    pub fn per_shard_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().expect("shard lock poisoned").items.len()).collect()
+    }
+
+    /// Per-shard high-water marks.
+    pub fn per_shard_max_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().expect("shard lock poisoned").max_depth).collect()
+    }
+
+    /// Closes the queue: further pushes return [`ShardPush::Closed`] /
+    /// `false`; queued items stay drainable so the writer can finish.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.notify();
+    }
+
+    /// True once [`ShardedIngest::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    fn notify(&self) {
+        let mut signal = self.signal.lock().expect("signal lock poisoned");
+        signal.seq = signal.seq.wrapping_add(1);
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn upd(a: u32, b: u32) -> Vec<EdgeChange> {
+        vec![EdgeChange::insert(a, b)]
+    }
+
+    #[test]
+    fn drain_restores_global_admission_order() {
+        let q = ShardedIngest::new(4, 64, Backpressure::Block);
+        // Admission order across many shards...
+        for i in 0..32u32 {
+            assert!(matches!(
+                q.try_push_updates(&upd(i, i + 1), false),
+                ShardPush::Accepted { .. }
+            ));
+        }
+        // ...comes back as one FIFO stream.
+        let d = q.drain(64, Duration::ZERO);
+        assert_eq!(d.batches, 32);
+        let srcs: Vec<u32> = d.changes.iter().map(|c| c.src).collect();
+        assert_eq!(srcs, (0..32).collect::<Vec<_>>());
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn same_canonical_edge_always_routes_to_one_shard() {
+        let q = ShardedIngest::new(8, 8, Backpressure::Block);
+        // Undirected: (a, b) and (b, a) are one canonical edge.
+        assert_eq!(q.shard_of(&upd(3, 9), false), q.shard_of(&upd(9, 3), false));
+        // Directed: they are distinct keys (may or may not collide).
+        let s = q.shard_of(&upd(3, 9), true);
+        assert!(s < 8);
+    }
+
+    #[test]
+    fn capped_drain_takes_a_ticket_prefix() {
+        let q = ShardedIngest::new(4, 64, Backpressure::Block);
+        for i in 0..10u32 {
+            q.try_push_updates(&upd(i, i + 1), false);
+        }
+        let first = q.drain(4, Duration::ZERO);
+        let second = q.drain(64, Duration::ZERO);
+        let srcs: Vec<u32> =
+            first.changes.iter().chain(second.changes.iter()).map(|c| c.src).collect();
+        assert_eq!(srcs, (0..10).collect::<Vec<_>>(), "prefix property: no reordering across drains");
+    }
+
+    #[test]
+    fn barriers_release_only_behind_every_queued_update() {
+        let q = ShardedIngest::new(4, 64, Backpressure::Block);
+        q.try_push_updates(&upd(0, 1), false);
+        assert!(q.push_flush(77));
+        q.try_push_updates(&upd(2, 3), false);
+        // A capped drain that leaves the post-barrier update queued still
+        // releases the barrier (everything *before* it has drained)...
+        let d = q.drain(1, Duration::ZERO);
+        assert_eq!(d.batches, 1);
+        assert_eq!(d.flushes, vec![77]);
+        // ...and the rest follows.
+        let d = q.drain(16, Duration::ZERO);
+        assert_eq!(d.batches, 1);
+        assert!(d.flushes.is_empty());
+    }
+
+    #[test]
+    fn barrier_does_not_release_while_an_older_update_is_queued() {
+        let q = ShardedIngest::new(2, 64, Backpressure::Block);
+        q.try_push_updates(&upd(0, 1), false);
+        q.try_push_updates(&upd(2, 3), false);
+        assert!(q.push_flush(5));
+        let d = q.drain(1, Duration::ZERO);
+        assert!(d.flushes.is_empty(), "an update admitted before the barrier is still queued");
+        let d = q.drain(1, Duration::ZERO);
+        assert_eq!(d.flushes, vec![5]);
+    }
+
+    #[test]
+    fn block_mode_reports_full_instead_of_parking() {
+        let q = ShardedIngest::new(1, 1, Backpressure::Block);
+        assert!(matches!(q.try_push_updates(&upd(0, 1), false), ShardPush::Accepted { .. }));
+        assert_eq!(q.try_push_updates(&upd(0, 1), false), ShardPush::Full);
+        q.drain(16, Duration::ZERO);
+        assert!(matches!(q.try_push_updates(&upd(0, 1), false), ShardPush::Accepted { .. }));
+    }
+
+    #[test]
+    fn reject_mode_sheds_with_the_hint() {
+        let q = ShardedIngest::new(1, 1, Backpressure::Reject { retry_after_ms: 9 });
+        q.try_push_updates(&upd(0, 1), false);
+        assert_eq!(
+            q.try_push_updates(&upd(0, 1), false),
+            ShardPush::Rejected { retry_after_ms: 9 }
+        );
+    }
+
+    #[test]
+    fn drop_oldest_evicts_within_the_shard() {
+        let q = ShardedIngest::new(1, 2, Backpressure::DropOldest);
+        q.try_push_updates(&upd(0, 1), false);
+        q.try_push_updates(&upd(1, 2), false);
+        assert_eq!(q.try_push_updates(&upd(2, 3), false), ShardPush::AcceptedDropped { dropped: 1 });
+        let d = q.drain(16, Duration::ZERO);
+        let srcs: Vec<u32> = d.changes.iter().map(|c| c.src).collect();
+        assert_eq!(srcs, vec![1, 2], "oldest evicted, newest admitted");
+        assert_eq!(q.depth(), 0, "depth survives eviction accounting");
+    }
+
+    #[test]
+    fn close_unblocks_the_writer_and_refuses_new_work() {
+        let q = Arc::new(ShardedIngest::new(2, 4, Backpressure::Block));
+        let q2 = q.clone();
+        let writer = std::thread::spawn(move || q2.drain(16, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        let d = writer.join().unwrap();
+        assert!(d.finished, "closed + empty = finished");
+        assert_eq!(q.try_push_updates(&upd(0, 1), false), ShardPush::Closed);
+        assert!(!q.push_flush(1));
+    }
+
+    #[test]
+    fn drain_wakes_on_push_without_polling() {
+        let q = Arc::new(ShardedIngest::new(2, 4, Backpressure::Block));
+        let q2 = q.clone();
+        let writer = std::thread::spawn(move || q2.drain(16, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(20));
+        let t = std::time::Instant::now();
+        q.try_push_updates(&upd(0, 1), false);
+        let d = writer.join().unwrap();
+        assert_eq!(d.batches, 1);
+        assert!(t.elapsed() < Duration::from_secs(1), "woken by the push, not a timeout");
+    }
+
+    #[test]
+    fn depth_stats_track_highwater_and_per_shard_views() {
+        let q = ShardedIngest::new(2, 64, Backpressure::Block);
+        for i in 0..6u32 {
+            q.try_push_updates(&upd(i, i + 1), false);
+        }
+        assert_eq!(q.depth(), 6);
+        assert_eq!(q.max_depth(), 6);
+        assert_eq!(q.per_shard_depths().iter().sum::<usize>(), 6);
+        q.drain(16, Duration::ZERO);
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.max_depth(), 6, "high-water mark persists");
+        assert_eq!(q.per_shard_max_depths().iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        ShardedIngest::new(0, 1, Backpressure::Block);
+    }
+}

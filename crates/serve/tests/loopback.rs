@@ -345,3 +345,150 @@ fn reject_mode_sheds_load_but_applies_what_it_admits() {
         assert!(session.engine().graph().has_edge(i, i + 1), "admitted update {i} applied");
     }
 }
+
+/// Protocol v2 end to end on one connection: the `hello` handshake reports
+/// the negotiated version and capacity facts, pipelined `Batch` frames carry
+/// the whole update stream without waiting on round trips, in-slot errors
+/// do not poison their neighbours, and the final state is bitwise equal to
+/// the single-threaded reference replay.
+#[test]
+fn pipelined_batch_frames_match_reference_bitwise() {
+    let batches = update_batches();
+    let expected = reference_outputs(&batches);
+
+    let handle = InkServer::bind(
+        "127.0.0.1:0",
+        StreamSession::new(engine()),
+        ServeConfig {
+            queue_capacity: 16,
+            backpressure: Backpressure::Block,
+            shards: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = InkClient::connect(handle.local_addr()).unwrap();
+
+    let hello = client.hello().unwrap();
+    assert_eq!(hello.version, ink_serve::PROTOCOL_VERSION);
+    assert_eq!(hello.num_vertices, N as u64);
+    assert_eq!(hello.feat_dim, 4, "output width of the 2-layer GCN");
+    assert_eq!(hello.shards, 4);
+
+    // Queue every update as its own pipelined Batch frame (update + read),
+    // then collect: responses must come back in request order, one Batch
+    // response per frame with per-slot answers in slot order.
+    for batch in &batches {
+        let frame =
+            Request::Batch(vec![Request::Update(batch.clone()), Request::Embedding(0)]);
+        client.queue(&frame).unwrap();
+    }
+    assert_eq!(client.in_flight(), BATCHES);
+    let mut acks = 0;
+    for _ in 0..BATCHES {
+        match client.recv().unwrap() {
+            Response::Batch(slots) => {
+                assert_eq!(slots.len(), 2);
+                assert!(matches!(slots[0], Response::Ack { .. }), "{:?}", slots[0]);
+                // Pipelined updates coalesce, so epochs do not map 1:1 onto
+                // raw-batch prefixes mid-stream — the bitwise anchor is the
+                // flushed final state below. Here: a well-formed read at a
+                // plausible epoch.
+                match &slots[1] {
+                    Response::Embedding { epoch, values } => {
+                        assert!(*epoch as usize <= BATCHES);
+                        assert_eq!(values.len(), 4);
+                    }
+                    other => panic!("read slot got {other:?}"),
+                }
+                acks += 1;
+            }
+            other => panic!("expected a Batch response, got {other:?}"),
+        }
+    }
+    assert_eq!(acks, BATCHES);
+
+    // Non-data-plane requests inside a batch answer as in-slot errors and
+    // leave their neighbours intact.
+    let slots = client
+        .batch(&[Request::Embedding(1), Request::Stats, Request::Embedding(2)])
+        .unwrap();
+    assert!(matches!(slots[0], Response::Embedding { .. }));
+    assert!(matches!(slots[1], Response::Error { .. }), "{:?}", slots[1]);
+    assert!(matches!(slots[2], Response::Embedding { .. }));
+
+    // After a barrier everything admitted above is visible; the snapshot is
+    // bitwise the reference replay of all 24 raw batches.
+    let epoch = client.flush().unwrap();
+    let want = expected.last().unwrap();
+    for v in 0..N as u32 {
+        let (e, values) = client.embedding(v).unwrap();
+        assert!(e >= epoch);
+        assert_eq!(values, want.row(v as usize), "vertex {v} bitwise at the final epoch");
+    }
+
+    // The batch instruments saw every frame and slot.
+    let families = ink_obs::parse::parse_prometheus(&client.metrics().unwrap()).unwrap();
+    let counter = |name: &str| {
+        families
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("missing {name}"))
+            .samples[0]
+            .value
+    };
+    assert_eq!(counter("ink_serve_batch_frames_total"), BATCHES as f64 + 1.0);
+    assert_eq!(counter("ink_serve_batched_requests_total"), 2.0 * BATCHES as f64 + 3.0);
+    drop(client);
+
+    let (session, _) = handle.shutdown().unwrap();
+    assert_eq!(session.engine().output().as_slice(), want.as_slice());
+}
+
+/// The partition-parallel backend behind the same wire protocol: a server
+/// bound with [`InkServer::bind_partitioned`] fed the identical update
+/// stream must publish epochs bitwise equal to the single-threaded
+/// reference (max aggregation makes incremental == full recompute exactly).
+#[test]
+fn partitioned_backend_matches_single_threaded_reference_bitwise() {
+    use ink_partition::{HashPartitioner, PartitionConfig, PartitionedInkStream};
+
+    let batches = update_batches();
+    let expected = reference_outputs(&batches);
+
+    let feats = sparse_power_law(&mut seeded_rng(FEAT_SEED), N, FEAT_DIM, 0.2, 0.9);
+    let parted = PartitionedInkStream::new(
+        model,
+        graph(),
+        feats,
+        HashPartitioner,
+        PartitionConfig { parts: 3, ..Default::default() },
+    )
+    .expect("partitioned bootstrap");
+    let handle = InkServer::bind_partitioned(
+        "127.0.0.1:0",
+        parted,
+        ServeConfig { queue_capacity: 8, backpressure: Backpressure::Block, ..ServeConfig::default() },
+    )
+    .unwrap();
+
+    let mut client = InkClient::connect(handle.local_addr()).unwrap();
+    for (i, batch) in batches.iter().enumerate() {
+        client.update(batch.clone()).unwrap().expect("block mode never rejects");
+        let epoch = client.flush().unwrap();
+        assert_eq!(epoch as usize, i + 1, "one epoch per flushed update");
+        let v = (i % N) as u32;
+        let (e, values) = client.embedding(v).unwrap();
+        assert_eq!(e, epoch);
+        assert_eq!(values, expected[e as usize].row(v as usize), "bitwise at epoch {e}");
+    }
+    drop(client);
+
+    let (parted, summary) = handle.shutdown().unwrap();
+    assert_eq!(summary.serve.epochs, BATCHES as u64);
+    assert_eq!(
+        parted.output().as_slice(),
+        expected.last().unwrap().as_slice(),
+        "partitioned final state equals the reference replay bitwise"
+    );
+}

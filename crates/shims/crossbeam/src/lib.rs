@@ -12,6 +12,8 @@ pub mod channel {
     pub use std::sync::mpsc::TrySendError;
     /// A timed receive failure, mirroring `crossbeam_channel::RecvTimeoutError`.
     pub use std::sync::mpsc::RecvTimeoutError;
+    /// A non-blocking receive failure, mirroring `crossbeam_channel::TryRecvError`.
+    pub use std::sync::mpsc::TryRecvError;
 
     /// Sending half of a bounded channel.
     pub struct Sender<T>(std::sync::mpsc::SyncSender<T>);
@@ -61,6 +63,12 @@ pub mod channel {
         /// all senders are gone.
         pub fn recv(&self) -> Result<T, std::sync::mpsc::RecvError> {
             self.0.recv()
+        }
+
+        /// Receives one value without blocking; errors when the channel is
+        /// empty or all senders are gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
         }
 
         /// Receives one value, giving up after `timeout`.

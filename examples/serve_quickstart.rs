@@ -1,13 +1,15 @@
 //! Serving quickstart: start an `ink-serve` server on a loopback port, then
-//! drive it from concurrent clients — one streaming edge updates, one
-//! querying embeddings and top-k neighbours against versioned snapshots.
+//! drive it with protocol v2 — a `hello` handshake, pipelined `Batch`
+//! frames streaming edge churn, and a concurrent reader querying versioned
+//! snapshots. The wire rules live in `docs/PROTOCOL.md`; the capacity knobs
+//! in README's "Capacity planning" section.
 //!
 //! Run with: `cargo run --release --example serve_quickstart`
 
 use ink_graph::generators::erdos_renyi;
 use ink_graph::EdgeChange;
 use ink_gnn::{Aggregator, Model};
-use ink_serve::{Backpressure, InkClient, InkServer, ServeConfig};
+use ink_serve::{Backpressure, InkClient, InkServer, Request, Response, ServeConfig};
 use ink_tensor::init::{seeded_rng, uniform};
 use inkstream::{InkStream, StreamSession, UpdateConfig};
 use rand::RngExt;
@@ -25,59 +27,96 @@ fn main() {
     let session = StreamSession::new(engine);
 
     // 2. Serve it. Port 0 picks an ephemeral port; Block backpressure makes
-    //    writers wait instead of shedding load.
+    //    writers wait instead of shedding load; 4 ingest shards spread the
+    //    admission locks across producer threads.
     let config = ServeConfig {
-        queue_capacity: 32,
+        queue_capacity: 64,
         backpressure: Backpressure::Block,
+        shards: 4,
         ..ServeConfig::default()
     };
     let handle = InkServer::bind("127.0.0.1:0", session, config).expect("bind");
     let addr = handle.local_addr();
     println!("serving on {addr}");
 
-    // 3. An update client streams edge churn; a flush barrier at the end
-    //    returns the epoch at which everything it sent is visible.
+    // 3. An update client on protocol v2: handshake first, then stream edge
+    //    churn as pipelined Batch frames — several frames in flight, no
+    //    round-trip wait between them. A flush barrier at the end returns
+    //    the epoch at which everything it sent is visible.
     let updater = std::thread::spawn(move || {
         let mut rng = seeded_rng(7);
         let mut client = InkClient::connect(addr).unwrap();
-        for _ in 0..20 {
-            let batch: Vec<EdgeChange> = (0..50)
-                .map(|i| {
-                    let src = rng.random_range(0..n);
-                    let dst = (src + 1 + rng.random_range(0..n - 1)) % n;
-                    if i % 2 == 0 {
-                        EdgeChange::insert(src, dst)
-                    } else {
-                        EdgeChange::remove(src, dst)
-                    }
+        let hello = client.hello().unwrap();
+        println!(
+            "updater: protocol v{}, |V| = {}, {} ingest shards",
+            hello.version, hello.num_vertices, hello.shards
+        );
+        const PIPELINE: usize = 4;
+        for round in 0..20 {
+            // One frame = 4 update requests of 50 edge ops each.
+            let updates: Vec<Request> = (0..4)
+                .map(|_| {
+                    Request::Update(
+                        (0..50)
+                            .map(|i| {
+                                let src = rng.random_range(0..n);
+                                let dst = (src + 1 + rng.random_range(0..n - 1)) % n;
+                                if i % 2 == 0 {
+                                    EdgeChange::insert(src, dst)
+                                } else {
+                                    EdgeChange::remove(src, dst)
+                                }
+                            })
+                            .collect(),
+                    )
                 })
                 .collect();
-            client.update(batch).unwrap().expect("block mode never rejects");
+            client.queue(&Request::Batch(updates)).unwrap();
+            // Keep PIPELINE frames in flight; collect the oldest response
+            // once the window is full.
+            if round >= PIPELINE {
+                match client.recv().unwrap() {
+                    Response::Batch(slots) => assert_eq!(slots.len(), 4),
+                    other => panic!("expected a Batch response, got {other:?}"),
+                }
+            }
+        }
+        while client.in_flight() > 0 {
+            client.recv().unwrap();
         }
         let epoch = client.flush().unwrap();
-        println!("updater: 20 batches flushed, all visible at epoch {epoch}");
+        println!("updater: 20 pipelined frames (4000 edge ops) visible at epoch {epoch}");
     });
 
     // 4. A query client reads embeddings and top-k neighbours concurrently —
-    //    snapshot reads never block on in-flight updates.
+    //    snapshot reads never block on in-flight updates. `batch` packs the
+    //    reads into one frame (one round trip for all three).
     let querier = std::thread::spawn(move || {
         let mut client = InkClient::connect(addr).unwrap();
-        for v in [0u32, 17, 42] {
-            let (epoch, emb) = client.embedding(v).unwrap();
-            let (_, similar) = client.top_k(v, 3).unwrap();
-            println!(
-                "querier: vertex {v} @ epoch {epoch}: |h| = {:.3}, nearest = {:?}",
-                emb.iter().map(|x| x * x).sum::<f32>().sqrt(),
-                similar.iter().map(|&(u, _)| u).collect::<Vec<_>>(),
-            );
+        let reqs: Vec<Request> =
+            [0u32, 17, 42].iter().map(|&v| Request::Embedding(v)).collect();
+        for slot in client.batch(&reqs).unwrap() {
+            match slot {
+                Response::Embedding { epoch, values } => println!(
+                    "querier: embedding @ epoch {epoch}: |h| = {:.3}",
+                    values.iter().map(|x| x * x).sum::<f32>().sqrt()
+                ),
+                other => panic!("unexpected slot {other:?}"),
+            }
         }
+        let (epoch, similar) = client.top_k(0, 3).unwrap();
+        println!(
+            "querier: vertex 0 @ epoch {epoch}: nearest = {:?}",
+            similar.iter().map(|&(u, _)| u).collect::<Vec<_>>(),
+        );
     });
 
     updater.join().unwrap();
     querier.join().unwrap();
 
-    // 5. Graceful shutdown drains the queue and returns the session with the
-    //    serving metrics folded into its summary.
+    // 5. Graceful shutdown drains the shards and returns the session with
+    //    the serving metrics folded into its summary. Coalescing shows up
+    //    here: received edge ops collapse into far fewer applied events.
     let (session, summary) = handle.shutdown().expect("graceful shutdown");
     println!(
         "shutdown: {} epochs, {} changes coalesced to {}, {} queries (p99 {:?})",
