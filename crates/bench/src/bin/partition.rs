@@ -19,7 +19,8 @@ use ink_graph::generators::rmat;
 use ink_graph::generators::rmat::RmatParams;
 use ink_gnn::Aggregator;
 use ink_partition::{
-    GreedyEdgeCut, HashPartitioner, PartitionConfig, PartitionedInkStream, Partitioner,
+    ApplyExecutor, GreedyEdgeCut, HashPartitioner, PartitionConfig, PartitionedInkStream,
+    Partitioner,
 };
 use ink_tensor::init::{seeded_rng, sparse_power_law};
 use inkstream::json::rounded;
@@ -139,6 +140,72 @@ fn main() {
         }
     }
 
+    // ---- Executor A/B: persistent worker pool vs per-round scoped spawn ----
+    // Small deltas make the per-round thread orchestration cost visible: at
+    // |ΔG|=8 the per-partition work is tiny, so the scoped-spawn executor's
+    // fresh threads per step (parts × steps × layers of them per ingest)
+    // dominate the round. The pool replaces every spawn with a condvar wake
+    // of an already-parked worker; this series is the raw-apply events/s of
+    // the two executors on the identical stream.
+    let small_batch = 8usize;
+    let small_rounds = if opts.quick { 40 } else { 200 };
+    let small_deltas = scenarios(&graph, small_batch, small_rounds, SEED ^ 0xab);
+    let small_events: u64 = small_deltas.iter().map(|d| d.len() as u64).sum();
+    let mut replay = InkStream::new(factory(), graph.clone(), features.clone(), cfg).unwrap();
+    for d in &small_deltas {
+        replay.apply_delta(d);
+    }
+    let mut ab = Vec::new();
+    let mut ab_rates = [0.0f64; 2];
+    for (i, (ename, executor)) in
+        [("pool", ApplyExecutor::Pool), ("scoped_spawn", ApplyExecutor::ScopedSpawn)]
+            .into_iter()
+            .enumerate()
+    {
+        let pcfg =
+            PartitionConfig { parts: 4, update: cfg, executor, ..Default::default() };
+        let mut parted = PartitionedInkStream::new(
+            factory,
+            graph.clone(),
+            features.clone(),
+            HashPartitioner,
+            pcfg,
+        )
+        .unwrap();
+        let mut us: Vec<f64> = Vec::with_capacity(small_deltas.len());
+        let t0 = Instant::now();
+        for d in &small_deltas {
+            let t = Instant::now();
+            parted.apply_delta(d);
+            us.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            &parted.output(),
+            replay.output(),
+            "{ename} executor diverged from the single-engine replay"
+        );
+        let events_per_s = small_events as f64 / wall;
+        ab_rates[i] = events_per_s;
+        let mean = us.iter().sum::<f64>() / us.len() as f64;
+        eprintln!(
+            "  executor {ename:>12}: |ΔG|={small_batch} x {small_rounds} rounds -> \
+             {events_per_s:.0} raw-apply events/s (mean {mean:.1}µs/round)"
+        );
+        us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ab.push(Json::obj([
+            ("executor", Json::from(ename)),
+            ("parts", Json::from(4usize)),
+            ("batch", Json::from(small_batch)),
+            ("rounds", Json::from(small_rounds)),
+            ("events", Json::from(small_events)),
+            ("wall_s", rounded(wall, 4)),
+            ("raw_apply_events_per_s", rounded(events_per_s, 1)),
+            ("latency_us", latency_us(&us)),
+        ]));
+    }
+    eprintln!("  pool vs scoped-spawn: {:.2}x at |ΔG|={small_batch}", ab_rates[0] / ab_rates[1]);
+
     let doc = Json::obj([
         ("bench", Json::from("partition")),
         ("model", Json::from("GCN")),
@@ -151,6 +218,8 @@ fn main() {
         ("ingests", Json::from(ingests)),
         ("single_mean_us", rounded(single_mean, 3)),
         ("configs", Json::Arr(rows)),
+        ("executor_ab", Json::Arr(ab)),
+        ("pool_vs_scoped_spawn", rounded(ab_rates[0] / ab_rates[1], 3)),
     ]);
     write_results("partition", &doc);
     if let Some(registry) = prom_registry {

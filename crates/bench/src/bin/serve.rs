@@ -25,6 +25,7 @@ use ink_bench::{latency_us, write_metrics, write_results, BenchOpts, ModelKind};
 use ink_graph::generators::erdos_renyi;
 use ink_graph::EdgeChange;
 use ink_gnn::Aggregator;
+use ink_partition::{HashPartitioner, PartitionConfig, PartitionedInkStream};
 use ink_serve::{InkClient, InkServer, Request, Response, ServeConfig, ServerHandle};
 use ink_tensor::init::{seeded_rng, sparse_power_law};
 use inkstream::{InkStream, Json, StreamSession, UpdateConfig};
@@ -284,6 +285,45 @@ fn run_v1(
     V1Result { lat_us, frames, wall }
 }
 
+/// Phase 3 workload: globally unique inserts, so the writer's coalescing
+/// window never collapses anything — `events_applied == events_received` and
+/// the applied-events/s series measures the raw apply path (queue drain →
+/// route → engine rounds → publish), not admission or coalescing wins.
+fn unique_edge_batches(n: u32, frames: usize) -> Vec<Vec<EdgeChange>> {
+    let mut k = 0u64;
+    (0..frames)
+        .map(|_| {
+            (0..BATCH)
+                .map(|_| {
+                    let src = (k % n as u64) as u32;
+                    let hop = 1 + ((k / n as u64) % (n as u64 - 1)) as u32;
+                    k += 1;
+                    EdgeChange::insert(src, (src + hop) % n)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Drives the whole unique-edge stream through one pipelined connection
+/// (bounded in-flight window) and stops the clock after a flush barrier, so
+/// the rate is apply-complete, not enqueue-complete.
+fn drive_apply(addr: std::net::SocketAddr, batches: &[Vec<EdgeChange>]) -> io::Result<Duration> {
+    let mut client = InkClient::connect(addr)?;
+    let t0 = Instant::now();
+    for batch in batches {
+        client.queue(&Request::Update(batch.clone()))?;
+        while client.in_flight() > 128 {
+            client.recv()?;
+        }
+    }
+    while client.in_flight() > 0 {
+        client.recv()?;
+    }
+    client.flush()?;
+    Ok(t0.elapsed())
+}
+
 fn main() {
     let opts = BenchOpts::from_env();
     let n = ((10_000.0 * opts.scale) as usize).max(1_000);
@@ -354,6 +394,80 @@ fn main() {
         v2_summary.serve.events_received,
     );
 
+    // ---- Phase 3: raw apply throughput, pipelined vs single-writer. ----
+    // Partitioned backend, unique-edge stream (zero coalescing): the series
+    // isolates the writer's apply path. Pipelining overlaps drain + coalesce
+    // + routing (stage A) with engine rounds + publish (stage B), so the
+    // applied-events/s ceiling moves even on one core when stage A's work is
+    // a real fraction of the epoch.
+    let apply_parts = 4usize;
+    let apply_frames = if opts.quick { 400 } else { 2000 };
+    let apply_batches = unique_edge_batches(n as u32, apply_frames);
+    let hidden = opts.hidden;
+    let mut apply_rows: Vec<(&str, Json)> = Vec::new();
+    let mut apply_rates = [0.0f64; 2];
+    for (i, (mode, pipelined)) in
+        [("pipelined", true), ("single_writer", false)].into_iter().enumerate()
+    {
+        let mut prng = seeded_rng(SEED);
+        let pgraph = erdos_renyi(&mut prng, n, edges);
+        let pfeats = sparse_power_law(&mut prng, n, FEAT_DIM, 0.2, 0.9);
+        let parted = PartitionedInkStream::new(
+            move || {
+                let mut mr = seeded_rng(SEED ^ 0xA11);
+                ink_gnn::Model::gcn(&mut mr, &[FEAT_DIM, hidden, hidden], Aggregator::Max)
+            },
+            pgraph,
+            pfeats,
+            HashPartitioner,
+            PartitionConfig { parts: apply_parts, ..Default::default() },
+        )
+        .expect("partitioned bootstrap");
+        // max_drain bounds the epoch at 64 batches so both modes form many
+        // comparable epochs instead of swallowing the backlog whole — the
+        // series measures steady-state apply, not one giant batch.
+        let config = ServeConfig {
+            queue_capacity: 1024,
+            shards: 4,
+            max_drain: 64,
+            pipelined,
+            ..ServeConfig::default()
+        };
+        let handle =
+            InkServer::bind_partitioned("127.0.0.1:0", parted, config).expect("bind apply");
+        let wall = drive_apply(handle.local_addr(), &apply_batches).expect("apply driver");
+        let (_parted, summary) = handle.shutdown().expect("apply shutdown");
+        let applied = summary.serve.events_applied;
+        let wall_s = wall.as_secs_f64();
+        let per_s = applied as f64 / wall_s;
+        apply_rates[i] = per_s;
+        eprintln!(
+            "  apply[{mode}]: {applied} events ({} epochs) in {wall_s:.2}s -> \
+             {per_s:.0} applied events/s",
+            summary.serve.epochs
+        );
+        apply_rows.push((
+            mode,
+            Json::obj([
+                ("applied_events", Json::from(applied)),
+                ("received_events", Json::from(summary.serve.events_received)),
+                ("epochs", Json::from(summary.serve.epochs)),
+                ("wall_s", inkstream::json::rounded(wall_s, 3)),
+                ("applied_events_per_s", inkstream::json::rounded(per_s, 1)),
+                ("server", summary.serve.to_json()),
+            ]),
+        ));
+    }
+    let apply_ratio = apply_rates[0] / apply_rates[1];
+    eprintln!("  apply: pipelined vs single-writer {apply_ratio:.2}x");
+    let mut apply_doc = vec![
+        ("parts", Json::from(apply_parts)),
+        ("frames", Json::from(apply_frames)),
+        ("batch", Json::from(BATCH)),
+        ("pipelined_vs_single_writer", inkstream::json::rounded(apply_ratio, 3)),
+    ];
+    apply_doc.extend(apply_rows);
+
     let doc = Json::obj([
         ("bench", Json::from("serve")),
         ("protocol_version", Json::from(2u64)),
@@ -403,6 +517,7 @@ fn main() {
                 ("server", v2_summary.serve.to_json()),
             ]),
         ),
+        ("apply", Json::obj(apply_doc)),
         ("speedup_vs_v1", inkstream::json::rounded(speedup, 2)),
         ("pr3_reference_edge_ops_per_s", inkstream::json::rounded(pr3_reference_ops_per_s, 1)),
         (
@@ -422,5 +537,16 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("throughput floor OK: {v2_ops_per_s:.0} >= {floor:.0} edge-ops/s");
+    }
+    // Apply floor: the pipelined raw-apply series must sustain the floor —
+    // a regression in the pool, the router snapshot, or the pipeline handoff
+    // shows up here even when admission throughput is unaffected.
+    if let Ok(floor) = std::env::var("INK_BENCH_MIN_APPLY_PER_S") {
+        let floor: f64 = floor.parse().expect("INK_BENCH_MIN_APPLY_PER_S must be a float");
+        if apply_rates[0] < floor {
+            eprintln!("FAIL: pipelined apply {:.0} events/s < floor {floor:.0}", apply_rates[0]);
+            std::process::exit(1);
+        }
+        eprintln!("apply floor OK: {:.0} >= {floor:.0} applied events/s", apply_rates[0]);
     }
 }

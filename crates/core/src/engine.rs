@@ -1496,6 +1496,25 @@ impl InkStream {
         report
     }
 
+    /// Abandons an in-flight round without folding a report, reclaiming the
+    /// scratch pool when possible. Used by the partitioned driver to restore
+    /// the "no active round" invariant after a sibling worker panicked
+    /// mid-step — the cached state is then stale and must be rebuilt with
+    /// [`InkStream::adopt_state`] (or a full resync) before the next update.
+    /// No-op when no round is active (e.g. on the engine that panicked, whose
+    /// round state was consumed by the unwind).
+    pub fn round_abort(&mut self) {
+        if let Some(rs) = self.round.take() {
+            self.scratch = rs.scratch;
+        }
+    }
+
+    /// Whether a BSP round is currently in flight.
+    #[inline]
+    pub fn round_active(&self) -> bool {
+        self.round.is_some()
+    }
+
     /// Installs (or clears, with `None`) the ownership mask for partitioned
     /// operation. With a mask, this engine updates α/h rows and generates
     /// events only for vertices marked `true`; everything else is a ghost

@@ -30,6 +30,15 @@ pub enum InkError {
         /// The rendered `std::io::Error`.
         detail: String,
     },
+    /// A partition worker thread panicked mid-round. The worker pool is
+    /// poisoned: every subsequent round fails fast with this error until
+    /// the session is rebuilt via `resync()`.
+    WorkerPanic {
+        /// Index of the partition whose worker panicked.
+        partition: usize,
+        /// Rendered panic payload, when it was a string.
+        detail: String,
+    },
 }
 
 impl InkError {
@@ -58,6 +67,10 @@ impl std::fmt::Display for InkError {
             InkError::Truncated => write!(f, "checkpoint truncated: stream ended mid-section"),
             InkError::Corrupt { detail } => write!(f, "corrupt checkpoint: {detail}"),
             InkError::Io { detail } => write!(f, "checkpoint I/O error: {detail}"),
+            InkError::WorkerPanic { partition, detail } => write!(
+                f,
+                "partition {partition} worker panicked ({detail}); pool poisoned until resync"
+            ),
         }
     }
 }
@@ -77,6 +90,8 @@ mod tests {
         assert!(InkError::Truncated.to_string().contains("truncated"));
         assert!(InkError::Corrupt { detail: "why".into() }.to_string().contains("why"));
         assert!(InkError::Io { detail: "disk".into() }.to_string().contains("disk"));
+        let p = InkError::WorkerPanic { partition: 3, detail: "boom".into() }.to_string();
+        assert!(p.contains('3') && p.contains("boom") && p.contains("resync"));
     }
 
     #[test]

@@ -278,6 +278,14 @@ pub struct ServeStats {
     /// Per-query service latency percentiles over a rolling window:
     /// (p50, p90, p99, max).
     pub query_latency: (Duration, Duration, Duration, Duration),
+    /// Admission-to-apply latency percentiles — how long an admitted update
+    /// batch waited in the ingest queue plus pipeline before the epoch that
+    /// contains it was published: (p50, p90, p99, max). Separates queueing
+    /// wait from service time.
+    pub admission_wait: (Duration, Duration, Duration, Duration),
+    /// Apply-only latency percentiles — engine ingest + snapshot publish per
+    /// non-empty epoch, excluding any queueing: (p50, p90, p99, max).
+    pub apply_latency: (Duration, Duration, Duration, Duration),
 }
 
 impl ServeStats {
@@ -298,6 +306,8 @@ impl ServeStats {
             ("max_queue_depth", Json::from(self.max_queue_depth)),
             ("lock_poisoned", Json::from(self.lock_poisoned)),
             ("query_latency_us", latency_json(&self.query_latency)),
+            ("admission_wait_us", latency_json(&self.admission_wait)),
+            ("apply_latency_us", latency_json(&self.apply_latency)),
         ])
     }
 }

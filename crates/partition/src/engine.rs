@@ -33,8 +33,9 @@
 
 use crate::metrics::PartitionInstruments;
 use crate::partitioner::Partitioner;
+use crate::pool::{StepOp, WorkerPool};
 use crate::replication::ReplicationTable;
-use crate::router::DeltaRouter;
+use crate::router::{DeltaRouter, PreRouted, RoutingView};
 use ink_graph::stats::{partition_quality, PartitionQuality};
 use ink_graph::{DeltaBatch, DynGraph, EdgeChange, EdgeOp, FxHashMap, VertexId};
 use ink_gnn::Model;
@@ -60,6 +61,19 @@ pub type ModelFactory = Box<dyn Fn() -> Model + Send + Sync>;
 /// targeting the vertex whose message changed.
 pub type HooksFactory = Box<dyn Fn() -> Box<dyn UserHooks> + Send + Sync>;
 
+/// How a parallel round step executes across the partition engines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ApplyExecutor {
+    /// Persistent parked worker threads woken per step over a
+    /// condvar/epoch-counter barrier ([`crate::pool::WorkerPool`]). Panics
+    /// poison the pool into [`InkError::WorkerPanic`] instead of aborting.
+    #[default]
+    Pool,
+    /// Legacy per-round `std::thread::scope` spawns — kept for A/B
+    /// benchmarking against the pool; a worker panic aborts the process.
+    ScopedSpawn,
+}
+
 /// Tunables of the partitioned driver.
 #[derive(Clone, Copy, Debug)]
 pub struct PartitionConfig {
@@ -69,9 +83,17 @@ pub struct PartitionConfig {
     pub update: UpdateConfig,
     /// Session-layer settings: ingest batching, drift policy, latency window.
     pub session: SessionConfig,
-    /// Step the partitions on scoped threads (`false` = serial, same
+    /// Step the partitions on worker threads (`false` = serial, same
     /// results — parallelism only trades wall-clock).
     pub parallel: bool,
+    /// Which parallel executor drives round steps (ignored when
+    /// `parallel` is false).
+    pub executor: ApplyExecutor,
+    /// Pool worker-thread count (`None` = one per partition, clamped to
+    /// `[1, parts]`). The `INK_PARTITION_POOL_WORKERS` environment variable
+    /// overrides a `None` here — CI uses it to pin the degenerate 1-worker
+    /// config without code changes.
+    pub pool_workers: Option<usize>,
 }
 
 impl Default for PartitionConfig {
@@ -81,7 +103,37 @@ impl Default for PartitionConfig {
             update: UpdateConfig::default(),
             session: SessionConfig::default(),
             parallel: true,
+            executor: ApplyExecutor::Pool,
+            pool_workers: None,
         }
+    }
+}
+
+/// Failure modes of a partitioned ingest: the drift auditor breached under a
+/// `Fail` policy, or a pool worker panicked mid-round (the session then
+/// fails fast until [`PartitionedInkStream::resync`]).
+#[derive(Clone, Debug)]
+pub enum PartitionError {
+    /// Drift audit breach with a `Fail` action.
+    Drift(DriftError),
+    /// A pool worker panicked (always [`InkError::WorkerPanic`]).
+    Worker(InkError),
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::Drift(e) => write!(f, "{e}"),
+            PartitionError::Worker(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl From<DriftError> for PartitionError {
+    fn from(e: DriftError) -> Self {
+        PartitionError::Drift(e)
     }
 }
 
@@ -163,6 +215,9 @@ pub struct PartitionedInkStream {
     walls: Vec<Duration>,
     registry: Arc<MetricsRegistry>,
     inst: PartitionInstruments,
+    /// Persistent worker pool (the default parallel executor). `None` when
+    /// stepping serially or via the legacy scoped-spawn arm.
+    pool: Option<WorkerPool>,
 }
 
 impl PartitionedInkStream {
@@ -242,6 +297,17 @@ impl PartitionedInkStream {
         inst.replicas.set_u64(table.total_mirrors() as u64);
         let sample_state = cfg.session.drift.seed;
         let router = DeltaRouter::new(assignment, parts, graph.is_directed());
+        let pool = (cfg.parallel && cfg.executor == ApplyExecutor::Pool).then(|| {
+            let workers = cfg
+                .pool_workers
+                .or_else(|| {
+                    std::env::var("INK_PARTITION_POOL_WORKERS")
+                        .ok()
+                        .and_then(|s| s.parse().ok())
+                })
+                .unwrap_or(parts);
+            WorkerPool::new(parts, workers, &registry)
+        });
         Ok(Self {
             engines,
             router,
@@ -265,6 +331,7 @@ impl PartitionedInkStream {
             walls: vec![Duration::ZERO; parts],
             registry,
             inst,
+            pool,
         })
     }
 
@@ -364,8 +431,23 @@ impl PartitionedInkStream {
 
     /// Applies one batch of edge changes as a partitioned round. Same
     /// contract as [`InkStream::apply_delta`].
+    ///
+    /// # Panics
+    ///
+    /// When the worker pool is poisoned by an earlier panic — callers that
+    /// must survive a worker panic (the serving writer) use
+    /// [`PartitionedInkStream::try_apply_delta`] instead.
     pub fn apply_delta(&mut self, delta: &DeltaBatch) -> UpdateReport {
-        self.round(delta, &[]).expect("edge-only rounds cannot fail validation")
+        self.try_apply_delta(delta)
+            .expect("edge-only rounds cannot fail validation on a healthy pool")
+    }
+
+    /// Fallible [`PartitionedInkStream::apply_delta`]: surfaces a pool
+    /// worker panic as [`InkError::WorkerPanic`] instead of unwinding the
+    /// caller. After such an error the pool is poisoned — every further call
+    /// fails fast with the same error until [`PartitionedInkStream::resync`].
+    pub fn try_apply_delta(&mut self, delta: &DeltaBatch) -> Result<UpdateReport, InkError> {
+        self.round(delta, &[], None)
     }
 
     /// Updates one vertex's input feature everywhere (ghost copies included)
@@ -376,7 +458,7 @@ impl PartitionedInkStream {
         v: VertexId,
         new_feat: &[f32],
     ) -> Result<UpdateReport, InkError> {
-        self.round(&DeltaBatch::default(), &[(v, new_feat.to_vec())])
+        self.round(&DeltaBatch::default(), &[(v, new_feat.to_vec())], None)
     }
 
     /// Adds a vertex with `feat` and edges to `neighbors`; ownership comes
@@ -443,6 +525,12 @@ impl PartitionedInkStream {
     /// equal to full recomputation.
     pub fn resync(&mut self) -> ResyncReport {
         let t0 = Instant::now();
+        // A worker panic can leave sibling engines with rounds still open
+        // (the driver aborts them on the error path, but belt-and-braces:
+        // adopt_state below asserts no round is active).
+        for e in &mut self.engines {
+            e.round_abort();
+        }
         let fresh = InkStream::with_hooks(
             (self.model_factory)(),
             self.graph.clone(),
@@ -465,16 +553,30 @@ impl PartitionedInkStream {
             e.adopt_state(state.clone()).expect("resync state matches engine shapes");
             f32_written += per_engine;
         }
+        // Every engine's state is authoritative again; the pool may serve.
+        if let Some(pool) = &self.pool {
+            pool.clear_poison();
+        }
         ResyncReport { elapsed: t0.elapsed(), f32_written }
     }
 
     /// One partitioned round: see the module docs for the schedule.
+    /// `pre_routed` is an optional pre-computed routing of `delta` (one
+    /// delta per partition, from a current-generation [`RoutingView`]) — the
+    /// pipelined serve writer routes epoch N+1 off-thread while this driver
+    /// applies epoch N. Falls back to live routing when absent or misshapen.
     fn round(
         &mut self,
         delta: &DeltaBatch,
         fx: &[(VertexId, Vec<f32>)],
+        pre_routed: Option<&[DeltaBatch]>,
     ) -> Result<UpdateReport, InkError> {
         let t0 = Instant::now();
+        // Fail fast on a poisoned pool before mutating any graph replica —
+        // the driver and engine graphs must stay in lockstep for resync.
+        if let Some(p) = self.pool.as_ref().and_then(|pool| pool.poisoned()) {
+            return Err(InkError::WorkerPanic { partition: p.partition, detail: p.detail });
+        }
         // Validate feature updates before any mutation anywhere.
         let in_dim = self.engines[0].model().in_dim();
         for (v, feat) in fx {
@@ -549,16 +651,25 @@ impl PartitionedInkStream {
 
         // Open the round everywhere. Feature updates go to every engine
         // (ghost feature rows stay fresh for audits); each engine's
-        // ownership mask decides who actually seeds propagation.
-        let routed = self.router.route(delta);
-        for (e, d) in self.engines.iter_mut().zip(&routed) {
+        // ownership mask decides who actually seeds propagation. Routing is
+        // a pure function of the assignment, so a pre-routed split from a
+        // current-generation view is byte-identical to routing here.
+        let routed_local;
+        let routed: &[DeltaBatch] = match pre_routed {
+            Some(r) if r.len() == self.cfg.parts => r,
+            _ => {
+                routed_local = self.router.route(delta);
+                &routed_local
+            }
+        };
+        for (e, d) in self.engines.iter_mut().zip(routed) {
             e.round_begin(d, fx).expect("validated against the global replica");
         }
 
         // BSP sweep: rescale → boundary exchange → process, per layer.
         let mut buf: Vec<(VertexId, Vec<f32>)> = Vec::new();
         for l in 0..k {
-            self.step(|e| e.round_rescale(l));
+            self.step(StepOp::Rescale(l))?;
             for p in 0..self.cfg.parts {
                 buf.clear();
                 self.engines[p].round_changed_rows(l, &mut buf);
@@ -575,7 +686,7 @@ impl PartitionedInkStream {
                     }
                 }
             }
-            self.step(|e| e.round_process(l));
+            self.step(StepOp::Process(l))?;
         }
 
         let mut report = UpdateReport::default();
@@ -593,17 +704,35 @@ impl PartitionedInkStream {
         Ok(report)
     }
 
-    /// Runs `f` over every engine — scoped threads when configured — and
-    /// accumulates per-partition wall time plus the straggler skew.
-    fn step(&mut self, f: impl Fn(&mut InkStream) + Sync) {
-        let durations: Vec<Duration> = if self.cfg.parallel && self.engines.len() > 1 {
+    /// Runs `op` over every engine — through the persistent pool by default,
+    /// legacy scoped threads or serially when configured — and accumulates
+    /// per-partition wall time plus the straggler skew. On a worker panic
+    /// the surviving engines' rounds are aborted (restoring the "no active
+    /// round" invariant `resync` relies on) and the typed error propagates.
+    fn step(&mut self, op: StepOp) -> Result<(), InkError> {
+        let durations: Vec<Duration> = if let Some(pool) = &self.pool {
+            match pool.step(&mut self.engines, op) {
+                Ok(d) => d,
+                Err(p) => {
+                    for e in &mut self.engines {
+                        e.round_abort();
+                    }
+                    return Err(InkError::WorkerPanic {
+                        partition: p.partition,
+                        detail: p.detail,
+                    });
+                }
+            }
+        } else if self.cfg.parallel && self.engines.len() > 1 {
             let mut out = vec![Duration::ZERO; self.engines.len()];
             std::thread::scope(|s| {
                 for (e, slot) in self.engines.iter_mut().zip(out.iter_mut()) {
-                    let f = &f;
                     s.spawn(move || {
                         let t = Instant::now();
-                        f(e);
+                        match op {
+                            StepOp::Rescale(l) => e.round_rescale(l),
+                            StepOp::Process(l) => e.round_process(l),
+                        }
                         *slot = t.elapsed();
                     });
                 }
@@ -614,7 +743,10 @@ impl PartitionedInkStream {
                 .iter_mut()
                 .map(|e| {
                     let t = Instant::now();
-                    f(e);
+                    match op {
+                        StepOp::Rescale(l) => e.round_rescale(l),
+                        StepOp::Process(l) => e.round_process(l),
+                    }
                     t.elapsed()
                 })
                 .collect()
@@ -631,19 +763,52 @@ impl PartitionedInkStream {
         if self.engines.len() > 1 {
             self.inst.step_skew.record((max - min).as_nanos() as u64);
         }
+        Ok(())
+    }
+
+    /// A [`RoutingView`] snapshot of the current assignment + ingest chunk
+    /// size: the pipelined serve writer routes the next epoch's delta with it
+    /// on another thread, then feeds the result to
+    /// [`PartitionedInkStream::ingest_prerouted`].
+    pub fn routing_view(&self) -> RoutingView {
+        self.router.view(self.cfg.session.max_batch)
     }
 
     /// Applies a delta split into `max_batch` chunks, then runs whichever
     /// audit the drift policy schedules — the partitioned analogue of
     /// [`inkstream::StreamSession::ingest`], with audits running per
     /// partition on owned vertices plus a mirror-consistency sweep.
-    pub fn ingest(&mut self, delta: &DeltaBatch) -> Result<IngestReport, DriftError> {
+    pub fn ingest(&mut self, delta: &DeltaBatch) -> Result<IngestReport, PartitionError> {
+        self.ingest_inner(delta, None)
+    }
+
+    /// [`PartitionedInkStream::ingest`] with the routing work already done:
+    /// `pre` comes from [`RoutingView::route`] on a snapshot taken via
+    /// [`PartitionedInkStream::routing_view`]. A stale snapshot (vertex
+    /// added since) is detected by generation and silently re-routed live —
+    /// the result is identical either way, pre-routing only moves the work
+    /// off this thread.
+    pub fn ingest_prerouted(
+        &mut self,
+        delta: &DeltaBatch,
+        pre: &PreRouted,
+    ) -> Result<IngestReport, PartitionError> {
+        let current = pre.generation == self.router.generation();
+        self.ingest_inner(delta, current.then_some(pre))
+    }
+
+    fn ingest_inner(
+        &mut self,
+        delta: &DeltaBatch,
+        pre: Option<&PreRouted>,
+    ) -> Result<IngestReport, PartitionError> {
         let t0 = Instant::now();
         let mut report = IngestReport::default();
-        for chunk in delta.changes().chunks(self.cfg.session.max_batch) {
+        for (i, chunk) in delta.changes().chunks(self.cfg.session.max_batch).enumerate() {
             let batch = DeltaBatch::new(chunk.to_vec());
+            let routed = pre.and_then(|p| p.chunks.get(i)).map(|v| v.as_slice());
             let t = Instant::now();
-            let r = self.apply_delta(&batch);
+            let r = self.round(&batch, &[], routed).map_err(PartitionError::Worker)?;
             let elapsed = t.elapsed();
             if self.latencies.len() == self.cfg.session.latency_window {
                 self.latencies.pop_front();
@@ -663,7 +828,7 @@ impl PartitionedInkStream {
 
         if let Some(err) = self.run_audit(&mut report) {
             report.elapsed = t0.elapsed();
-            return Err(DriftError { report, ..err });
+            return Err(PartitionError::Drift(DriftError { report, ..err }));
         }
         report.elapsed = t0.elapsed();
         Ok(report)
@@ -938,6 +1103,41 @@ mod tests {
         a.apply_delta(&delta);
         b.apply_delta(&delta);
         assert_eq!(a.output(), b.output());
+    }
+
+    #[test]
+    fn pool_scoped_spawn_and_narrow_pool_agree() {
+        let mut rng = seeded_rng(11);
+        let g = erdos_renyi(&mut rng, 22, 50);
+        let x = uniform(&mut rng, 22, 4, -1.0, 1.0);
+        let mk = |executor, pool_workers| {
+            PartitionedInkStream::new(
+                || gcn(9),
+                g.clone(),
+                x.clone(),
+                HashPartitioner,
+                PartitionConfig { parts: 4, executor, pool_workers, ..Default::default() },
+            )
+            .unwrap()
+        };
+        let mut pool = mk(ApplyExecutor::Pool, None);
+        let mut scoped = mk(ApplyExecutor::ScopedSpawn, None);
+        let mut narrow = mk(ApplyExecutor::Pool, Some(1));
+        assert_eq!(narrow.pool.as_ref().unwrap().workers(), 1);
+        assert_eq!(pool.pool.as_ref().unwrap().workers(), 4);
+        assert!(scoped.pool.is_none());
+        let delta = DeltaBatch::new(vec![
+            EdgeChange::insert(0, 13),
+            EdgeChange::insert(7, 19),
+            EdgeChange::remove(0, 13),
+        ]);
+        let rp = pool.apply_delta(&delta);
+        let rs = scoped.apply_delta(&delta);
+        let rn = narrow.apply_delta(&delta);
+        assert_eq!(pool.output(), scoped.output());
+        assert_eq!(pool.output(), narrow.output());
+        assert_eq!(rp.output_changed, rs.output_changed);
+        assert_eq!(rp.output_changed, rn.output_changed);
     }
 
     #[test]

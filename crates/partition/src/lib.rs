@@ -21,6 +21,9 @@
 //! * [`engine`] — [`PartitionedInkStream`]: the BSP driver stepping every
 //!   engine layer by layer with a boundary-row exchange in between, plus the
 //!   session layer (ingest batching, drift audits, resync, summary fold).
+//! * [`pool`] — [`pool::WorkerPool`]: one persistent, parked worker thread
+//!   per partition, woken per round step via condvar/epoch-counter barriers;
+//!   worker panics poison the pool into a typed error instead of aborting.
 //!
 //! ## Ownership model
 //!
@@ -66,10 +69,14 @@
 pub mod engine;
 pub mod metrics;
 pub mod partitioner;
+pub mod pool;
 pub mod replication;
 pub mod router;
 
-pub use engine::{PartitionConfig, PartitionSummary, PartitionedInkStream};
+pub use engine::{
+    ApplyExecutor, PartitionConfig, PartitionError, PartitionSummary, PartitionedInkStream,
+};
 pub use partitioner::{GreedyEdgeCut, HashPartitioner, Partitioner};
+pub use pool::{PoolPanic, StepOp, WorkerPool};
 pub use replication::ReplicationTable;
-pub use router::DeltaRouter;
+pub use router::{DeltaRouter, PreRouted, RoutingView};

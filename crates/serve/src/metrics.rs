@@ -42,10 +42,21 @@ pub struct ServerMetrics {
     /// Connection stalls from Block backpressure (a full shard paused one
     /// connection's frame processing until the next drain).
     pub stalls: Arc<Counter>,
+    /// Epochs whose backend apply reported an error (drift-audit breach
+    /// under a `Fail` policy, or a poisoned partition worker pool). The
+    /// server keeps serving the last good snapshot either way.
+    pub apply_errors: Arc<Counter>,
     /// Live client connections.
     pub connections: Arc<Gauge>,
     /// Per-query service latency in nanoseconds.
     query_latency: Arc<Histogram>,
+    /// Admission-to-apply wait per drained update batch in nanoseconds —
+    /// time from shard admission until the epoch containing the batch was
+    /// published (queueing + pipeline wait).
+    pub admission_wait: Arc<Histogram>,
+    /// Apply-only service time per non-empty epoch in nanoseconds — engine
+    /// ingest plus snapshot publish, excluding any queueing.
+    pub apply_latency: Arc<Histogram>,
     /// Last published snapshot epoch (gauge mirror of the writer's counter,
     /// for scrapes).
     epochs: Arc<Gauge>,
@@ -96,10 +107,22 @@ impl ServerMetrics {
                 "ink_serve_conn_stalls_total",
                 "Connection stalls from Block backpressure (full shard paused one connection)",
             ),
+            apply_errors: registry.counter(
+                "ink_serve_apply_errors_total",
+                "Epochs whose backend apply reported an error (audit breach or poisoned pool)",
+            ),
             connections: registry.gauge("ink_serve_connections", "Live client connections"),
             query_latency: registry.histogram(
                 "ink_serve_query_latency_ns",
                 "Per-query service latency in nanoseconds",
+            ),
+            admission_wait: registry.histogram(
+                "ink_serve_admission_wait_ns",
+                "Admission-to-apply wait per drained update batch in nanoseconds",
+            ),
+            apply_latency: registry.histogram(
+                "ink_serve_apply_ns",
+                "Apply-only service time per non-empty epoch in nanoseconds",
             ),
             epochs: registry.gauge("ink_serve_epochs", "Last published snapshot epoch"),
             queue_depth: registry.gauge("ink_serve_queue_depth", "Ingest queue depth"),
@@ -165,8 +188,20 @@ impl ServerMetrics {
                 q(0.99),
                 Duration::from_nanos(self.query_latency.max()),
             ),
+            admission_wait: quantiles(&self.admission_wait),
+            apply_latency: quantiles(&self.apply_latency),
         }
     }
+}
+
+/// (p50, p90, p99, max) out of a latency histogram; the max is exact.
+fn quantiles(h: &Histogram) -> (Duration, Duration, Duration, Duration) {
+    (
+        Duration::from_nanos(h.quantile(0.50)),
+        Duration::from_nanos(h.quantile(0.90)),
+        Duration::from_nanos(h.quantile(0.99)),
+        Duration::from_nanos(h.max()),
+    )
 }
 
 #[cfg(test)]
@@ -183,8 +218,12 @@ mod tests {
         for i in 1..=100u64 {
             m.record_query(Duration::from_micros(i));
         }
+        m.admission_wait.record(Duration::from_micros(200).as_nanos() as u64);
+        m.apply_latency.record(Duration::from_micros(30).as_nanos() as u64);
         let s = m.serve_stats(7, 2, 9, 1);
         assert_eq!(s.updates_enqueued, 5);
+        assert_eq!(s.admission_wait.3, Duration::from_micros(200), "max is exact");
+        assert_eq!(s.apply_latency.3, Duration::from_micros(30), "max is exact");
         assert_eq!(s.queries, 100);
         assert_eq!(s.epochs, 7);
         assert_eq!(s.queue_depth, 2);

@@ -6,7 +6,7 @@
 //!
 //! * **event-loop thread** — one thread multiplexes the listener and every
 //!   client connection through [`mio::Poll`]. It assembles frames from
-//!   partial reads ([`crate::conn::Conn`]), decodes requests (protocol v1
+//!   partial reads (`conn::Conn`), decodes requests (protocol v1
 //!   frames and v2 [`Request::Batch`] containers alike), answers queries
 //!   straight from the current
 //!   [`inkstream::snapshot::EmbeddingSnapshot`] — embedding rows are
@@ -20,12 +20,19 @@
 //!   [`DeltaBatch`], applies it, and publishes a fresh snapshot epoch. It
 //!   parks on the queue's condvar between drains (no polling) and signals
 //!   the event loop through a [`mio::Waker`] when flush barriers resolve or
-//!   shard space frees up.
+//!   shard space frees up. With [`ServeConfig::pipelined`] (the default)
+//!   the writer splits in two: a **stager** thread drains, coalesces, and
+//!   (partitioned backend) pre-routes epoch N+1 while the apply thread is
+//!   still applying and publishing epoch N. The stages hand off prepared
+//!   epochs over a bounded single-slot channel, so the global
+//!   ticket order, epoch monotonicity, and flush-barrier semantics are
+//!   exactly those of the single-writer loop — pipelining only overlaps
+//!   the queue-side work with the engine-side work.
 //!
 //! Readers therefore never block on an in-flight update: a query served
 //! mid-apply simply sees the previous epoch. Backpressure is
 //! per-connection — a full shard under [`Backpressure::Block`] parks the
-//! offending connection's half-processed frame ([`crate::conn::PendingFrame`])
+//! offending connection's half-processed frame (`conn::PendingFrame`)
 //! and pauses reading it, while every other connection keeps being served.
 //! [`ServerHandle::shutdown`] closes the queue, lets the writer drain what
 //! was admitted, delivers the final flush acks, writes a checkpoint (when
@@ -42,7 +49,7 @@ use crate::queue::Backpressure;
 use crate::shard::{Drained, ShardPush, ShardedIngest};
 use ink_graph::{DeltaBatch, EdgeChange};
 use ink_obs::{MetricsRegistry, Tracer};
-use ink_partition::PartitionedInkStream;
+use ink_partition::{PartitionedInkStream, PreRouted, RoutingView};
 use ink_tensor::Matrix;
 use inkstream::snapshot::{EmbeddingSnapshot, SnapshotPublisher, SnapshotReader};
 use inkstream::{SessionSummary, StreamSession};
@@ -63,11 +70,6 @@ const WAKER: usize = 1;
 /// First token handed to a client connection.
 const FIRST_CONN: usize = 2;
 
-/// How long the writer parks on the ingest condvar before re-checking for
-/// shutdown. Pushes wake it immediately; this only bounds idle latency of
-/// the close signal.
-const WRITER_PARK: Duration = Duration::from_millis(250);
-
 /// Server tunables. See the README "Serving" section for a capacity-planning
 /// guide relating these to client counts and update rates.
 #[derive(Clone, Debug)]
@@ -84,6 +86,11 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Where the shutdown checkpoint goes (`None` disables it).
     pub checkpoint_path: Option<PathBuf>,
+    /// Two-stage writer: a stager thread drains + coalesces (+ pre-routes,
+    /// partitioned backend) the next epoch while the apply thread applies
+    /// the current one. `false` keeps the single-writer loop of record —
+    /// identical published epochs, no overlap.
+    pub pipelined: bool,
     /// Upper bound on one event-loop tick: the poll timeout used when no
     /// I/O is ready. Wakeups (new completions, freed shard space, shutdown)
     /// arrive eagerly through the waker; this only bounds the idle tick.
@@ -98,6 +105,7 @@ impl Default for ServeConfig {
             max_drain: 32,
             shards: 4,
             checkpoint_path: None,
+            pipelined: true,
             poll_interval: Duration::from_millis(50),
         }
     }
@@ -162,17 +170,27 @@ enum BackendKind {
 }
 
 impl BackendKind {
-    fn ingest(&mut self, batch: &DeltaBatch) {
+    /// Applies one coalesced batch; `routed` carries the stager's pre-routed
+    /// split when the backend is partitioned and the pipeline produced one.
+    /// Returns `false` on an apply error — a Fail drift-policy breach, or a
+    /// worker panic that poisoned the partition pool. The serving loop keeps
+    /// going either way (readers stay on the last good snapshot); errors are
+    /// tallied in `ink_serve_apply_errors_total`.
+    fn ingest(&mut self, batch: &DeltaBatch, routed: Option<&PreRouted>) -> bool {
         match self {
-            // A Fail drift policy surfaces through the summary's breach
-            // counters; the serving loop keeps going either way (the batch
-            // was applied before the audit ran).
-            BackendKind::Single(session) => {
-                let _ = session.ingest(batch);
-            }
-            BackendKind::Partitioned { part, .. } => {
-                let _ = part.ingest(batch);
-            }
+            BackendKind::Single(session) => session.ingest(batch).is_ok(),
+            BackendKind::Partitioned { part, .. } => match routed {
+                Some(pre) => part.ingest_prerouted(batch, pre).is_ok(),
+                None => part.ingest(batch).is_ok(),
+            },
+        }
+    }
+
+    /// A routing snapshot for the stager thread (partitioned backend only).
+    fn routing_view(&self) -> Option<RoutingView> {
+        match self {
+            BackendKind::Single(_) => None,
+            BackendKind::Partitioned { part, .. } => Some(part.routing_view()),
         }
     }
 
@@ -298,9 +316,10 @@ fn bind_inner(
     let writer_thread = {
         let shared = shared.clone();
         let max_drain = config.max_drain;
-        std::thread::Builder::new()
-            .name("ink-serve-writer".into())
-            .spawn(move || writer_loop(backend, publisher, shared, max_drain, completions_tx))?
+        let pipelined = config.pipelined;
+        std::thread::Builder::new().name("ink-serve-writer".into()).spawn(move || {
+            writer_loop(backend, publisher, shared, max_drain, pipelined, completions_tx)
+        })?
     };
     let event_thread = {
         let shared = shared.clone();
@@ -460,51 +479,141 @@ impl PartitionedServerHandle {
     }
 }
 
-/// The single thread that owns the engine backend.
+/// One stager product: a coalesced epoch candidate plus everything that must
+/// travel with it — the pre-routed split (partitioned backend), the
+/// pre-coalescing event count, admission stamps for latency attribution, and
+/// the control signals (flush barriers, queue closure) drained in the same
+/// ticket-ordered prefix. Flush ids ride *inside* the epoch they follow, so
+/// acking after that epoch publishes preserves read-your-writes exactly.
+struct PreparedEpoch {
+    batch: DeltaBatch,
+    routed: Option<PreRouted>,
+    received: u64,
+    batches: usize,
+    admitted: Vec<Instant>,
+    flushes: Vec<u64>,
+    finished: bool,
+}
+
+/// Stage A: coalesce one drained ticket prefix into an epoch candidate and,
+/// when a routing view is at hand, pre-route it for the partitioned driver.
+fn prepare(drained: Drained, directed: bool, view: Option<&RoutingView>) -> PreparedEpoch {
+    let Drained { changes, batches, flushes, admitted, finished } = drained;
+    let received = changes.len() as u64;
+    let batch = DeltaBatch::new(changes).coalesce(directed);
+    let routed = if batch.is_empty() { None } else { view.map(|v| v.route(&batch)) };
+    PreparedEpoch { batch, routed, received, batches, admitted, flushes, finished }
+}
+
+/// Stage B: apply and publish one prepared epoch, record the latency
+/// attribution (apply-only service time; admission-to-visibility wait per
+/// drained batch), resolve its flush barriers, and signal the event loop.
+fn apply_epoch(
+    backend: &mut BackendKind,
+    publisher: &mut SnapshotPublisher,
+    shared: &Shared,
+    completions: &crossbeam::channel::Sender<(u64, u64)>,
+    prepared: PreparedEpoch,
+) {
+    let PreparedEpoch { batch, routed, received, batches, admitted, flushes, .. } = prepared;
+    if !batch.is_empty() {
+        let _span = shared.tracer.span("serve", "epoch");
+        shared.metrics.events_received.add(received);
+        shared.metrics.events_applied.add(batch.len() as u64);
+        let apply_start = Instant::now();
+        if !backend.ingest(&batch, routed.as_ref()) {
+            shared.metrics.apply_errors.inc();
+        }
+        let epoch = shared.epochs.load(Ordering::Relaxed) + 1;
+        backend.publish(publisher, epoch);
+        shared.metrics.apply_latency.record(apply_start.elapsed().as_nanos() as u64);
+        shared.epochs.store(epoch, Ordering::SeqCst);
+        *shared.summary.lock().expect("summary lock poisoned") = backend.summary();
+    }
+    // Every batch in this drain is snapshot-visible from here on: the gap
+    // back to its admission stamp is pure queueing + pipeline wait.
+    let visible_at = Instant::now();
+    for t in &admitted {
+        shared
+            .metrics
+            .admission_wait
+            .record(visible_at.saturating_duration_since(*t).as_nanos() as u64);
+    }
+    let epoch = shared.epochs.load(Ordering::Relaxed);
+    shared.metrics.set_queue_gauges(epoch, shared.ingest.depth(), shared.ingest.max_depth(), 0);
+    let mut wake = batches > 0; // freed shard space: stalled conns can retry
+    for flush_id in flushes {
+        shared.metrics.flushes.inc();
+        wake = true;
+        if let Err(crossbeam::channel::TrySendError::Full(item)) =
+            completions.try_send((flush_id, epoch))
+        {
+            // Channel full: wake the loop so it drains, then block.
+            let _ = shared.waker.wake();
+            let _ = completions.send(item); // a vanished loop is shutdown
+        }
+    }
+    if wake {
+        let _ = shared.waker.wake();
+    }
+}
+
+/// The writer: owns the engine backend and the epoch counter. Pipelined, it
+/// splits into a stager thread (stage A) feeding this thread (stage B)
+/// through a single-slot channel — the FIFO handoff preserves the queue's
+/// global ticket order, and publishing stays in one thread, so epochs remain
+/// monotonic and bitwise equal to the single-writer loop.
 fn writer_loop(
     mut backend: BackendKind,
     mut publisher: SnapshotPublisher,
     shared: Arc<Shared>,
     max_drain: usize,
+    pipelined: bool,
     completions: crossbeam::channel::Sender<(u64, u64)>,
 ) -> BackendKind {
-    loop {
-        let Drained { changes, batches, flushes, finished } =
-            shared.ingest.drain(max_drain, WRITER_PARK);
-        if !changes.is_empty() {
-            let _span = shared.tracer.span("serve", "epoch");
-            let received = changes.len() as u64;
-            let batch = DeltaBatch::new(changes).coalesce(shared.directed);
-            shared.metrics.events_received.add(received);
-            shared.metrics.events_applied.add(batch.len() as u64);
-            backend.ingest(&batch);
-            let epoch = shared.epochs.load(Ordering::Relaxed) + 1;
-            backend.publish(&mut publisher, epoch);
-            shared.epochs.store(epoch, Ordering::SeqCst);
-            *shared.summary.lock().expect("summary lock poisoned") = backend.summary();
-        }
-
-        let epoch = shared.epochs.load(Ordering::Relaxed);
-        shared.metrics.set_queue_gauges(epoch, shared.ingest.depth(), shared.ingest.max_depth(), 0);
-        let mut wake = batches > 0; // freed shard space: stalled conns can retry
-        for flush_id in flushes {
-            shared.metrics.flushes.inc();
-            wake = true;
-            if let Err(crossbeam::channel::TrySendError::Full(item)) =
-                completions.try_send((flush_id, epoch))
-            {
-                // Channel full: wake the loop so it drains, then block.
-                let _ = shared.waker.wake();
-                let _ = completions.send(item); // a vanished loop is shutdown
+    if !pipelined {
+        // Single-writer loop of record: drain, prepare, apply on one thread.
+        loop {
+            let drained = shared.ingest.drain_wait(max_drain);
+            let prepared = prepare(drained, shared.directed, None);
+            let finished = prepared.finished;
+            apply_epoch(&mut backend, &mut publisher, &shared, &completions, prepared);
+            if finished {
+                return backend;
             }
         }
-        if wake {
-            let _ = shared.waker.wake();
-        }
+    }
+    let view = backend.routing_view();
+    let (tx, rx) = crossbeam::channel::bounded::<PreparedEpoch>(1);
+    let stager = {
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name("ink-serve-stager".into())
+            .spawn(move || loop {
+                let drained = shared.ingest.drain_wait(max_drain);
+                let prepared = prepare(drained, shared.directed, view.as_ref());
+                // Freed shard space wakes the event loop from here — a
+                // stalled connection re-admits while the apply stage is
+                // still busy with an earlier epoch.
+                if prepared.batches > 0 {
+                    let _ = shared.waker.wake();
+                }
+                let finished = prepared.finished;
+                if tx.send(prepared).is_err() || finished {
+                    return;
+                }
+            })
+            .expect("spawn ink-serve-stager")
+    };
+    while let Ok(prepared) = rx.recv() {
+        let finished = prepared.finished;
+        apply_epoch(&mut backend, &mut publisher, &shared, &completions, prepared);
         if finished {
-            return backend;
+            break;
         }
     }
+    stager.join().expect("ink-serve-stager panicked");
+    backend
 }
 
 /// The one-thread readiness loop multiplexing the listener, the waker and

@@ -52,7 +52,7 @@ use ink_graph::EdgeChange;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The verdict on one non-blocking push.
 #[derive(Debug, PartialEq, Eq)]
@@ -91,6 +91,10 @@ pub struct Drained {
     /// Flush ids whose barriers are now behind every queued update; ack
     /// them after publishing the epoch that contains `changes`.
     pub flushes: Vec<u64>,
+    /// Admission timestamps of the drained batches (same order as the
+    /// concatenation) — the writer records admission-to-apply latency from
+    /// these once the containing epoch publishes.
+    pub admitted: Vec<Instant>,
     /// True once the queue is closed *and* fully drained — the writer's
     /// exit condition.
     pub finished: bool,
@@ -98,9 +102,9 @@ pub struct Drained {
 
 #[derive(Debug, Default)]
 struct Shard {
-    /// `(ticket, changes)` in admission order; front ticket is the shard
-    /// minimum because tickets are drawn under the shard lock.
-    items: VecDeque<(u64, Vec<EdgeChange>)>,
+    /// `(ticket, admitted-at, changes)` in admission order; front ticket is
+    /// the shard minimum because tickets are drawn under the shard lock.
+    items: VecDeque<(u64, Instant, Vec<EdgeChange>)>,
     max_depth: usize,
 }
 
@@ -203,7 +207,7 @@ impl ShardedIngest {
                 }
             }
             let ticket = self.ticket.fetch_add(1, Ordering::SeqCst);
-            shard.items.push_back((ticket, changes.to_vec()));
+            shard.items.push_back((ticket, Instant::now(), changes.to_vec()));
             let len = shard.items.len();
             shard.max_depth = shard.max_depth.max(len);
             let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1 - dropped;
@@ -268,6 +272,28 @@ impl ShardedIngest {
         }
     }
 
+    /// Like [`ShardedIngest::drain`] but with no deadline: parks until a
+    /// push, flush, or [`ShardedIngest::close`] produces something to
+    /// return. Purely signal-driven — the idle writer costs zero CPU and
+    /// there is no residual poll interval on the apply wake path.
+    pub fn drain_wait(&self, max_batches: usize) -> Drained {
+        loop {
+            let seq = self.signal.lock().expect("signal lock poisoned").seq;
+            let drained = self.try_drain(max_batches);
+            if !drained.changes.is_empty() || !drained.flushes.is_empty() || drained.finished {
+                return drained;
+            }
+            let guard = self.signal.lock().expect("signal lock poisoned");
+            drop(
+                self.ready
+                    .wait_while(guard, |s| {
+                        s.seq == seq && !self.closed.load(Ordering::SeqCst)
+                    })
+                    .expect("signal lock poisoned"),
+            );
+        }
+    }
+
     /// One non-waiting drain pass.
     fn try_drain(&self, max_batches: usize) -> Drained {
         let mut guards: Vec<_> = self
@@ -275,14 +301,14 @@ impl ShardedIngest {
             .iter()
             .map(|s| s.lock().expect("shard lock poisoned"))
             .collect();
-        let mut items: Vec<(u64, Vec<EdgeChange>)> = Vec::new();
+        let mut items: Vec<(u64, Instant, Vec<EdgeChange>)> = Vec::new();
         while items.len() < max_batches.max(1) {
             // Pop the globally smallest front ticket so the drained set is
             // always a ticket-prefix of everything admitted.
             let next = guards
                 .iter()
                 .enumerate()
-                .filter_map(|(i, g)| g.items.front().map(|(t, _)| (*t, i)))
+                .filter_map(|(i, g)| g.items.front().map(|(t, _, _)| (*t, i)))
                 .min();
             let Some((_, idx)) = next else { break };
             items.push(guards[idx].items.pop_front().expect("front checked"));
@@ -290,7 +316,7 @@ impl ShardedIngest {
         // The smallest undrained ticket bounds which barriers may release.
         let remaining_min = guards
             .iter()
-            .filter_map(|g| g.items.front().map(|(t, _)| *t))
+            .filter_map(|g| g.items.front().map(|(t, _, _)| *t))
             .min()
             .unwrap_or(u64::MAX);
         drop(guards);
@@ -308,15 +334,17 @@ impl ShardedIngest {
         }
 
         let batches = items.len();
-        let mut changes = Vec::with_capacity(items.iter().map(|(_, c)| c.len()).sum());
-        for (_, c) in items {
+        let mut changes = Vec::with_capacity(items.iter().map(|(_, _, c)| c.len()).sum());
+        let mut admitted = Vec::with_capacity(batches);
+        for (_, at, c) in items {
+            admitted.push(at);
             changes.extend(c);
         }
         let finished = self.closed.load(Ordering::SeqCst)
             && remaining_min == u64::MAX
             && changes.is_empty()
             && self.barriers.lock().expect("barrier lock poisoned").is_empty();
-        Drained { changes, batches, flushes, finished }
+        Drained { changes, batches, flushes, admitted, finished }
     }
 
     /// Pending update batches across all shards.
@@ -492,6 +520,26 @@ mod tests {
         let d = writer.join().unwrap();
         assert_eq!(d.batches, 1);
         assert!(t.elapsed() < Duration::from_secs(1), "woken by the push, not a timeout");
+    }
+
+    #[test]
+    fn drain_wait_parks_until_signal_and_stamps_admission() {
+        let q = Arc::new(ShardedIngest::new(2, 4, Backpressure::Block));
+        let q2 = q.clone();
+        let writer = std::thread::spawn(move || q2.drain_wait(16));
+        std::thread::sleep(Duration::from_millis(20));
+        let before = Instant::now();
+        q.try_push_updates(&upd(0, 1), false);
+        let d = writer.join().unwrap();
+        assert_eq!(d.batches, 1);
+        assert_eq!(d.admitted.len(), 1, "one admission stamp per drained batch");
+        assert!(d.admitted[0] >= before, "stamped at admission, not at drain");
+        // Close releases a parked drain_wait with finished=true.
+        let q2 = q.clone();
+        let writer = std::thread::spawn(move || q2.drain_wait(16));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(writer.join().unwrap().finished);
     }
 
     #[test]

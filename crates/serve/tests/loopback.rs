@@ -445,6 +445,60 @@ fn pipelined_batch_frames_match_reference_bitwise() {
     assert_eq!(session.engine().output().as_slice(), want.as_slice());
 }
 
+/// Pipelining is a pure overlap optimisation: with `pipelined: false` the
+/// writer collapses back to the one-thread loop of record, and both backends
+/// must publish exactly the epochs the pipelined writer publishes — which are
+/// in turn the single-threaded reference replay, bitwise, with the same
+/// one-epoch-per-flushed-update accounting.
+#[test]
+fn single_writer_mode_matches_reference_bitwise() {
+    use ink_partition::{HashPartitioner, PartitionConfig, PartitionedInkStream};
+
+    let batches = update_batches();
+    let expected = reference_outputs(&batches);
+
+    let config = || ServeConfig {
+        queue_capacity: 8,
+        backpressure: Backpressure::Block,
+        pipelined: false,
+        ..ServeConfig::default()
+    };
+    let run = |handle_addr: std::net::SocketAddr| {
+        let mut client = InkClient::connect(handle_addr).unwrap();
+        for (i, batch) in batches.iter().enumerate() {
+            client.update(batch.clone()).unwrap().expect("block mode never rejects");
+            let epoch = client.flush().unwrap();
+            assert_eq!(epoch as usize, i + 1, "one epoch per flushed update");
+            let v = (i % N) as u32;
+            let (e, values) = client.embedding(v).unwrap();
+            assert_eq!(e, epoch);
+            assert_eq!(values, expected[e as usize].row(v as usize), "bitwise at epoch {e}");
+        }
+    };
+
+    let handle =
+        InkServer::bind("127.0.0.1:0", StreamSession::new(engine()), config()).unwrap();
+    run(handle.local_addr());
+    let (session, summary) = handle.shutdown().unwrap();
+    assert_eq!(summary.serve.epochs, BATCHES as u64);
+    assert_eq!(session.engine().output().as_slice(), expected.last().unwrap().as_slice());
+
+    let feats = sparse_power_law(&mut seeded_rng(FEAT_SEED), N, FEAT_DIM, 0.2, 0.9);
+    let parted = PartitionedInkStream::new(
+        model,
+        graph(),
+        feats,
+        HashPartitioner,
+        PartitionConfig { parts: 3, ..Default::default() },
+    )
+    .unwrap();
+    let handle = InkServer::bind_partitioned("127.0.0.1:0", parted, config()).unwrap();
+    run(handle.local_addr());
+    let (parted, summary) = handle.shutdown().unwrap();
+    assert_eq!(summary.serve.epochs, BATCHES as u64);
+    assert_eq!(parted.output().as_slice(), expected.last().unwrap().as_slice());
+}
+
 /// The partition-parallel backend behind the same wire protocol: a server
 /// bound with [`InkServer::bind_partitioned`] fed the identical update
 /// stream must publish epochs bitwise equal to the single-threaded

@@ -1,0 +1,141 @@
+//! Property test for the pipelined writer's ordering contract: under random
+//! interleavings of updates, flush barriers and queries, a client must
+//! observe **read-your-writes at every flush** — the epoch a flush returns
+//! already reflects every update the client admitted before it, bitwise —
+//! for both backends (single session and partition-parallel) and in both
+//! writer modes (pipelined two-stage and the single-writer loop of record).
+//!
+//! Max aggregation keeps incremental outputs bitwise equal to full
+//! recomputation, so the reference replay is exact, not approximate.
+
+use ink_gnn::{Aggregator, Model};
+use ink_graph::generators::erdos_renyi;
+use ink_graph::{DeltaBatch, EdgeChange};
+use ink_partition::{HashPartitioner, PartitionConfig, PartitionedInkStream};
+use ink_serve::{Backpressure, InkClient, InkServer, ServeConfig};
+use ink_tensor::init::{seeded_rng, uniform};
+use inkstream::{InkStream, StreamSession, UpdateConfig};
+use proptest::prelude::*;
+
+const N: usize = 24;
+const FEAT_DIM: usize = 5;
+
+fn model(seed: u64) -> Model {
+    Model::gcn(&mut seeded_rng(seed ^ 0x5e), &[FEAT_DIM, 6, 3], Aggregator::Max)
+}
+
+fn reference(seed: u64) -> InkStream {
+    let mut rng = seeded_rng(seed);
+    let g = erdos_renyi(&mut rng, N, 55);
+    let x = uniform(&mut rng, N, FEAT_DIM, -1.0, 1.0);
+    InkStream::new(model(seed), g, x, UpdateConfig::default()).unwrap()
+}
+
+/// One interleaving step: a run of update batches admitted back to back
+/// (they may coalesce into fewer epochs), then a flush barrier, then a
+/// query racing nothing — which therefore must see all of them.
+type Step = (Vec<Vec<(u32, u32, bool)>>, u32);
+
+fn to_changes(spec: &[(u32, u32, bool)]) -> Vec<EdgeChange> {
+    spec.iter()
+        .map(|&(s, d, insert)| {
+            let d = if d == s { (d + 1) % N as u32 } else { d };
+            if insert {
+                EdgeChange::insert(s, d)
+            } else {
+                EdgeChange::remove(s, d)
+            }
+        })
+        .collect()
+}
+
+fn check_interleaving(seed: u64, steps: &[Step], partitioned: bool, pipelined: bool) {
+    let config = ServeConfig {
+        queue_capacity: 8,
+        backpressure: Backpressure::Block,
+        pipelined,
+        ..ServeConfig::default()
+    };
+    let mut refeng = reference(seed);
+    let (addr, handle_single, handle_part);
+    if partitioned {
+        let parted = PartitionedInkStream::new(
+            move || model(seed),
+            refeng.graph().clone(),
+            refeng.features().clone(),
+            HashPartitioner,
+            PartitionConfig { parts: 3, ..Default::default() },
+        )
+        .unwrap();
+        let h = InkServer::bind_partitioned("127.0.0.1:0", parted, config).unwrap();
+        addr = h.local_addr();
+        handle_part = Some(h);
+        handle_single = None;
+    } else {
+        let session = StreamSession::new(reference(seed));
+        let h = InkServer::bind("127.0.0.1:0", session, config).unwrap();
+        addr = h.local_addr();
+        handle_single = Some(h);
+        handle_part = None;
+    }
+
+    let mut client = InkClient::connect(addr).unwrap();
+    let mut last_epoch = 0u64;
+    for (runs, query_v) in steps {
+        for spec in runs {
+            let batch = to_changes(spec);
+            client.update(batch.clone()).unwrap().expect("block mode never rejects");
+            refeng.apply_delta(&DeltaBatch::new(batch));
+        }
+        let epoch = client.flush().unwrap();
+        assert!(epoch >= last_epoch, "epochs are monotonic across flushes");
+        last_epoch = epoch;
+        // Read-your-writes: the post-flush snapshot reflects every update
+        // admitted above, bitwise (no other writer is running).
+        let (e, values) = client.embedding(*query_v).unwrap();
+        assert!(e >= epoch, "a read after the barrier never sees an older epoch");
+        assert_eq!(
+            values,
+            refeng.output().row(*query_v as usize),
+            "read-your-writes bitwise, partitioned={partitioned} pipelined={pipelined}"
+        );
+    }
+    drop(client);
+
+    if let Some(h) = handle_single {
+        let (session, _) = h.shutdown().unwrap();
+        assert_eq!(session.engine().output().as_slice(), refeng.output().as_slice());
+    }
+    if let Some(h) = handle_part {
+        let (parted, _) = h.shutdown().unwrap();
+        assert_eq!(parted.output().as_slice(), refeng.output().as_slice());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+    #[test]
+    fn flush_barriers_observe_read_your_writes(
+        seed in 0u64..400,
+        steps in proptest::collection::vec(
+            (
+                proptest::collection::vec(
+                    proptest::collection::vec(
+                        (0u32..N as u32, 0u32..N as u32, proptest::bool::ANY),
+                        1..5,
+                    ),
+                    1..4,
+                ),
+                0u32..N as u32,
+            ),
+            1..6,
+        ),
+    ) {
+        for partitioned in [false, true] {
+            for pipelined in [true, false] {
+                check_interleaving(seed, &steps, partitioned, pipelined);
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Worker-panic robustness for the persistent partition pool: a panic inside
+//! a pool worker (here injected through a user hook) must surface as a typed
+//! [`InkError::WorkerPanic`] instead of aborting the process, poison the pool
+//! so every subsequent apply fails fast without touching the graph, and heal
+//! completely under [`PartitionedInkStream::resync`] — after which the merged
+//! output is again bitwise equal to the single-engine reference.
+
+use ink_gnn::Aggregator;
+use ink_graph::DeltaBatch;
+use ink_partition::{HashPartitioner, PartitionConfig, PartitionedInkStream};
+use ink_tensor::init::{seeded_rng, uniform};
+use ink_tensor::Matrix;
+use inkstream::{InkError, InkStream, UpdateConfig, UserEvent, UserHooks};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A hook that is a complete no-op (no cache, no events) until armed — then
+/// the first message change panics the thread processing it. Unarmed it
+/// leaves the engine bitwise identical to a hook-free one, so the same
+/// reference engine serves before and after the injected fault.
+struct Tripwire {
+    arm: Arc<AtomicBool>,
+}
+
+impl UserHooks for Tripwire {
+    fn init_cache(&self, _layer: usize, _messages: &Matrix) -> Option<Matrix> {
+        None
+    }
+
+    fn user_propagate(
+        &self,
+        _layer: usize,
+        _node: u32,
+        _old_msg: &[f32],
+        _new_msg: &[f32],
+    ) -> Vec<UserEvent> {
+        assert!(!self.arm.load(Ordering::SeqCst), "tripwire: injected worker fault");
+        Vec::new()
+    }
+
+    fn user_apply(&self, _layer: usize, _node: u32, _row: &mut [f32], _events: &[UserEvent]) {}
+}
+
+fn model(seed: u64) -> ink_gnn::Model {
+    let mut rng = seeded_rng(seed);
+    ink_gnn::Model::gcn(&mut rng, &[4, 5, 3], Aggregator::Max)
+}
+
+#[test]
+fn worker_panic_poisons_pool_and_resync_recovers() {
+    let seed = 0x9021u64;
+    let mut rng = seeded_rng(seed);
+    let g = ink_graph::generators::erdos_renyi(&mut rng, 30, 70);
+    let x = uniform(&mut rng, 30, 4, -1.0, 1.0);
+    let cfg = UpdateConfig::default();
+    let arm = Arc::new(AtomicBool::new(false));
+
+    let mut single = InkStream::with_hooks(
+        model(seed),
+        g.clone(),
+        x.clone(),
+        cfg,
+        Some(Box::new(Tripwire { arm: arm.clone() })),
+    )
+    .unwrap();
+    let hook_arm = arm.clone();
+    let mut parted = PartitionedInkStream::with_hooks(
+        move || model(seed),
+        g,
+        x,
+        HashPartitioner,
+        PartitionConfig { parts: 4, update: cfg, ..Default::default() },
+        Some(Box::new(move || {
+            let arm = hook_arm.clone();
+            Box::new(Tripwire { arm })
+        })),
+    )
+    .unwrap();
+    assert_eq!(&parted.output(), single.output(), "bootstrap parity");
+
+    // A healthy round with the hooks disarmed stays bitwise identical.
+    let mut drng = StdRng::seed_from_u64(seed ^ 0xfa11);
+    let delta1 = DeltaBatch::random_scenario(single.graph(), &mut drng, 6);
+    single.apply_delta(&delta1);
+    parted.try_apply_delta(&delta1).expect("disarmed round succeeds");
+    assert_eq!(&parted.output(), single.output(), "healthy round parity");
+
+    // Armed: the panic fires inside a pool worker mid-round. It must come
+    // back as a typed error (the barrier releases — no deadlock) and name
+    // the injected fault.
+    let delta2 = DeltaBatch::random_scenario(single.graph(), &mut drng, 6);
+    single.apply_delta(&delta2);
+    arm.store(true, Ordering::SeqCst);
+    let err = parted.try_apply_delta(&delta2).expect_err("armed round fails");
+    arm.store(false, Ordering::SeqCst);
+    let InkError::WorkerPanic { detail, .. } = &err else {
+        panic!("expected WorkerPanic, got {err:?}");
+    };
+    assert!(detail.contains("tripwire"), "panic payload surfaces in the error: {detail}");
+
+    // Poisoned: the next apply fails fast *with the hooks disarmed* — the
+    // error comes from the poison check, before any graph mutation, so the
+    // rejected delta must not leak into the partitioned graph.
+    let delta3 = DeltaBatch::random_scenario(single.graph(), &mut drng, 6);
+    let edges_before = parted.graph().num_edges();
+    let err2 = parted.try_apply_delta(&delta3).expect_err("poisoned pool fails fast");
+    assert!(matches!(err2, InkError::WorkerPanic { .. }), "still the typed error: {err2:?}");
+    assert_eq!(parted.graph().num_edges(), edges_before, "fail-fast precedes graph mutation");
+
+    // Resync rebuilds every engine from the (delta2-inclusive) graph and
+    // clears the poison; Max aggregation makes the single engine's
+    // incremental state bitwise equal to full recomputation, so the healed
+    // outputs must match exactly.
+    parted.resync();
+    assert_eq!(&parted.output(), single.output(), "resync heals bitwise");
+    assert_eq!(parted.mirror_deviation(), 0.0);
+
+    // And the pool is live again: the previously rejected delta applies.
+    single.apply_delta(&delta3);
+    parted.try_apply_delta(&delta3).expect("pool recovered after resync");
+    assert_eq!(&parted.output(), single.output(), "post-recovery parity");
+}
